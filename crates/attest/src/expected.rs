@@ -1,0 +1,105 @@
+//! The expected-measurement tool (§4.2).
+//!
+//! "Pre-encrypting more than just a single binary blob adds complexity to
+//! computing the expected launch measurement, but we remedy that by
+//! including a tool with SEVeriFast to generate a digest of each
+//! pre-encrypted component." Given the ordered list of regions the VMM will
+//! pre-encrypt (verifier binary, mptable, boot_params, cmdline, hash page)
+//! and the vCPU count, this recomputes exactly the digest the PSP will
+//! chain, using the same [`sevf_psp::MeasurementChain`].
+
+use sevf_psp::MeasurementChain;
+
+/// One region the VMM pre-encrypts, in command order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasuredItem {
+    /// Guest-physical address of the region (page aligned).
+    pub gpa: u64,
+    /// Region contents (zero-padded to whole pages by the chain, as
+    /// `LAUNCH_UPDATE_DATA` does).
+    pub data: Vec<u8>,
+    /// Label for diagnostics ("boot verifier", "mptable", ...).
+    pub label: &'static str,
+}
+
+/// Recomputes the launch digest for the given pre-encryption plan.
+///
+/// `vcpus > 0` adds the VMSA updates that SEV-ES/SNP launches include; pass
+/// 0 for plain SEV.
+///
+/// # Example
+///
+/// ```
+/// use sevf_attest::{expected_measurement, MeasuredItem};
+///
+/// let items = vec![MeasuredItem {
+///     gpa: 0x10000,
+///     data: vec![0xAB; 4096],
+///     label: "boot verifier",
+/// }];
+/// let a = expected_measurement(&items, 1);
+/// let b = expected_measurement(&items, 1);
+/// assert_eq!(a, b);
+/// ```
+pub fn expected_measurement(items: &[MeasuredItem], vcpus: u64) -> [u8; 48] {
+    let mut chain = MeasurementChain::new();
+    for item in items {
+        sevf_psp::measure_region(&mut chain, item.gpa, &item.data);
+    }
+    for vcpu in 0..vcpus {
+        chain.add_vmsa(vcpu, &[0u8; 4096]);
+    }
+    chain.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(gpa: u64, fill: u8, len: usize) -> MeasuredItem {
+        MeasuredItem {
+            gpa,
+            data: vec![fill; len],
+            label: "test",
+        }
+    }
+
+    #[test]
+    fn order_and_content_sensitive() {
+        let a = expected_measurement(&[item(0x1000, 1, 4096), item(0x2000, 2, 4096)], 1);
+        let b = expected_measurement(&[item(0x2000, 2, 4096), item(0x1000, 1, 4096)], 1);
+        assert_ne!(a, b);
+        let c = expected_measurement(&[item(0x1000, 1, 4096), item(0x2000, 3, 4096)], 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn vcpu_count_included() {
+        let items = [item(0x1000, 1, 4096)];
+        assert_ne!(
+            expected_measurement(&items, 1),
+            expected_measurement(&items, 2)
+        );
+        assert_ne!(
+            expected_measurement(&items, 1),
+            expected_measurement(&items, 0)
+        );
+    }
+
+    #[test]
+    fn partial_pages_match_padded_pages() {
+        // LAUNCH_UPDATE_DATA zero-pads partial pages; the tool must agree.
+        let short = expected_measurement(&[item(0x1000, 7, 100)], 0);
+        let mut padded_data = vec![7u8; 100];
+        padded_data.resize(4096, 0);
+        let padded = expected_measurement(
+            &[MeasuredItem {
+                gpa: 0x1000,
+                data: padded_data,
+                label: "padded",
+            }],
+            0,
+        );
+        assert_eq!(short, padded);
+    }
+}

@@ -1,0 +1,32 @@
+//! Remote attestation: the guest owner, the guest client, and the secret
+//! channel.
+//!
+//! §2.4 of the paper, steps 5–8: after boot, the guest requests a signed
+//! attestation report from the PSP, sends it to the guest owner, and — if
+//! the launch digest matches what the owner expected — receives wrapped
+//! secrets over the channel established by the report's embedded key.
+//!
+//! The three host attacks of §2.6 all terminate here or earlier:
+//!
+//! 1. swapped components → caught by the boot verifier (hash mismatch);
+//! 2. host pre-encrypts hashes of malicious components → the launch digest
+//!    covers the hash page, so [`GuestOwner::handle_report`] rejects it;
+//! 3. host loads a verifier that skips checks → the verifier binary is in
+//!    the launch digest, so the owner rejects that too.
+//!
+//! The [`expected`] module is the out-of-band tool of §4.2 that recomputes
+//! the launch digest from the verifier binary, the generated boot
+//! structures, and the kernel/initrd hashes — with pre-encryption split
+//! across several components, the tool is what keeps the expected digest
+//! computable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expected;
+pub mod owner;
+pub mod wire;
+
+pub use expected::{expected_measurement, MeasuredItem};
+pub use owner::{AttestError, GuestAttestClient, GuestOwner};
+pub use wire::WrappedSecret;

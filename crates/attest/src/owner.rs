@@ -1,0 +1,277 @@
+//! The guest owner's attestation service and the guest-side client.
+//!
+//! Models the nginx validation server of §6.1 and the attestation logic the
+//! initrd runs: the guest generates an ephemeral key pair **in encrypted
+//! memory** (§2.6: keys are never present in the plain-text initrd), embeds
+//! its public key and a nonce in `report_data`, and the owner — after
+//! validating the signature and launch digest — wraps secrets to that key.
+
+use std::collections::HashSet;
+
+use sevf_crypto::{DhKeyPair, DhPublicKey};
+use sevf_psp::{AmdRootRegistry, AttestationReport};
+use sevf_sim::cost::SevGeneration;
+
+use crate::wire::WrappedSecret;
+
+/// Why the guest owner rejected a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestError {
+    /// Signature invalid or chip unknown to the AMD root.
+    BadSignature,
+    /// The launch digest is not one the owner expects — tampered verifier
+    /// or tampered pre-encrypted contents (§2.6, attacks 2 and 3).
+    UnexpectedMeasurement {
+        /// The digest the report carried.
+        got: [u8; 48],
+    },
+    /// Policy violation (wrong SEV generation or debug allowed).
+    PolicyViolation(&'static str),
+    /// The wrapped secret failed authentication on the guest side.
+    ChannelTampered,
+}
+
+impl std::fmt::Display for AttestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestError::BadSignature => write!(f, "report signature invalid or chip unknown"),
+            AttestError::UnexpectedMeasurement { .. } => {
+                write!(f, "launch measurement does not match any expected digest")
+            }
+            AttestError::PolicyViolation(w) => write!(f, "policy violation: {w}"),
+            AttestError::ChannelTampered => write!(f, "wrapped secret failed authentication"),
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+/// The guest owner: validates reports and provisions secrets.
+#[derive(Debug)]
+pub struct GuestOwner {
+    registry: AmdRootRegistry,
+    expected: HashSet<[u8; 48]>,
+    keypair: DhKeyPair,
+    secret: Vec<u8>,
+    nonce_counter: u32,
+    required_generation: SevGeneration,
+}
+
+impl GuestOwner {
+    /// Creates an owner trusting the given AMD root view, expecting the
+    /// given launch digests, and provisioning `secret` on success.
+    pub fn new(registry: AmdRootRegistry, secret: Vec<u8>, owner_seed: &[u8]) -> Self {
+        GuestOwner {
+            registry,
+            expected: HashSet::new(),
+            keypair: DhKeyPair::from_seed(owner_seed),
+            secret,
+            nonce_counter: 0,
+            required_generation: SevGeneration::SevSnp,
+        }
+    }
+
+    /// Relaxes/changes the SEV generation the owner demands (the paper's
+    /// threat model wants SNP; ablations compare older generations).
+    pub fn set_required_generation(&mut self, generation: SevGeneration) {
+        self.required_generation = generation;
+    }
+
+    /// Registers an acceptable launch digest (output of the
+    /// expected-measurement tool).
+    pub fn expect_measurement(&mut self, digest: [u8; 48]) {
+        self.expected.insert(digest);
+    }
+
+    /// Validates a report and, on success, wraps the secret to the guest
+    /// key embedded in `report_data`.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::BadSignature`], [`AttestError::UnexpectedMeasurement`],
+    /// or [`AttestError::PolicyViolation`].
+    pub fn handle_report(
+        &mut self,
+        report: &AttestationReport,
+    ) -> Result<WrappedSecret, AttestError> {
+        if !self.registry.verify(report) {
+            return Err(AttestError::BadSignature);
+        }
+        if report.policy.debug_allowed {
+            return Err(AttestError::PolicyViolation("debug access must be disabled"));
+        }
+        if report.policy.generation != self.required_generation {
+            return Err(AttestError::PolicyViolation(
+                "report's SEV generation does not meet the owner's policy",
+            ));
+        }
+        if !self.expected.contains(&report.measurement) {
+            return Err(AttestError::UnexpectedMeasurement {
+                got: report.measurement,
+            });
+        }
+        // report_data = guest DH public key (32) ‖ nonce (32).
+        let guest_public = DhPublicKey(
+            report.report_data[..32]
+                .try_into()
+                .expect("report_data holds 64 bytes"),
+        );
+        let shared = self.keypair.shared_secret(&guest_public);
+        self.nonce_counter += 1;
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(&self.nonce_counter.to_le_bytes());
+        nonce[4..8].copy_from_slice(&report.report_data[32..36]);
+        Ok(WrappedSecret::seal(
+            &shared,
+            self.keypair.public_key(),
+            nonce,
+            &self.secret,
+        ))
+    }
+}
+
+/// The guest-side attestation client (the logic `/init` runs from the
+/// initrd).
+#[derive(Debug)]
+pub struct GuestAttestClient {
+    keypair: DhKeyPair,
+    nonce: [u8; 32],
+}
+
+impl GuestAttestClient {
+    /// Generates the ephemeral key pair — conceptually inside encrypted
+    /// guest memory, at attestation time (§2.6).
+    pub fn new(entropy: &[u8]) -> Self {
+        let mut seed = b"guest-attest".to_vec();
+        seed.extend_from_slice(entropy);
+        let nonce = sevf_crypto::sha256(&seed);
+        GuestAttestClient {
+            keypair: DhKeyPair::from_seed(&seed),
+            nonce,
+        }
+    }
+
+    /// The 64 bytes to pass as `report_data` in `SNP_GUEST_REQUEST`.
+    pub fn report_data(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.keypair.public_key().0);
+        out[32..].copy_from_slice(&self.nonce);
+        out
+    }
+
+    /// Unwraps the provisioned secret.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::ChannelTampered`] if authentication fails.
+    pub fn unwrap_secret(&self, wrapped: &WrappedSecret) -> Result<Vec<u8>, AttestError> {
+        let shared = self.keypair.shared_secret(&wrapped.owner_public);
+        wrapped.open(&shared).ok_or(AttestError::ChannelTampered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevf_mem::GuestMemory;
+    use sevf_psp::Psp;
+    use sevf_sim::CostModel;
+
+    fn launched_guest() -> (Psp, sevf_psp::GuestHandle, [u8; 48]) {
+        let mut psp = Psp::new(CostModel::calibrated(), 42);
+        let start = psp.launch_start(SevGeneration::SevSnp).unwrap();
+        let mut mem = GuestMemory::new_sev(1 << 22, start.memory_key, SevGeneration::SevSnp);
+        mem.host_write(0x1000, b"the boot verifier binary").unwrap();
+        psp.launch_update_data(start.guest, &mut mem, 0x1000, 4096)
+            .unwrap();
+        psp.launch_update_vmsa(start.guest, 1, &[0u8; 4096]).unwrap();
+        let finish = psp.launch_finish(start.guest).unwrap();
+        (psp, start.guest, finish.measurement)
+    }
+
+    fn owner_for(psp: &Psp, measurement: [u8; 48]) -> GuestOwner {
+        let mut registry = AmdRootRegistry::new();
+        registry.register(psp.chip().clone());
+        let mut owner = GuestOwner::new(registry, b"disk encryption key".to_vec(), b"owner");
+        owner.expect_measurement(measurement);
+        owner
+    }
+
+    #[test]
+    fn end_to_end_attestation_provisions_secret() {
+        let (mut psp, guest, measurement) = launched_guest();
+        let mut owner = owner_for(&psp, measurement);
+        let client = GuestAttestClient::new(b"boot entropy");
+        let (report, _) = psp.guest_report(guest, client.report_data()).unwrap();
+        let wrapped = owner.handle_report(&report).unwrap();
+        assert_eq!(
+            client.unwrap_secret(&wrapped).unwrap(),
+            b"disk encryption key"
+        );
+    }
+
+    #[test]
+    fn unexpected_measurement_rejected() {
+        // Attack 2/3 of §2.6: the launch digest is valid and signed, but
+        // does not match what the owner computed out of band.
+        let (mut psp, guest, measurement) = launched_guest();
+        let mut owner = owner_for(&psp, [0xAA; 48]); // expects something else
+        let client = GuestAttestClient::new(b"boot entropy");
+        let (report, _) = psp.guest_report(guest, client.report_data()).unwrap();
+        match owner.handle_report(&report) {
+            Err(AttestError::UnexpectedMeasurement { got }) => {
+                assert_eq!(got, measurement);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_report_rejected() {
+        let (mut psp, guest, measurement) = launched_guest();
+        let mut owner = owner_for(&psp, measurement);
+        let client = GuestAttestClient::new(b"boot entropy");
+        let (mut report, _) = psp.guest_report(guest, client.report_data()).unwrap();
+        // Host edits the measurement to the expected one... but can't re-sign.
+        report.measurement = measurement;
+        report.report_data[0] ^= 1;
+        assert_eq!(owner.handle_report(&report), Err(AttestError::BadSignature));
+    }
+
+    #[test]
+    fn unknown_chip_rejected() {
+        let (mut psp, guest, measurement) = launched_guest();
+        let registry = AmdRootRegistry::new(); // empty: chip not registered
+        let mut owner = GuestOwner::new(registry, b"s".to_vec(), b"owner");
+        owner.expect_measurement(measurement);
+        let client = GuestAttestClient::new(b"e");
+        let (report, _) = psp.guest_report(guest, client.report_data()).unwrap();
+        assert_eq!(owner.handle_report(&report), Err(AttestError::BadSignature));
+    }
+
+    #[test]
+    fn tampered_channel_detected_by_guest() {
+        let (mut psp, guest, measurement) = launched_guest();
+        let mut owner = owner_for(&psp, measurement);
+        let client = GuestAttestClient::new(b"boot entropy");
+        let (report, _) = psp.guest_report(guest, client.report_data()).unwrap();
+        let mut wrapped = owner.handle_report(&report).unwrap();
+        wrapped.ciphertext[0] ^= 0xff;
+        assert_eq!(
+            client.unwrap_secret(&wrapped),
+            Err(AttestError::ChannelTampered)
+        );
+    }
+
+    #[test]
+    fn nonces_differ_across_requests() {
+        let (mut psp, guest, measurement) = launched_guest();
+        let mut owner = owner_for(&psp, measurement);
+        let client = GuestAttestClient::new(b"boot entropy");
+        let (report, _) = psp.guest_report(guest, client.report_data()).unwrap();
+        let a = owner.handle_report(&report).unwrap();
+        let b = owner.handle_report(&report).unwrap();
+        assert_ne!(a.nonce, b.nonce);
+        assert_ne!(a.ciphertext, b.ciphertext);
+    }
+}

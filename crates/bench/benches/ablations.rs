@@ -1,0 +1,118 @@
+//! Ablation studies on the design choices DESIGN.md calls out.
+//!
+//! These are virtual-time what-ifs, printed after a token Criterion run:
+//!
+//! * **verifier features** — what the kitchen-sink verifier (generate
+//!   everything in the guest, carry both loaders) costs in pre-encryption;
+//! * **huge pages** — the §6.1 pvalidate observation;
+//! * **PSP speed** — how much faster the PSP must get before the Fig. 12
+//!   bottleneck stops mattering at serverless scale;
+//! * **SEV generations** — SEV vs SEV-ES vs SEV-SNP boot cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use severifast::experiments::ExperimentScale;
+use severifast::prelude::*;
+use sevf_sim::cost::{PAGE_2M, PAGE_4K};
+use sevf_verifier::binary::VerifierFeatures;
+use sevf_vmm::concurrent;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_token");
+    group.sample_size(10);
+    group.bench_function("severifast_quick_boot", |b| {
+        let scale = ExperimentScale::quick();
+        b.iter(|| {
+            let mut machine = Machine::new(1);
+            scale
+                .boot(&mut machine, BootPolicy::Severifast, scale.kernels().remove(0))
+                .expect("boot")
+        })
+    });
+    group.finish();
+
+    let cost = CostModel::calibrated();
+
+    println!("\nAblation: verifier feature sets → binary size → pre-encryption");
+    for (name, features) in [
+        ("severifast (bzImage)", VerifierFeatures::severifast()),
+        ("severifast (vmlinux)", VerifierFeatures::severifast_vmlinux()),
+        ("kitchen sink", VerifierFeatures::kitchen_sink()),
+    ] {
+        let size = features.binary_size();
+        println!(
+            "  {:<22} {:>6} B  pre-encrypt {:>6.2} ms",
+            name,
+            size,
+            cost.psp_pre_encrypt_bytes(size).as_millis_f64()
+        );
+    }
+
+    println!("\nAblation: pvalidate sweep of 256 MB (§6.1)");
+    let mb256 = 256 * 1024 * 1024u64;
+    println!(
+        "  4 KiB pages: {:>8.2} ms   2 MiB pages: {:>6.3} ms",
+        cost.pvalidate_sweep(mb256, PAGE_4K).as_millis_f64(),
+        cost.pvalidate_sweep(mb256, PAGE_2M).as_millis_f64()
+    );
+
+    println!("\nAblation: PSP speedup vs mean boot at 50 concurrent guests");
+    let scale = ExperimentScale::quick();
+    for speedup in [1u64, 2, 4, 8] {
+        let mut cost = CostModel::calibrated();
+        cost.psp_encrypt_ps_per_byte /= speedup;
+        cost.psp_rmp_init_per_2mb = Nanos::from_nanos(cost.psp_rmp_init_per_2mb.as_nanos() / speedup);
+        let mut machine = Machine::with_cost_model(1, cost);
+        let vm = MicroVm::new({
+            let mut c = VmConfig::test_tiny(BootPolicy::Severifast);
+            c.kernel = scale.kernels().remove(1);
+            c
+        })
+        .expect("vm");
+        vm.register_expected(&mut machine).expect("register");
+        let mut report = vm.boot(&mut machine).expect("boot");
+        report.timeline = report.timeline.filtered(|p| p.counts_as_boot());
+        let point = concurrent::run_concurrent(&report, 50);
+        println!(
+            "  PSP {speedup}x: mean {:>9.1} ms (psp busy/VM {:>6.2} ms)",
+            point.summary.mean,
+            report.psp_busy.as_millis_f64()
+        );
+    }
+
+    println!("\nFuture work (§6.2): shared-key template launches at 50 concurrent");
+    {
+        let scale = ExperimentScale::quick();
+        let normal = severifast::experiments::fig12_concurrency(&scale).expect("fig12");
+        let shared =
+            severifast::experiments::futurework_shared_key_concurrency(&scale).expect("fw");
+        let pick = |rows: &[severifast::experiments::ConcurrencyRow]| {
+            rows.iter().rfind(|r| r.policy == BootPolicy::Severifast)
+                .map(|r| (r.concurrency, r.mean_ms))
+                .expect("rows")
+        };
+        let (n, normal_ms) = pick(&normal);
+        let (_, shared_ms) = pick(&shared);
+        println!("  n={n}: normal launch {normal_ms:>8.1} ms  shared-key {shared_ms:>8.1} ms");
+    }
+
+    println!("\nAblation: SEV generation vs boot time (tiny kernel)");
+    for generation in [SevGeneration::Sev, SevGeneration::SevEs, SevGeneration::SevSnp] {
+        let mut machine = Machine::new(1);
+        machine.owner.set_required_generation(generation);
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.generation = generation;
+        let vm = MicroVm::new(config).expect("vm");
+        vm.register_expected(&mut machine).expect("register");
+        match vm.boot(&mut machine) {
+            Ok(report) => println!(
+                "  {:<8} boot {:>8.2} ms",
+                generation.name(),
+                report.boot_time().as_millis_f64()
+            ),
+            Err(e) => println!("  {:<8} ({e})", generation.name()),
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

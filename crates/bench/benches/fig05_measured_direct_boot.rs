@@ -1,0 +1,50 @@
+//! Fig. 5 bench: the boot verifier's measured-direct-boot of a bzImage —
+//! real copy into encrypted memory, real SHA-256, real LZ4 decompression —
+//! per codec, plus the virtual-time figure rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use severifast::experiments::{fig5_measured_direct_boot, ExperimentScale};
+use severifast::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let kernel = scale.kernels().remove(1); // AWS config
+    let mut group = c.benchmark_group("fig05_measured_direct_boot");
+    group.sample_size(10);
+    for codec in [Codec::None, Codec::Lz4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &codec,
+            |b, &codec| {
+                b.iter(|| {
+                    let mut machine = Machine::new(1);
+                    let policy = if codec == Codec::None {
+                        BootPolicy::SeverifastVmlinux
+                    } else {
+                        BootPolicy::Severifast
+                    };
+                    scale
+                        .boot(&mut machine, policy, kernel.clone())
+                        .expect("boot")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    println!("\nFig. 5 (virtual time): copy+hash+decompress per codec");
+    for row in fig5_measured_direct_boot(&scale) {
+        println!(
+            "  {:<18} {:<5} copy {:>7.2} hash {:>7.2} decompress {:>7.2} = {:>8.2} ms",
+            row.component,
+            row.codec.name(),
+            row.copy_ms,
+            row.hash_ms,
+            row.decompress_ms,
+            row.total_ms()
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

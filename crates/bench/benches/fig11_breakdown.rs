@@ -1,0 +1,43 @@
+//! Fig. 11 bench: stock Firecracker vs SEVeriFast boots, plus the
+//! virtual-time stacked-bar data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use severifast::experiments::{fig11_breakdown, ExperimentScale};
+use severifast::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let kernel = scale.kernels().remove(1); // AWS config
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    for policy in [BootPolicy::StockFirecracker, BootPolicy::Severifast] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut machine = Machine::new(1);
+                    scale.boot(&mut machine, policy, kernel.clone()).expect("boot")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    println!("\nFig. 11 (virtual time): boot breakdown");
+    for row in fig11_breakdown(&scale).expect("fig11") {
+        println!(
+            "  {:<18} {:<14} vmm {:>7.2} verif {:>7.2} loader {:>7.2} linux {:>7.2} = {:>8.2} ms",
+            row.policy.name(),
+            row.kernel,
+            row.vmm_ms,
+            row.verification_ms,
+            row.loader_ms,
+            row.linux_ms,
+            row.total_ms()
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,508 @@
+//! Regenerates every table and figure of the SEVeriFast paper.
+//!
+//! ```text
+//! cargo run --release -p sevf-bench --bin figures -- --all
+//! cargo run --release -p sevf-bench --bin figures -- --fig 9 --scale quick
+//! cargo run --release -p sevf-bench --bin figures -- --all --out data/
+//! ```
+
+use severifast::experiments::{self as exp, ExperimentScale};
+use severifast::BootPolicy;
+use sevf_bench::{fmt_ms, mib, render_table, write_dumps, FigureDump};
+use sevf_sim::stats::cdf;
+
+struct Args {
+    figures: Vec<String>,
+    scale: ExperimentScale,
+    out: Option<std::path::PathBuf>,
+}
+
+const USAGE: &str = "usage: figures [--all] [--fig <3|4|5|7|8|9|10|11|12|mem|warm|fw12|headline>]...\n       [--scale quick|full] [--out <dir>]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut figures = Vec::new();
+    let mut scale = ExperimentScale::full();
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => {
+                figures = [
+                    "3", "4", "5", "7", "8", "9", "10", "11", "12", "mem", "warm", "fw12",
+                    "headline",
+                ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            }
+            "--fig" | "--table" => match args.next() {
+                Some(fig) => figures.push(fig),
+                None => usage_error("--fig takes a value"),
+            },
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("quick") => ExperimentScale::quick(),
+                    Some("full") => ExperimentScale::full(),
+                    Some(other) => usage_error(&format!("unknown scale '{other}'")),
+                    None => usage_error("--scale takes a value"),
+                };
+            }
+            "--out" => match args.next() {
+                Some(dir) => out = Some(std::path::PathBuf::from(dir)),
+                None => usage_error("--out takes a directory"),
+            },
+            other => usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("headline".into());
+    }
+    Args {
+        figures,
+        scale,
+        out,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut dumps: Vec<FigureDump> = Vec::new();
+    for fig in &args.figures {
+        let dump = match fig.as_str() {
+            "3" => fig3(&args.scale),
+            "4" => fig4(),
+            "5" => fig5(&args.scale),
+            "7" => fig7(),
+            "8" => fig8(&args.scale),
+            "9" => fig9(&args.scale),
+            "10" => fig10(&args.scale),
+            "11" => fig11(&args.scale),
+            "12" => fig12(&args.scale),
+            "mem" => mem_table(),
+            "warm" => warm_table(&args.scale),
+            "fw12" => fw12(&args.scale),
+            "headline" => headline(&args.scale),
+            other => usage_error(&format!("unknown figure '{other}'")),
+        };
+        dumps.push(dump);
+    }
+    if let Some(dir) = &args.out {
+        write_dumps(dir, &dumps).expect("write JSON dumps");
+        eprintln!("wrote {} JSON dump(s) to {}", dumps.len(), dir.display());
+    }
+}
+
+fn fig3(scale: &ExperimentScale) -> FigureDump {
+    let slices = exp::fig3_ovmf_phases(scale).expect("fig3 boot");
+    let total: f64 = slices.iter().map(|s| s.ms).sum();
+    println!("\n=== Figure 3: OVMF SEV-SNP boot phase breakdown ===");
+    println!("(paper: >3 s total; the Boot Verifier is a small sliver)\n");
+    let rows: Vec<Vec<String>> = slices
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                fmt_ms(s.ms),
+                format!("{:.1}%", 100.0 * s.ms / total),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["phase", "ms", "share"], &rows));
+    println!("total: {} ms", fmt_ms(total));
+    FigureDump {
+        id: "fig3".into(),
+        caption: "OVMF boot process with SEV-SNP".into(),
+        data: serde_json::json!(slices
+            .iter()
+            .map(|s| serde_json::json!({"phase": s.label, "ms": s.ms}))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fig4() -> FigureDump {
+    let points = exp::fig4_preencryption();
+    println!("\n=== Figure 4: pre-encryption time vs component size ===");
+    println!("(paper: linear; 23 MB vmlinux ≈ 5.65 s, 3.3 MB bzImage ≈ 840 ms)\n");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                if p.label.is_empty() { "·".into() } else { p.label.clone() },
+                mib(p.bytes),
+                fmt_ms(p.ms),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["component", "MiB", "ms"], &rows));
+    FigureDump {
+        id: "fig4".into(),
+        caption: "Pre-encryption cost scales linearly with size".into(),
+        data: serde_json::json!(points
+            .iter()
+            .map(|p| serde_json::json!({"label": p.label, "bytes": p.bytes, "ms": p.ms}))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fig5(scale: &ExperimentScale) -> FigureDump {
+    let rows = exp::fig5_measured_direct_boot(scale);
+    println!("\n=== Figure 5: measured direct boot step costs per codec ===");
+    println!("(paper: LZ4 bzImage wins for kernels; uncompressed initrd wins)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.component.clone(),
+                r.codec.name().into(),
+                mib(r.transferred_bytes),
+                fmt_ms(r.copy_ms),
+                fmt_ms(r.hash_ms),
+                fmt_ms(r.decompress_ms),
+                fmt_ms(r.total_ms()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["component", "codec", "MiB", "copy", "hash", "decompress", "total(ms)"],
+            &table
+        )
+    );
+    FigureDump {
+        id: "fig5".into(),
+        caption: "Measured direct boot favors LZ4 kernels, raw initrds".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "component": r.component, "codec": r.codec.name(),
+                "bytes": r.transferred_bytes, "copy_ms": r.copy_ms,
+                "hash_ms": r.hash_ms, "decompress_ms": r.decompress_ms,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fig7() -> FigureDump {
+    let rows = exp::fig7_structures();
+    println!("\n=== Figure 7: pre-encrypt or generate boot structures ===\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.into(),
+                r.purpose.into(),
+                format!("{} B", r.struct_bytes),
+                if r.code_bytes == 0 {
+                    "N/A".into()
+                } else {
+                    format!("{:.1} KB", r.code_bytes as f64 / 1024.0)
+                },
+                r.decision.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["structure", "purpose", "struct size", "code size", "decision"], &table)
+    );
+    FigureDump {
+        id: "fig7".into(),
+        caption: "Pre-encrypt a structure iff generating code is larger".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "name": r.name, "struct_bytes": r.struct_bytes,
+                "code_bytes": r.code_bytes, "decision": r.decision,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fig8(scale: &ExperimentScale) -> FigureDump {
+    let rows = exp::fig8_kernels(scale);
+    println!("\n=== Figure 8: guest kernels ===");
+    println!("(paper: 23/3.3, 43/7.1, 61/15 MB)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.config.clone(), mib(r.vmlinux_bytes), mib(r.bzimage_bytes)])
+        .collect();
+    println!(
+        "{}",
+        render_table(&["config", "vmlinux MiB", "bzImage MiB"], &table)
+    );
+    FigureDump {
+        id: "fig8".into(),
+        caption: "Kernel configurations".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "config": r.config, "vmlinux": r.vmlinux_bytes, "bzimage": r.bzimage_bytes,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fig9(scale: &ExperimentScale) -> FigureDump {
+    let series = exp::fig9_boot_cdfs(scale).expect("fig9 boots");
+    println!("\n=== Figure 9: end-to-end boot CDFs (incl. attestation) ===");
+    println!("(paper: SEVeriFast reduces means by 93.8/88.5/86.1 %)\n");
+    let table: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let summary = sevf_sim::Summary::from_values(&s.samples_ms);
+            vec![
+                s.policy.name().into(),
+                s.kernel.clone(),
+                fmt_ms(summary.mean),
+                fmt_ms(summary.p50),
+                fmt_ms(summary.p99),
+                fmt_ms(summary.stddev),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["policy", "kernel", "mean", "p50", "p99", "σ"], &table)
+    );
+    FigureDump {
+        id: "fig9".into(),
+        caption: "CDF of boot times, SEVeriFast vs QEMU/OVMF".into(),
+        data: serde_json::json!(series
+            .iter()
+            .map(|s| serde_json::json!({
+                "policy": s.policy.name(), "kernel": s.kernel,
+                "cdf": cdf(&s.samples_ms),
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fig10(scale: &ExperimentScale) -> FigureDump {
+    let rows = exp::fig10_breakdown(scale).expect("fig10 boots");
+    println!("\n=== Figure 10: pre-encryption & firmware/boot verification ===");
+    println!("(paper: QEMU ≈ 287.8 ms / 3.2 s; SEVeriFast ≈ 8.2 ms / 20–33 ms)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.name().into(),
+                r.kernel.clone(),
+                fmt_ms(r.pre_encryption_ms),
+                fmt_ms(r.firmware_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["policy", "kernel", "pre-encryption ms", "firmware/verification ms"],
+            &table
+        )
+    );
+    FigureDump {
+        id: "fig10".into(),
+        caption: "Boot time breakdown of SEVeriFast vs QEMU".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "policy": r.policy.name(), "kernel": r.kernel,
+                "pre_encryption_ms": r.pre_encryption_ms, "firmware_ms": r.firmware_ms,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fig11(scale: &ExperimentScale) -> FigureDump {
+    let rows = exp::fig11_breakdown(scale).expect("fig11 boots");
+    println!("\n=== Figure 11: stock FC vs SEVeriFast (bzImage/vmlinux) ===");
+    println!("(paper: SEVeriFast AWS ≈ 4× stock; Linux boot ≈ 2.3× under SNP)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.name().into(),
+                r.kernel.clone(),
+                fmt_ms(r.vmm_ms),
+                fmt_ms(r.verification_ms),
+                fmt_ms(r.loader_ms),
+                fmt_ms(r.linux_ms),
+                fmt_ms(r.total_ms()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["policy", "kernel", "VMM", "verification", "loader", "linux", "total(ms)"],
+            &table
+        )
+    );
+    FigureDump {
+        id: "fig11".into(),
+        caption: "Boot breakdown: stock vs SEVeriFast".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "policy": r.policy.name(), "kernel": r.kernel, "vmm_ms": r.vmm_ms,
+                "verification_ms": r.verification_ms, "loader_ms": r.loader_ms,
+                "linux_ms": r.linux_ms,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fig12(scale: &ExperimentScale) -> FigureDump {
+    let rows = exp::fig12_concurrency(scale).expect("fig12 boots");
+    println!("\n=== Figure 12: concurrent launches ===");
+    println!("(paper: SEV linear, ≈1.8 s avg at 50; non-SEV nearly flat)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.name().into(),
+                r.concurrency.to_string(),
+                fmt_ms(r.mean_ms),
+                fmt_ms(r.max_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["policy", "concurrent", "mean ms", "max ms"], &table)
+    );
+    FigureDump {
+        id: "fig12".into(),
+        caption: "Average boot time of concurrent guests".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "policy": r.policy.name(), "n": r.concurrency,
+                "mean_ms": r.mean_ms, "max_ms": r.max_ms,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn mem_table() -> FigureDump {
+    let rows = exp::footprint_table();
+    println!("\n=== §6.3: memory footprint ===");
+    println!("(paper: +50 KB binary for SEV support; +16 KB per SEV guest)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.name().into(),
+                format!("{:.2} MiB", r.binary_bytes as f64 / (1024.0 * 1024.0)),
+                format!("{} KiB", r.overhead_bytes / 1024),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["policy", "binary", "runtime overhead"], &table)
+    );
+    FigureDump {
+        id: "mem".into(),
+        caption: "Memory footprint".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "policy": r.policy.name(), "binary": r.binary_bytes,
+                "overhead": r.overhead_bytes,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn warm_table(scale: &ExperimentScale) -> FigureDump {
+    let rows = exp::warm_start_analysis(scale).expect("warm boots");
+    println!("\n=== §7.1: warm start — keep-alive rent and the dedup wall ===");
+    println!("(paper: keep-alive is functionally correct but pages cannot be deduplicated)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.name().into(),
+                fmt_ms(r.cold_boot_ms),
+                fmt_ms(r.warm_invoke_ms),
+                mib(r.resident_bytes),
+                format!("{:.1}%", r.dedupable_fraction * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["policy", "cold boot ms", "warm invoke ms", "resident MiB", "dedupable"],
+            &table
+        )
+    );
+    FigureDump {
+        id: "warm".into(),
+        caption: "Warm start: latency vs memory rent vs dedup (§7.1)".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "policy": r.policy.name(), "cold_ms": r.cold_boot_ms,
+                "warm_ms": r.warm_invoke_ms, "resident": r.resident_bytes,
+                "dedupable": r.dedupable_fraction,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn fw12(scale: &ExperimentScale) -> FigureDump {
+    let rows = exp::futurework_shared_key_concurrency(scale).expect("fw12 boots");
+    println!("\n=== Future work (§6.2): Fig. 12 with shared-key template launches ===");
+    println!("(the sketched PSP mitigation: per-launch PSP work collapses to ~1 ms)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.concurrency.to_string(),
+                fmt_ms(r.mean_ms),
+                fmt_ms(r.max_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["concurrent", "mean ms", "max ms"], &table)
+    );
+    FigureDump {
+        id: "fw12".into(),
+        caption: "Concurrent shared-key launches (future work)".into(),
+        data: serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "n": r.concurrency, "mean_ms": r.mean_ms, "max_ms": r.max_ms,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+fn headline(scale: &ExperimentScale) -> FigureDump {
+    let reductions = exp::headline_reductions(scale).expect("headline boots");
+    println!("\n=== Headline: SEVeriFast vs QEMU/OVMF end-to-end reduction ===");
+    println!("(paper abstract: 86–93 %)\n");
+    let table: Vec<Vec<String>> = reductions
+        .iter()
+        .map(|(k, r)| vec![k.clone(), format!("{:.1}%", r * 100.0)])
+        .collect();
+    println!("{}", render_table(&["kernel", "reduction"], &table));
+    let _ = BootPolicy::Severifast;
+    FigureDump {
+        id: "headline".into(),
+        caption: "Cold-start reduction over the QEMU/OVMF baseline".into(),
+        data: serde_json::json!(reductions
+            .iter()
+            .map(|(k, r)| serde_json::json!({"kernel": k, "reduction": r}))
+            .collect::<Vec<_>>()),
+    }
+}

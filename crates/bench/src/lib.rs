@@ -1,0 +1,110 @@
+//! Shared rendering/serialization helpers for the benchmark harness.
+//!
+//! The `figures` binary regenerates every table and figure of the paper;
+//! the Criterion benches under `benches/` time the experiment drivers and
+//! the from-scratch primitives. This library holds the bits both share:
+//! text-table rendering and the JSON emitter whose output EXPERIMENTS.md is
+//! built from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Renders a fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// let t = sevf_bench::render_table(
+///     &["name", "ms"],
+///     &[vec!["boot".to_string(), "40.0".to_string()]],
+/// );
+/// assert!(t.contains("boot"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// A serialized figure: identifier, caption, and free-form data.
+#[derive(Debug, Serialize)]
+pub struct FigureDump {
+    /// Figure/table identifier ("fig3", "fig10", "mem", ...).
+    pub id: String,
+    /// What the paper's version shows.
+    pub caption: String,
+    /// The data series, shaped per figure.
+    pub data: serde_json::Value,
+}
+
+/// Writes figure dumps as pretty JSON into `dir/<id>.json`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_dumps(dir: &std::path::Path, dumps: &[FigureDump]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for dump in dumps {
+        let path = dir.join(format!("{}.json", dump.id));
+        std::fs::write(&path, serde_json::to_string_pretty(dump).expect("serializable"))?;
+    }
+    Ok(())
+}
+
+/// Formats a byte count in MiB with one decimal.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats milliseconds with two decimals.
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[vec!["xxxxxx".into(), "1".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(mib(1024 * 1024 * 3 / 2), "1.5");
+        assert_eq!(fmt_ms(8.216), "8.22");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests: every codec must roundtrip arbitrary byte streams
+//! and fail cleanly (never panic) on arbitrary garbage input.
+
+use proptest::prelude::*;
+use sevf_codec::Codec;
+
+fn compressible(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    // Mix of runs, repeated phrases, and raw bytes — kernel-image-like.
+    proptest::collection::vec(
+        prop_oneof![
+            Just(b"init_task".to_vec()),
+            Just(vec![0u8; 37]),
+            proptest::collection::vec(any::<u8>(), 1..20),
+        ],
+        0..max_len / 16,
+    )
+    .prop_map(|chunks| chunks.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_random(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for codec in Codec::ALL {
+            let packed = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&packed).unwrap(), data.clone(), "{}", codec);
+        }
+    }
+
+    #[test]
+    fn roundtrip_compressible(data in compressible(4096)) {
+        for codec in Codec::ALL {
+            let packed = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&packed).unwrap(), data.clone(), "{}", codec);
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        for codec in Codec::ALL {
+            let _ = codec.decompress(&data);
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_detected_or_harmless(
+        data in compressible(2048),
+        byte_index in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        // Flipping any bit of a compressed stream must either fail cleanly
+        // or (rarely, e.g. inside literals) still decode — never panic.
+        for codec in Codec::ALL {
+            let mut packed = codec.compress(&data);
+            if packed.is_empty() { continue; }
+            let idx = byte_index % packed.len();
+            packed[idx] ^= 1 << bit;
+            let _ = codec.decompress(&packed);
+        }
+    }
+
+    #[test]
+    fn compressed_size_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // Even on incompressible input, overhead stays modest.
+        for codec in Codec::ALL {
+            let packed = codec.compress(&data);
+            prop_assert!(packed.len() <= data.len() + data.len() / 8 + 1024,
+                "{}: {} -> {}", codec, data.len(), packed.len());
+        }
+    }
+}

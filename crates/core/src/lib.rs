@@ -1,0 +1,111 @@
+//! # SEVeriFast — minimal root of trust for fast SEV microVM startup
+//!
+//! A from-scratch reproduction of *SEVeriFast: Minimizing the root of trust
+//! for fast startup of SEV microVMs* (ASPLOS 2024) as a simulation-backed
+//! Rust library. See DESIGN.md for the substitution table (what ran on AMD
+//! hardware in the paper vs. what this crate models) and EXPERIMENTS.md for
+//! paper-vs-measured numbers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use severifast::prelude::*;
+//!
+//! // One host machine: a single PSP, 32 cores, a guest owner.
+//! let mut machine = Machine::new(42);
+//!
+//! // The paper's flagship configuration: SEVeriFast boot of the AWS
+//! // microVM kernel (scaled down here so doctests stay fast).
+//! let config = VmConfig::test_tiny(BootPolicy::Severifast);
+//! let vm = MicroVm::new(config)?;
+//!
+//! // The tenant computes the expected launch digest out of band (§4.2)...
+//! vm.register_expected(&mut machine)?;
+//!
+//! // ...and the boot runs: pre-encryption, boot verification, bootstrap
+//! // loader, Linux, remote attestation.
+//! let report = vm.boot(&mut machine)?;
+//! assert_eq!(report.outcome, BootOutcome::Running);
+//! println!("booted in {}", report.boot_time());
+//! # Ok::<(), severifast::VmmError>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`crypto`] | SHA-2, HMAC, AES-XEX/CTR, DH (from scratch) |
+//! | [`codec`] | LZ4 block codec, LZSS+Huffman (deflate/zstd-class) |
+//! | [`sim`] | virtual time, calibrated cost model, DES engine |
+//! | [`mem`] | guest memory, RMP, C-bit, #VC semantics |
+//! | [`psp`] | SEV launch commands, launch digest, attestation reports |
+//! | [`image`] | ELF/bzImage/CPIO synthesis, kernel configs |
+//! | [`verifier`] | the SEVeriFast boot verifier |
+//! | [`ovmf`] | the QEMU/OVMF baseline |
+//! | [`attest`] | guest owner, expected-measurement tool, secret channel |
+//! | [`vmm`] | the Firecracker-like monitor and boot policies |
+//! | [`experiments`] | drivers that regenerate every paper figure/table |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Re-export: cryptographic primitives.
+pub use sevf_crypto as crypto;
+
+/// Re-export: compression codecs.
+pub use sevf_codec as codec;
+
+/// Re-export: simulation substrate.
+pub use sevf_sim as sim;
+
+/// Re-export: guest memory model.
+pub use sevf_mem as mem;
+
+/// Re-export: the PSP.
+pub use sevf_psp as psp;
+
+/// Re-export: boot images.
+pub use sevf_image as image;
+
+/// Re-export: the boot verifier.
+pub use sevf_verifier as verifier;
+
+/// Re-export: the OVMF baseline.
+pub use sevf_ovmf as ovmf;
+
+/// Re-export: remote attestation.
+pub use sevf_attest as attest;
+
+/// Re-export: the microVM monitor.
+pub use sevf_vmm as vmm;
+
+pub use sevf_codec::Codec;
+pub use sevf_image::kernel::KernelConfig;
+pub use sevf_sim::cost::SevGeneration;
+pub use sevf_sim::{CostModel, Nanos, PhaseKind};
+pub use sevf_vmm::{BootOutcome, BootPolicy, BootReport, Machine, MicroVm, VmConfig, VmmError};
+
+/// The common imports for working with the library.
+pub mod prelude {
+    pub use crate::{
+        BootOutcome, BootPolicy, BootReport, Codec, CostModel, KernelConfig, Machine, MicroVm,
+        Nanos, PhaseKind, SevGeneration, VmConfig, VmmError,
+    };
+    pub use sevf_vmm::concurrent;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_boots_a_vm() {
+        let mut machine = Machine::new(7);
+        let vm = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+        vm.register_expected(&mut machine).unwrap();
+        let report = vm.boot(&mut machine).unwrap();
+        assert_eq!(report.outcome, BootOutcome::Running);
+    }
+}

@@ -1,0 +1,280 @@
+//! AES-128 block cipher (FIPS 197).
+//!
+//! Backs the simulated SEV memory-encryption engine ([`crate::xex`]) and the
+//! attestation secret channel ([`crate::ctr`]). The S-box is not transcribed:
+//! it is generated from its definition — multiplicative inversion in
+//! GF(2⁸)/(x⁸+x⁴+x³+x+1) followed by the affine transform — and the test
+//! suite checks the cipher against the FIPS 197 Appendix C vector.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Multiplication in GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1 (0x11b).
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2⁸) via x^254 (x·x^254 = x^255 = 1).
+fn gf_inv(x: u8) -> u8 {
+    if x == 0 {
+        return 0;
+    }
+    let mut result = 1u8;
+    let mut base = x;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn sbox() -> &'static ([u8; 256], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut fwd = [0u8; 256];
+        let mut inv = [0u8; 256];
+        for i in 0..256u16 {
+            let x = gf_inv(i as u8);
+            // Affine transform: s = x ^ rotl1(x) ^ rotl2(x) ^ rotl3(x) ^ rotl4(x) ^ 0x63.
+            let s = x
+                ^ x.rotate_left(1)
+                ^ x.rotate_left(2)
+                ^ x.rotate_left(3)
+                ^ x.rotate_left(4)
+                ^ 0x63;
+            fwd[i as usize] = s;
+            inv[s as usize] = i as u8;
+        }
+        (fwd, inv)
+    })
+}
+
+/// An expanded AES-128 key, ready for block encryption and decryption.
+///
+/// # Example
+///
+/// ```
+/// use sevf_crypto::Aes128;
+///
+/// let cipher = Aes128::new(&[0u8; 16]);
+/// let block = [42u8; 16];
+/// let ct = cipher.encrypt_block(&block);
+/// assert_eq!(cipher.decrypt_block(&ct), block);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "Aes128(<expanded key>)")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let (fwd, _) = sbox();
+        let mut words = [[0u8; 4]; 44];
+        for i in 0..4 {
+            words[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut temp = words[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = fwd[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                words[i][j] = words[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for w in 0..4 {
+                rk[w * 4..w * 4 + 4].copy_from_slice(&words[r * 4 + w]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts a single 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let (fwd, _) = sbox();
+        let mut state = *block;
+        xor_into(&mut state, &self.round_keys[0]);
+        for round in 1..=10 {
+            for b in state.iter_mut() {
+                *b = fwd[*b as usize];
+            }
+            shift_rows(&mut state);
+            if round != 10 {
+                mix_columns(&mut state);
+            }
+            xor_into(&mut state, &self.round_keys[round]);
+        }
+        state
+    }
+
+    /// Decrypts a single 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let (_, inv) = sbox();
+        let mut state = *block;
+        xor_into(&mut state, &self.round_keys[10]);
+        for round in (0..10).rev() {
+            inv_shift_rows(&mut state);
+            for b in state.iter_mut() {
+                *b = inv[*b as usize];
+            }
+            xor_into(&mut state, &self.round_keys[round]);
+            if round != 0 {
+                inv_mix_columns(&mut state);
+            }
+        }
+        state
+    }
+}
+
+fn xor_into(state: &mut [u8; 16], key: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(key) {
+        *s ^= k;
+    }
+}
+
+/// AES state is column-major: byte `r + 4c` is row r, column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let orig = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = orig[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let orig = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = orig[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::from_hex;
+
+    #[test]
+    fn sbox_known_entries() {
+        let (fwd, inv) = sbox();
+        assert_eq!(fwd[0x00], 0x63);
+        assert_eq!(fwd[0x01], 0x7c);
+        assert_eq!(fwd[0x53], 0xed);
+        assert_eq!(inv[0x63], 0x00);
+        // The S-box is a permutation.
+        let mut seen = [false; 256];
+        for &v in fwd.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn gf_mul_basics() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS 197 §4.2 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        for x in 1..=255u8 {
+            assert_eq!(gf_mul(x, gf_inv(x)), 1, "inverse of {x:#x}");
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let expect: [u8; 16] = from_hex("69c4e0d86a7b0430d8cdb78070b4c55a")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let cipher = Aes128::new(&key);
+        assert_eq!(cipher.encrypt_block(&pt), expect);
+        assert_eq!(cipher.decrypt_block(&expect), pt);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many() {
+        let cipher = Aes128::new(b"sixteen byte key");
+        for i in 0..64u8 {
+            let block = [i; 16];
+            assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new(&[0u8; 16]);
+        let b = Aes128::new(&[1u8; 16]);
+        let block = [7u8; 16];
+        assert_ne!(a.encrypt_block(&block), b.encrypt_block(&block));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let cipher = Aes128::new(&[0xaa; 16]);
+        assert!(!format!("{cipher:?}").contains("aa"));
+    }
+}

@@ -1,0 +1,139 @@
+//! HMAC over the SHA-2 family (RFC 2104 / FIPS 198-1).
+//!
+//! Used for attestation-report signatures (HMAC-SHA-384 under the simulated
+//! chip-unique key — the stand-in for ECDSA-P384 documented in DESIGN.md) and
+//! for the encrypt-then-MAC secret wrapping on the attestation channel.
+
+use crate::sha2::{Sha256, Sha384};
+
+/// Computes HMAC-SHA-256 of `data` under `key`.
+///
+/// # Example
+///
+/// ```
+/// let tag = sevf_crypto::hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    const BLOCK: usize = 64;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = crate::sha2::sha256(key);
+        key_block[..32].copy_from_slice(&d);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Computes HMAC-SHA-384 of `data` under `key`.
+///
+/// # Example
+///
+/// ```
+/// let tag = sevf_crypto::hmac_sha384(b"chip key", b"attestation report");
+/// assert_eq!(tag.len(), 48);
+/// ```
+pub fn hmac_sha384(key: &[u8], data: &[u8]) -> [u8; 48] {
+    const BLOCK: usize = 128;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = crate::sha2::sha384(key);
+        key_block[..48].copy_from_slice(&d);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha384::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha384::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time-style tag comparison (length check plus accumulated XOR).
+///
+/// # Example
+///
+/// ```
+/// assert!(sevf_crypto::hmac::verify_tag(&[1, 2, 3], &[1, 2, 3]));
+/// assert!(!sevf_crypto::hmac::verify_tag(&[1, 2, 3], &[1, 2, 4]));
+/// ```
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (a, b) in expected.iter().zip(actual) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+
+    #[test]
+    fn rfc4231_test_case_1_sha256() {
+        // Key = 0x0b repeated 20 times, data = "Hi There".
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2_sha256() {
+        // Key = "Jefe", data = "what do ya want for nothing?".
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        let long_key = vec![0xaau8; 200];
+        let short = crate::sha2::sha256(&long_key);
+        assert_eq!(hmac_sha256(&long_key, b"m"), hmac_sha256(&short, b"m"));
+
+        let long_key384 = vec![0xbbu8; 300];
+        let short384 = crate::sha2::sha384(&long_key384);
+        assert_eq!(
+            hmac_sha384(&long_key384, b"m"),
+            hmac_sha384(&short384, b"m")
+        );
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha384(b"k1", b"data"), hmac_sha384(b"k2", b"data"));
+        assert_ne!(hmac_sha384(b"k", b"data1"), hmac_sha384(b"k", b"data2"));
+    }
+
+    #[test]
+    fn verify_tag_rejects_length_mismatch() {
+        assert!(!verify_tag(&[1, 2, 3], &[1, 2]));
+        assert!(verify_tag(&[], &[]));
+    }
+}

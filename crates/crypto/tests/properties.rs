@@ -1,0 +1,115 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+use sevf_crypto::{AesCtr, Aes128, BigUint, DhKeyPair, XexCipher};
+
+proptest! {
+    #[test]
+    fn biguint_add_commutes(a in proptest::collection::vec(any::<u8>(), 0..40),
+                            b in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let x = BigUint::from_bytes_be(&a);
+        let y = BigUint::from_bytes_be(&b);
+        prop_assert_eq!(x.add(&y), y.add(&x));
+    }
+
+    #[test]
+    fn biguint_mul_commutes_and_distributes(
+        a in proptest::collection::vec(any::<u8>(), 0..24),
+        b in proptest::collection::vec(any::<u8>(), 0..24),
+        c in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let x = BigUint::from_bytes_be(&a);
+        let y = BigUint::from_bytes_be(&b);
+        let z = BigUint::from_bytes_be(&c);
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+
+    #[test]
+    fn biguint_div_rem_invariant(
+        a in proptest::collection::vec(any::<u8>(), 0..32),
+        b in proptest::collection::vec(1u8..=255, 1..16)) {
+        let x = BigUint::from_bytes_be(&a);
+        let y = BigUint::from_bytes_be(&b);
+        let (q, r) = x.div_rem(&y);
+        prop_assert!(r < y);
+        prop_assert_eq!(q.mul(&y).add(&r), x);
+    }
+
+    #[test]
+    fn biguint_nth_root_bounds(
+        a in proptest::collection::vec(any::<u8>(), 1..20),
+        n in 1u32..5) {
+        let x = BigUint::from_bytes_be(&a);
+        let r = x.nth_root(n);
+        prop_assert!(r.pow_small(n) <= x);
+        prop_assert!(r.add(&BigUint::one()).pow_small(n) > x);
+    }
+
+    #[test]
+    fn biguint_bytes_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let x = BigUint::from_bytes_be(&a);
+        prop_assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
+    }
+
+    #[test]
+    fn aes_block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let cipher = Aes128::new(&key);
+        prop_assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn ctr_roundtrip(key in any::<[u8; 16]>(), nonce in any::<[u8; 12]>(),
+                     data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let ctr = AesCtr::new(&key, &nonce);
+        prop_assert_eq!(ctr.apply(&ctr.apply(&data)), data);
+    }
+
+    #[test]
+    fn xex_roundtrip(key in any::<[u8; 16]>(), addr in any::<u64>(),
+                     data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let engine = XexCipher::new(&key);
+        let ct = engine.encrypt(addr, &data);
+        prop_assert_eq!(ct.len(), data.len());
+        prop_assert_eq!(engine.decrypt(addr, &ct), data);
+    }
+
+    #[test]
+    fn xex_address_binding(key in any::<[u8; 16]>(), addr in any::<u64>(),
+                           data in proptest::collection::vec(any::<u8>(), 16..128)) {
+        let engine = XexCipher::new(&key);
+        let ct = engine.encrypt(addr, &data);
+        let moved = engine.decrypt(addr.wrapping_add(16), &ct);
+        prop_assert_ne!(moved, data, "relocating ciphertext must corrupt plaintext");
+    }
+
+    #[test]
+    fn dh_agreement(seed_a in proptest::collection::vec(any::<u8>(), 1..32),
+                    seed_b in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let a = DhKeyPair::from_seed(&seed_a);
+        let b = DhKeyPair::from_seed(&seed_b);
+        prop_assert_eq!(a.shared_secret(&b.public_key()), b.shared_secret(&a.public_key()));
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let t1 = sevf_crypto::hmac_sha384(&key, &data);
+        let t2 = sevf_crypto::hmac_sha384(&key, &data);
+        prop_assert_eq!(t1, t2);
+        let mut other_key = key.clone();
+        other_key[0] ^= 1;
+        prop_assert_ne!(t1, sevf_crypto::hmac_sha384(&other_key, &data));
+    }
+
+    #[test]
+    fn sha256_streaming_equivalence(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        split in 0usize..1024) {
+        let split = split.min(data.len());
+        let mut h = sevf_crypto::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sevf_crypto::sha256(&data));
+    }
+}

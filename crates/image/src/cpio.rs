@@ -1,0 +1,208 @@
+//! CPIO "newc" (SVR4) archives — the initrd format Linux consumes.
+//!
+//! The guest kernel unpacks the initrd by walking these records; the paper's
+//! Fig. 5 point about leaving the initrd uncompressed rests on the fact that
+//! this unpack pass happens either way (§3.3).
+
+use crate::ImageError;
+
+const MAGIC: &[u8; 6] = b"070701";
+const TRAILER: &str = "TRAILER!!!";
+
+/// One file in a CPIO archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpioEntry {
+    /// Path (no leading slash, as in real initrds).
+    pub name: String,
+    /// File mode bits (e.g. `0o100755` for an executable).
+    pub mode: u32,
+    /// File contents.
+    pub data: Vec<u8>,
+}
+
+impl CpioEntry {
+    /// Creates a regular file entry with mode 0644.
+    pub fn file(name: impl Into<String>, data: Vec<u8>) -> Self {
+        CpioEntry {
+            name: name.into(),
+            mode: 0o100644,
+            data,
+        }
+    }
+
+    /// Creates an executable entry with mode 0755.
+    pub fn executable(name: impl Into<String>, data: Vec<u8>) -> Self {
+        CpioEntry {
+            name: name.into(),
+            mode: 0o100755,
+            data,
+        }
+    }
+
+    /// Creates a directory entry.
+    pub fn directory(name: impl Into<String>) -> Self {
+        CpioEntry {
+            name: name.into(),
+            mode: 0o040755,
+            data: Vec::new(),
+        }
+    }
+}
+
+fn hex8(value: u32) -> [u8; 8] {
+    let s = format!("{value:08x}");
+    s.into_bytes().try_into().expect("8 hex digits")
+}
+
+fn pad4(len: usize) -> usize {
+    (4 - len % 4) % 4
+}
+
+fn push_record(out: &mut Vec<u8>, ino: u32, name: &str, mode: u32, data: &[u8]) {
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&hex8(ino)); // c_ino
+    out.extend_from_slice(&hex8(mode)); // c_mode
+    out.extend_from_slice(&hex8(0)); // c_uid
+    out.extend_from_slice(&hex8(0)); // c_gid
+    out.extend_from_slice(&hex8(1)); // c_nlink
+    out.extend_from_slice(&hex8(0)); // c_mtime
+    out.extend_from_slice(&hex8(data.len() as u32)); // c_filesize
+    out.extend_from_slice(&hex8(0)); // c_devmajor
+    out.extend_from_slice(&hex8(0)); // c_devminor
+    out.extend_from_slice(&hex8(0)); // c_rdevmajor
+    out.extend_from_slice(&hex8(0)); // c_rdevminor
+    out.extend_from_slice(&hex8(name.len() as u32 + 1)); // c_namesize (inc NUL)
+    out.extend_from_slice(&hex8(0)); // c_check
+    out.extend_from_slice(name.as_bytes());
+    out.push(0);
+    // Name is padded so data starts 4-aligned (header is 110 bytes).
+    let so_far = 110 + name.len() + 1;
+    out.extend(std::iter::repeat_n(0u8, pad4(so_far)));
+    out.extend_from_slice(data);
+    out.extend(std::iter::repeat_n(0u8, pad4(data.len())));
+}
+
+/// Serializes entries into a newc archive (with trailer).
+///
+/// # Example
+///
+/// ```
+/// use sevf_image::cpio::{build, parse, CpioEntry};
+///
+/// let archive = build(&[CpioEntry::executable("init", b"#!/bin/sh".to_vec())]);
+/// let entries = parse(&archive)?;
+/// assert_eq!(entries[0].name, "init");
+/// # Ok::<(), sevf_image::ImageError>(())
+/// ```
+pub fn build(entries: &[CpioEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        push_record(&mut out, i as u32 + 1, &entry.name, entry.mode, &entry.data);
+    }
+    push_record(&mut out, 0, TRAILER, 0, &[]);
+    out
+}
+
+fn parse_hex8(bytes: &[u8]) -> Result<u32, ImageError> {
+    let s = std::str::from_utf8(bytes).map_err(|_| ImageError::BadCpio("non-ASCII header"))?;
+    u32::from_str_radix(s, 16).map_err(|_| ImageError::BadCpio("bad hex field"))
+}
+
+/// Parses a newc archive into its entries (trailer excluded).
+///
+/// # Errors
+///
+/// Returns [`ImageError::BadCpio`] for bad magic, truncated records, or a
+/// missing trailer.
+pub fn parse(archive: &[u8]) -> Result<Vec<CpioEntry>, ImageError> {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos + 110 > archive.len() {
+            return Err(ImageError::BadCpio("truncated before trailer"));
+        }
+        if &archive[pos..pos + 6] != MAGIC {
+            return Err(ImageError::BadCpio("bad record magic"));
+        }
+        let field = |idx: usize| parse_hex8(&archive[pos + 6 + idx * 8..pos + 6 + (idx + 1) * 8]);
+        let mode = field(1)?;
+        let filesize = field(6)? as usize;
+        let namesize = field(11)? as usize;
+        if namesize == 0 {
+            return Err(ImageError::BadCpio("empty name"));
+        }
+        let name_start = pos + 110;
+        if name_start + namesize > archive.len() {
+            return Err(ImageError::BadCpio("name out of bounds"));
+        }
+        let name_bytes = &archive[name_start..name_start + namesize - 1];
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| ImageError::BadCpio("non-UTF-8 name"))?
+            .to_string();
+        let data_start = name_start + namesize + pad4(110 + namesize);
+        if name == TRAILER {
+            return Ok(entries);
+        }
+        if data_start + filesize > archive.len() {
+            return Err(ImageError::BadCpio("data out of bounds"));
+        }
+        entries.push(CpioEntry {
+            name,
+            mode,
+            data: archive[data_start..data_start + filesize].to_vec(),
+        });
+        pos = data_start + filesize + pad4(filesize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![
+            CpioEntry::directory("bin"),
+            CpioEntry::executable("init", b"#!/bin/sh\nexec /bin/attest\n".to_vec()),
+            CpioEntry::file("etc/config", vec![1, 2, 3, 4, 5]),
+            CpioEntry::file("odd-size", vec![9; 7]),
+        ];
+        let archive = build(&entries);
+        assert_eq!(parse(&archive).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_archive_has_only_trailer() {
+        let archive = build(&[]);
+        assert_eq!(parse(&archive).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn alignment_is_4_bytes() {
+        let archive = build(&[CpioEntry::file("a", vec![1])]);
+        assert_eq!(archive.len() % 4, 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut archive = build(&[CpioEntry::file("a", vec![1])]);
+        archive[0] = b'9';
+        assert!(parse(&archive).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let archive = build(&[CpioEntry::file("a", vec![1, 2, 3])]);
+        for cut in [10, 50, archive.len() - 4] {
+            assert!(parse(&archive[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn large_binary_entries() {
+        let blob = vec![0xabu8; 100_000];
+        let entries = vec![CpioEntry::executable("bin/attest", blob.clone())];
+        let parsed = parse(&build(&entries)).unwrap();
+        assert_eq!(parsed[0].data, blob);
+    }
+}

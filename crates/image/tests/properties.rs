@@ -1,0 +1,129 @@
+//! Property-based tests for the image formats.
+
+use proptest::prelude::*;
+use sevf_codec::Codec;
+use sevf_image::bzimage;
+use sevf_image::cpio::{self, CpioEntry};
+use sevf_image::elf::{ElfImage, Segment, SegmentFlags};
+use sevf_image::kernel::{BootPhases, KernelDescriptor};
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (
+        0u64..1 << 40,
+        proptest::collection::vec(any::<u8>(), 1..2000),
+        0u64..10_000,
+        prop_oneof![
+            Just(SegmentFlags::RX),
+            Just(SegmentFlags::R),
+            Just(SegmentFlags::RW)
+        ],
+    )
+        .prop_map(|(vaddr, data, bss, flags)| Segment {
+            vaddr,
+            data,
+            bss,
+            flags,
+        })
+}
+
+fn arb_cpio_entry() -> impl Strategy<Value = CpioEntry> {
+    (
+        "[a-z][a-z0-9/_.-]{0,30}",
+        prop_oneof![Just(0o100644u32), Just(0o100755u32), Just(0o040755u32)],
+        proptest::collection::vec(any::<u8>(), 0..500),
+    )
+        .prop_map(|(name, mode, data)| CpioEntry { name, mode, data })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn elf_roundtrip(
+        entry in 0u64..1 << 40,
+        segments in proptest::collection::vec(arb_segment(), 1..6),
+    ) {
+        let elf = ElfImage { entry, segments };
+        let parsed = ElfImage::parse(&elf.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, elf);
+    }
+
+    #[test]
+    fn elf_fw_cfg_pieces_cover_data(
+        segments in proptest::collection::vec(arb_segment(), 1..6),
+    ) {
+        let elf = ElfImage { entry: 0x1000, segments };
+        let (ehdr, phdrs, segs) = elf.fw_cfg_pieces();
+        prop_assert_eq!(ehdr.len(), 64);
+        prop_assert_eq!(phdrs.len(), elf.segments.len() * 56);
+        prop_assert_eq!(segs.len() as u64, elf.loadable_bytes());
+    }
+
+    #[test]
+    fn elf_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..500)) {
+        let _ = ElfImage::parse(&data);
+    }
+
+    #[test]
+    fn cpio_roundtrip(entries in proptest::collection::vec(arb_cpio_entry(), 0..10)) {
+        // Deduplicate names (archives with duplicate paths are legal but
+        // make the equality check ambiguous).
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<CpioEntry> = entries
+            .into_iter()
+            .filter(|e| seen.insert(e.name.clone()))
+            .collect();
+        let archive = cpio::build(&entries);
+        prop_assert_eq!(cpio::parse(&archive).unwrap(), entries);
+    }
+
+    #[test]
+    fn cpio_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = cpio::parse(&data);
+    }
+
+    #[test]
+    fn bzimage_roundtrip_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..20_000),
+        codec in prop_oneof![Just(Codec::None), Just(Codec::Lz4), Just(Codec::Deflate)],
+    ) {
+        let bz = bzimage::build(&payload, codec);
+        let (compressed, parsed_codec) = bzimage::parse(&bz).unwrap();
+        prop_assert_eq!(parsed_codec, codec);
+        prop_assert_eq!(codec.decompress(&compressed).unwrap(), payload.clone());
+        prop_assert_eq!(bzimage::unpack_vmlinux(&bz).unwrap(), payload);
+    }
+
+    #[test]
+    fn bzimage_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = bzimage::parse(&data);
+        let _ = bzimage::unpack_vmlinux(&data);
+    }
+
+    #[test]
+    fn descriptor_roundtrip(
+        name in "[a-z][a-z0-9-]{0,20}",
+        early in 0u32..1_000_000,
+        drivers in 0u32..1_000_000,
+        late in 0u32..1_000_000,
+        has_network in any::<bool>(),
+        size in any::<u64>(),
+    ) {
+        let d = KernelDescriptor {
+            name,
+            phases: BootPhases {
+                early_us: early,
+                drivers_us: drivers,
+                late_us: late,
+            },
+            has_network,
+            vmlinux_size: size,
+        };
+        prop_assert_eq!(KernelDescriptor::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    fn descriptor_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let _ = KernelDescriptor::from_bytes(&data);
+    }
+}

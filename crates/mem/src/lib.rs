@@ -1,0 +1,60 @@
+//! Simulated SEV-SNP guest physical memory.
+//!
+//! This crate is the stand-in for the hardware half of SEV (§2.2 of the
+//! paper): the AES engine in the memory controller and the Reverse Map
+//! Table (RMP) introduced by SEV-SNP. It enforces, in software, the rules
+//! the paper's trust model depends on:
+//!
+//! * the **host** cannot write to guest-owned (private) pages under SNP —
+//!   [`GuestMemory::host_write`] fails with [`MemError::HostWriteDenied`];
+//! * the host reading private pages sees **ciphertext** (AES-128-XEX with a
+//!   physical-address tweak), so identical plaintext at different addresses
+//!   has different ciphertext — the property behind KVM's page pinning
+//!   (§6.2) and the dedup problem (§7.1);
+//! * the **guest** must `pvalidate` a page before using it as private
+//!   memory, and a host-initiated remap clears the valid bit so the next
+//!   guest access takes a #VC ([`MemError::VcException`]);
+//! * under plain SEV/SEV-ES there is no RMP: host writes to private memory
+//!   *succeed* and silently corrupt guest data — exactly the integrity gap
+//!   SNP closes.
+//!
+//! ## Representation note
+//!
+//! DRAM content for private pages is stored as *plaintext* internally; the
+//! ciphertext view is produced on demand whenever the host touches a private
+//! page (and host writes under SEV store the *decryption* of the written
+//! bytes). This is observationally equivalent to storing ciphertext — every
+//! actor sees exactly the bytes it would see on hardware — but keeps the
+//! guest's own hot path (copy/hash during measured direct boot) at memcpy
+//! speed so large experiments stay fast.
+//!
+//! # Example
+//!
+//! ```
+//! use sevf_mem::{GuestMemory, MemError};
+//! use sevf_sim::cost::SevGeneration;
+//!
+//! let mut mem = GuestMemory::new_sev(1 << 20, [7u8; 16], SevGeneration::SevSnp);
+//! mem.rmp_assign(0, 4096)?;
+//! mem.pvalidate(0, 4096)?;
+//! mem.guest_write(0, b"secret", true)?;
+//! // The host is denied, and sees only ciphertext.
+//! assert!(matches!(mem.host_write(0, b"evil"), Err(MemError::HostWriteDenied { .. })));
+//! assert_ne!(&mem.host_read(0, 6)?, b"secret");
+//! # Ok::<(), MemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod memory;
+mod rmp;
+
+pub use error::MemError;
+pub use memory::{GuestMemory, MemoryImage, PAGE_SIZE};
+pub use rmp::{PageState, Rmp};
+
+/// The canonical C-bit position reported by CPUID leaf 0x8000001F on the
+/// simulated platform (bit 51, as on real EPYC parts).
+pub const C_BIT_POSITION: u32 = 51;

@@ -1,0 +1,140 @@
+//! Property-based tests for the guest-memory model's invariants.
+
+use proptest::prelude::*;
+use sevf_mem::{GuestMemory, MemError, PAGE_SIZE};
+use sevf_sim::cost::SevGeneration;
+
+const MEM: u64 = 4 * 1024 * 1024;
+
+fn snp() -> GuestMemory {
+    GuestMemory::new_sev(MEM, [9u8; 16], SevGeneration::SevSnp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plain_memory_write_read_roundtrip(
+        addr in 0u64..(MEM - 10_000),
+        data in proptest::collection::vec(any::<u8>(), 1..10_000),
+    ) {
+        let mut mem = GuestMemory::new_plain(MEM);
+        mem.host_write(addr, &data).unwrap();
+        prop_assert_eq!(mem.host_read(addr, data.len() as u64).unwrap(), data.clone());
+        prop_assert_eq!(mem.guest_read(addr, data.len() as u64, false).unwrap(), data);
+    }
+
+    #[test]
+    fn private_data_never_plaintext_to_host(
+        page in 0u64..(MEM / PAGE_SIZE - 2),
+        data in proptest::collection::vec(any::<u8>(), 16..4096),
+    ) {
+        let mut mem = snp();
+        let addr = page * PAGE_SIZE;
+        mem.rmp_assign(addr, 2 * PAGE_SIZE).unwrap();
+        mem.pvalidate(addr, 2 * PAGE_SIZE).unwrap();
+        mem.guest_write(addr, &data, true).unwrap();
+        let host_view = mem.host_read(addr, data.len() as u64).unwrap();
+        prop_assert_ne!(&host_view, &data, "host saw plaintext");
+        // The guest always reads back exactly what it wrote.
+        prop_assert_eq!(mem.guest_read(addr, data.len() as u64, true).unwrap(), data);
+    }
+
+    #[test]
+    fn host_writes_to_private_pages_always_denied(
+        page in 0u64..(MEM / PAGE_SIZE - 1),
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let mut mem = snp();
+        let addr = page * PAGE_SIZE;
+        mem.rmp_assign(addr, PAGE_SIZE).unwrap();
+        let denied = matches!(
+            mem.host_write(addr, &data),
+            Err(MemError::HostWriteDenied { .. })
+        );
+        prop_assert!(denied);
+    }
+
+    #[test]
+    fn unvalidated_private_access_always_faults(
+        page in 0u64..(MEM / PAGE_SIZE - 1),
+    ) {
+        let mut mem = snp();
+        let addr = page * PAGE_SIZE;
+        mem.rmp_assign(addr, PAGE_SIZE).unwrap();
+        let write_faults = matches!(
+            mem.guest_write(addr, b"x", true),
+            Err(MemError::VcException { .. })
+        );
+        prop_assert!(write_faults);
+        let read_faults = matches!(
+            mem.guest_read(addr, 1, true),
+            Err(MemError::VcException { .. })
+        );
+        prop_assert!(read_faults);
+    }
+
+    #[test]
+    fn out_of_range_never_panics(
+        addr in any::<u64>(),
+        len in 0u64..100_000,
+    ) {
+        let mem = GuestMemory::new_plain(MEM);
+        let _ = mem.host_read(addr, len);
+        let _ = mem.guest_read(addr, len, false);
+    }
+
+    #[test]
+    fn rmp_counts_match_operations(
+        pages in proptest::collection::btree_set(0u64..64, 1..32),
+    ) {
+        let mut mem = snp();
+        for &p in &pages {
+            mem.rmp_assign(p * PAGE_SIZE, PAGE_SIZE).unwrap();
+        }
+        prop_assert_eq!(mem.rmp().assigned_count(), pages.len());
+        for &p in &pages {
+            mem.pvalidate(p * PAGE_SIZE, PAGE_SIZE).unwrap();
+        }
+        prop_assert_eq!(mem.rmp().validated_count(), pages.len());
+        // Double validation is always detected.
+        for &p in &pages {
+            let double = matches!(
+                mem.pvalidate(p * PAGE_SIZE, PAGE_SIZE),
+                Err(MemError::AlreadyValidated { .. })
+            );
+            prop_assert!(double);
+        }
+    }
+
+    #[test]
+    fn pre_encrypt_returns_exactly_what_host_staged(
+        page in 1u64..(MEM / PAGE_SIZE - 2),
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+    ) {
+        let mut mem = snp();
+        let addr = page * PAGE_SIZE;
+        mem.host_write(addr, &data).unwrap();
+        let measured = mem.pre_encrypt(addr, data.len() as u64).unwrap();
+        prop_assert_eq!(&measured[..data.len()], &data[..]);
+        // Padding is zeros.
+        prop_assert!(measured[data.len()..].iter().all(|&b| b == 0));
+        // And the region is now private + validated.
+        prop_assert!(mem.is_assigned(addr));
+        prop_assert!(mem.is_validated(addr));
+    }
+
+    #[test]
+    fn sev_host_corruption_scrambles_but_lands(
+        data in proptest::collection::vec(any::<u8>(), 32..256),
+        overwrite in proptest::collection::vec(any::<u8>(), 32..64),
+    ) {
+        // Base SEV: host writes succeed and corrupt (integrity gap).
+        let mut mem = GuestMemory::new_sev(MEM, [1u8; 16], SevGeneration::Sev);
+        mem.pre_encrypt(0, PAGE_SIZE).unwrap();
+        mem.guest_write(0, &data, true).unwrap();
+        mem.host_write(0, &overwrite).unwrap();
+        let seen = mem.guest_read(0, overwrite.len() as u64, true).unwrap();
+        prop_assert_ne!(&seen, &overwrite, "host bytes must be scrambled by decryption");
+    }
+}

@@ -1,0 +1,62 @@
+//! PSP command errors.
+
+use std::fmt;
+
+use sevf_mem::MemError;
+
+/// Errors returned by PSP commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PspError {
+    /// The referenced guest context does not exist.
+    UnknownGuest {
+        /// The handle that failed to resolve.
+        guest: u64,
+    },
+    /// A launch command was issued in the wrong state — e.g.
+    /// `LAUNCH_UPDATE_DATA` after `LAUNCH_FINISH` (§2.4: finish prevents the
+    /// hypervisor from encrypting more memory once a report may exist).
+    InvalidState {
+        /// The command that was attempted.
+        command: &'static str,
+        /// The state the guest context was in.
+        state: &'static str,
+    },
+    /// The guest's memory rejected the operation.
+    Memory(MemError),
+    /// `LAUNCH_UPDATE_VMSA` on a guest whose policy has no encrypted state
+    /// (plain SEV).
+    VmsaNotSupported,
+    /// A report was requested before the launch was finalized.
+    NotLaunched,
+}
+
+impl fmt::Display for PspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PspError::UnknownGuest { guest } => write!(f, "unknown guest context {guest}"),
+            PspError::InvalidState { command, state } => {
+                write!(f, "{command} not permitted in launch state {state}")
+            }
+            PspError::Memory(e) => write!(f, "guest memory error: {e}"),
+            PspError::VmsaNotSupported => {
+                write!(f, "VMSA encryption requires SEV-ES or SEV-SNP")
+            }
+            PspError::NotLaunched => write!(f, "attestation requires a finalized launch"),
+        }
+    }
+}
+
+impl std::error::Error for PspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PspError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for PspError {
+    fn from(e: MemError) -> Self {
+        PspError::Memory(e)
+    }
+}

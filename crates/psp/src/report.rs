@@ -1,0 +1,266 @@
+//! Attestation reports and the chip/root key model.
+//!
+//! On hardware, each PSP holds a chip-unique ECDSA-P384 key (VCEK) whose
+//! public half is certified by AMD's root. We model the same trust
+//! relationships with a chip-unique *MAC* key known only to the PSP and to
+//! the [`AmdRootRegistry`] (standing in for AMD's key-distribution service):
+//! the host can neither forge nor tamper with a report, and any guest owner
+//! can verify one through the registry. The substitution is documented in
+//! DESIGN.md.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sevf_crypto::hex::to_hex;
+use sevf_crypto::{hmac_sha384, sha256, sha384};
+use sevf_sim::cost::SevGeneration;
+
+/// The guest policy bound into the launch context and every report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GuestPolicy {
+    /// Which SEV generation the guest runs under.
+    pub generation: SevGeneration,
+    /// Whether the host may attach a debugger (always false here, as in the
+    /// paper's threat model).
+    pub debug_allowed: bool,
+}
+
+impl GuestPolicy {
+    /// The policy used throughout the paper: SNP, no debug.
+    pub fn snp() -> Self {
+        GuestPolicy {
+            generation: SevGeneration::SevSnp,
+            debug_allowed: false,
+        }
+    }
+
+    /// Policy for an arbitrary generation, no debug.
+    pub fn for_generation(generation: SevGeneration) -> Self {
+        GuestPolicy {
+            generation,
+            debug_allowed: false,
+        }
+    }
+
+    fn encode(&self) -> [u8; 2] {
+        let gen_tag = match self.generation {
+            SevGeneration::None => 0u8,
+            SevGeneration::Sev => 1,
+            SevGeneration::SevEs => 2,
+            SevGeneration::SevSnp => 3,
+        };
+        [gen_tag, self.debug_allowed as u8]
+    }
+}
+
+/// A chip-unique identity: ID plus signing key (held by the PSP).
+#[derive(Clone)]
+pub struct ChipIdentity {
+    /// Public chip identifier (hash of the signing key).
+    pub chip_id: [u8; 32],
+    signing_key: [u8; 48],
+}
+
+impl fmt::Debug for ChipIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChipIdentity({}…)", to_hex(&self.chip_id[..4]))
+    }
+}
+
+impl ChipIdentity {
+    /// Derives a chip identity from seed entropy (manufacturing fuse model).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut input = b"sevf-chip-key".to_vec();
+        input.extend_from_slice(seed);
+        let signing_key = sha384(&input);
+        let chip_id = sha256(&signing_key);
+        ChipIdentity {
+            chip_id,
+            signing_key,
+        }
+    }
+
+    /// Signs a report body.
+    pub(crate) fn sign(&self, body: &[u8]) -> [u8; 48] {
+        hmac_sha384(&self.signing_key, body)
+    }
+}
+
+/// A signed SEV-SNP attestation report (§2.4 steps 5–8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// Report format version.
+    pub version: u32,
+    /// Guest policy at launch.
+    pub policy: GuestPolicy,
+    /// The launch measurement chained by the PSP.
+    pub measurement: [u8; 48],
+    /// 64 bytes supplied by the guest — here, the guest's ephemeral DH
+    /// public key plus a nonce, so secrets can be wrapped to the guest.
+    pub report_data: [u8; 64],
+    /// Which chip signed the report.
+    pub chip_id: [u8; 32],
+    /// Signature over everything above.
+    pub signature: [u8; 48],
+}
+
+impl AttestationReport {
+    /// Serializes the signed portion of the report.
+    pub fn body_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 2 + 48 + 64 + 32);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.policy.encode());
+        out.extend_from_slice(&self.measurement);
+        out.extend_from_slice(&self.report_data);
+        out.extend_from_slice(&self.chip_id);
+        out
+    }
+
+    /// Full wire encoding (body || signature), as placed into encrypted
+    /// guest memory by the PSP.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.body_bytes();
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a wire encoding produced by [`AttestationReport::to_bytes`].
+    ///
+    /// Returns `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 4 + 2 + 48 + 64 + 32 + 48 {
+            return None;
+        }
+        let version = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let generation = match bytes[4] {
+            0 => SevGeneration::None,
+            1 => SevGeneration::Sev,
+            2 => SevGeneration::SevEs,
+            3 => SevGeneration::SevSnp,
+            _ => return None,
+        };
+        let policy = GuestPolicy {
+            generation,
+            debug_allowed: bytes[5] != 0,
+        };
+        Some(AttestationReport {
+            version,
+            policy,
+            measurement: bytes[6..54].try_into().ok()?,
+            report_data: bytes[54..118].try_into().ok()?,
+            chip_id: bytes[118..150].try_into().ok()?,
+            signature: bytes[150..198].try_into().ok()?,
+        })
+    }
+}
+
+/// The guest owner's view of AMD's root of trust: can check that a report
+/// was signed by a genuine chip.
+#[derive(Debug, Default)]
+pub struct AmdRootRegistry {
+    chips: HashMap<[u8; 32], ChipIdentity>,
+}
+
+impl AmdRootRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a chip (models AMD's manufacturing-time key escrow).
+    pub fn register(&mut self, chip: ChipIdentity) {
+        self.chips.insert(chip.chip_id, chip);
+    }
+
+    /// Verifies a report's signature against the chip that claims to have
+    /// produced it. Returns `false` for unknown chips or bad signatures.
+    pub fn verify(&self, report: &AttestationReport) -> bool {
+        let Some(chip) = self.chips.get(&report.chip_id) else {
+            return false;
+        };
+        let expected = chip.sign(&report.body_bytes());
+        sevf_crypto::hmac::verify_tag(&expected, &report.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(chip: &ChipIdentity) -> AttestationReport {
+        let mut report = AttestationReport {
+            version: 2,
+            policy: GuestPolicy::snp(),
+            measurement: [0xabu8; 48],
+            report_data: [0x11u8; 64],
+            chip_id: chip.chip_id,
+            signature: [0u8; 48],
+        };
+        report.signature = chip.sign(&report.body_bytes());
+        report
+    }
+
+    #[test]
+    fn roundtrip_wire_encoding() {
+        let chip = ChipIdentity::from_seed(b"machine-0");
+        let report = sample_report(&chip);
+        let parsed = AttestationReport::from_bytes(&report.to_bytes()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn registry_accepts_genuine_reports() {
+        let chip = ChipIdentity::from_seed(b"machine-0");
+        let mut registry = AmdRootRegistry::new();
+        registry.register(chip.clone());
+        assert!(registry.verify(&sample_report(&chip)));
+    }
+
+    #[test]
+    fn registry_rejects_tampered_measurement() {
+        let chip = ChipIdentity::from_seed(b"machine-0");
+        let mut registry = AmdRootRegistry::new();
+        registry.register(chip.clone());
+        let mut report = sample_report(&chip);
+        report.measurement[0] ^= 1;
+        assert!(!registry.verify(&report));
+    }
+
+    #[test]
+    fn registry_rejects_unknown_chip() {
+        let chip = ChipIdentity::from_seed(b"machine-0");
+        let registry = AmdRootRegistry::new();
+        assert!(!registry.verify(&sample_report(&chip)));
+    }
+
+    #[test]
+    fn registry_rejects_cross_chip_forgery() {
+        // A report signed by chip A but claiming chip B's identity.
+        let a = ChipIdentity::from_seed(b"A");
+        let b = ChipIdentity::from_seed(b"B");
+        let mut registry = AmdRootRegistry::new();
+        registry.register(a.clone());
+        registry.register(b.clone());
+        let mut report = sample_report(&a);
+        report.chip_id = b.chip_id;
+        report.signature = a.sign(&report.body_bytes());
+        assert!(!registry.verify(&report));
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(AttestationReport::from_bytes(&[0u8; 10]).is_none());
+        let chip = ChipIdentity::from_seed(b"m");
+        let mut bytes = sample_report(&chip).to_bytes();
+        bytes[4] = 9; // invalid generation tag
+        assert!(AttestationReport::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn debug_never_prints_signing_key() {
+        let chip = ChipIdentity::from_seed(b"m");
+        let repr = format!("{chip:?}");
+        assert!(repr.starts_with("ChipIdentity("));
+        assert!(repr.len() < 40);
+    }
+}

@@ -1,0 +1,431 @@
+//! A discrete-event engine with FIFO resources.
+//!
+//! Fig. 12 of the paper shows that concurrent SEV launches serialize on the
+//! PSP — a single low-power core that every `LAUNCH_*` command must pass
+//! through — while non-SEV launches scale almost flat. This engine models
+//! exactly that: each boot is a [`Job`] made of [`Segment`]s, each segment
+//! either occupies a slot of a capacity-limited resource (PSP: capacity 1;
+//! host CPU pool: one slot per core) or is a pure delay (network waits).
+//!
+//! Scheduling is FIFO per resource with deterministic tie-breaking by job
+//! arrival order, so results are exactly reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::Nanos;
+
+/// Identifies a resource registered with a [`DesEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(usize);
+
+/// One step of a job: `duration` of work on `resource` (or a pure delay when
+/// `resource` is `None`).
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Resource this segment occupies; `None` = pure delay.
+    pub resource: Option<ResourceId>,
+    /// Amount of virtual time the segment takes once running.
+    pub duration: Nanos,
+    /// Label for reports.
+    pub label: String,
+}
+
+impl Segment {
+    /// Creates a resource-bound segment.
+    pub fn on(resource: ResourceId, duration: Nanos, label: impl Into<String>) -> Self {
+        Segment {
+            resource: Some(resource),
+            duration,
+            label: label.into(),
+        }
+    }
+
+    /// Creates a pure-delay segment.
+    pub fn delay(duration: Nanos, label: impl Into<String>) -> Self {
+        Segment {
+            resource: None,
+            duration,
+            label: label.into(),
+        }
+    }
+}
+
+/// A sequential list of segments released into the system at `release` time.
+#[derive(Debug, Clone, Default)]
+pub struct Job {
+    /// Time at which the job arrives.
+    pub release: Nanos,
+    /// Ordered segments the job must execute.
+    pub segments: Vec<Segment>,
+}
+
+impl Job {
+    /// Creates a job released at time zero.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        Job {
+            release: Nanos::ZERO,
+            segments,
+        }
+    }
+
+    /// Creates a job released at `release`.
+    pub fn released_at(release: Nanos, segments: Vec<Segment>) -> Self {
+        Job { release, segments }
+    }
+
+    /// Sum of all segment durations (the job's completion time if it never
+    /// had to queue).
+    pub fn service_time(&self) -> Nanos {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+}
+
+/// Completion record for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// Release time it was submitted with.
+    pub release: Nanos,
+    /// Time the final segment finished.
+    pub finish: Nanos,
+    /// Total time spent waiting in resource queues.
+    pub queued: Nanos,
+}
+
+impl JobOutcome {
+    /// Wall-clock latency of the job (finish − release).
+    pub fn latency(&self) -> Nanos {
+        self.finish - self.release
+    }
+}
+
+#[derive(Debug)]
+struct Resource {
+    name: String,
+    capacity: usize,
+    busy: usize,
+    waiting: VecDeque<usize>, // job indices
+}
+
+/// The discrete-event engine.
+///
+/// # Example
+///
+/// ```
+/// use sevf_sim::{DesEngine, Job, Nanos, Segment};
+///
+/// let mut engine = DesEngine::new();
+/// let psp = engine.add_resource("psp", 1);
+/// let jobs: Vec<Job> = (0..3)
+///     .map(|_| Job::new(vec![Segment::on(psp, Nanos::from_millis(10), "launch")]))
+///     .collect();
+/// let outcomes = engine.run(jobs);
+/// // Three 10 ms launches on a single-slot PSP finish at 10/20/30 ms.
+/// assert_eq!(outcomes[2].finish, Nanos::from_millis(30));
+/// ```
+#[derive(Debug, Default)]
+pub struct DesEngine {
+    resources: Vec<Resource>,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Release,
+    SegmentDone,
+}
+
+impl DesEngine {
+    /// Creates an engine with no resources.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource with `capacity` parallel slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: usize) -> ResourceId {
+        assert!(capacity > 0, "resource must have at least one slot");
+        self.resources.push(Resource {
+            name: name.into(),
+            capacity,
+            busy: 0,
+            waiting: VecDeque::new(),
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Name of a resource (for reports).
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        &self.resources[id.0].name
+    }
+
+    /// Runs a batch of jobs to completion and returns their outcomes in job
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment references a resource not registered with this
+    /// engine.
+    pub fn run(&mut self, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        for r in &mut self.resources {
+            r.busy = 0;
+            r.waiting.clear();
+        }
+        let mut next_segment = vec![0usize; jobs.len()];
+        let mut queued_since = vec![None::<Nanos>; jobs.len()];
+        let mut queued_total = vec![Nanos::ZERO; jobs.len()];
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+
+        // (time, sequence, job, kind); sequence keeps ordering deterministic.
+        let mut calendar: BinaryHeap<Reverse<(Nanos, u64, usize, EventKind)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, job) in jobs.iter().enumerate() {
+            calendar.push(Reverse((job.release, seq, i, EventKind::Release)));
+            seq += 1;
+        }
+
+        while let Some(Reverse((now, _, job_idx, kind))) = calendar.pop() {
+            match kind {
+                EventKind::Release => {
+                    self.start_next_segment(
+                        now,
+                        job_idx,
+                        &jobs,
+                        &mut next_segment,
+                        &mut queued_since,
+                        &mut calendar,
+                        &mut seq,
+                        &mut outcomes,
+                    );
+                }
+                EventKind::SegmentDone => {
+                    let seg_idx = next_segment[job_idx];
+                    let segment = &jobs[job_idx].segments[seg_idx];
+                    if let Some(rid) = segment.resource {
+                        let resource = &mut self.resources[rid.0];
+                        resource.busy -= 1;
+                        // Wake the longest-waiting job for this resource.
+                        if let Some(waiter) = resource.waiting.pop_front() {
+                            resource.busy += 1;
+                            if let Some(since) = queued_since[waiter].take() {
+                                queued_total[waiter] += now - since;
+                            }
+                            let dur = jobs[waiter].segments[next_segment[waiter]].duration;
+                            calendar.push(Reverse((now + dur, seq, waiter, EventKind::SegmentDone)));
+                            seq += 1;
+                        }
+                    }
+                    next_segment[job_idx] += 1;
+                    self.start_next_segment(
+                        now,
+                        job_idx,
+                        &jobs,
+                        &mut next_segment,
+                        &mut queued_since,
+                        &mut calendar,
+                        &mut seq,
+                        &mut outcomes,
+                    );
+                }
+            }
+        }
+
+        outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let mut outcome = o.expect("all jobs completed");
+                outcome.queued = queued_total[i];
+                outcome
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_next_segment(
+        &mut self,
+        now: Nanos,
+        job_idx: usize,
+        jobs: &[Job],
+        next_segment: &mut [usize],
+        queued_since: &mut [Option<Nanos>],
+        calendar: &mut BinaryHeap<Reverse<(Nanos, u64, usize, EventKind)>>,
+        seq: &mut u64,
+        outcomes: &mut [Option<JobOutcome>],
+    ) {
+        let seg_idx = next_segment[job_idx];
+        let job = &jobs[job_idx];
+        if seg_idx >= job.segments.len() {
+            outcomes[job_idx] = Some(JobOutcome {
+                job: job_idx,
+                release: job.release,
+                finish: now,
+                queued: Nanos::ZERO,
+            });
+            return;
+        }
+        let segment = &job.segments[seg_idx];
+        match segment.resource {
+            None => {
+                calendar.push(Reverse((
+                    now + segment.duration,
+                    *seq,
+                    job_idx,
+                    EventKind::SegmentDone,
+                )));
+                *seq += 1;
+            }
+            Some(rid) => {
+                let resource = self
+                    .resources
+                    .get_mut(rid.0)
+                    .expect("segment references unknown resource");
+                if resource.busy < resource.capacity {
+                    resource.busy += 1;
+                    calendar.push(Reverse((
+                        now + segment.duration,
+                        *seq,
+                        job_idx,
+                        EventKind::SegmentDone,
+                    )));
+                    *seq += 1;
+                } else {
+                    resource.waiting.push_back(job_idx);
+                    queued_since[job_idx] = Some(now);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "resource#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_resource_serializes() {
+        let mut engine = DesEngine::new();
+        let psp = engine.add_resource("psp", 1);
+        let jobs: Vec<Job> = (0..5)
+            .map(|_| Job::new(vec![Segment::on(psp, Nanos::from_millis(10), "cmd")]))
+            .collect();
+        let outcomes = engine.run(jobs);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.finish, Nanos::from_millis(10 * (i as u64 + 1)));
+        }
+        // Last job queued for 40 ms.
+        assert_eq!(outcomes[4].queued, Nanos::from_millis(40));
+    }
+
+    #[test]
+    fn wide_resource_runs_in_parallel() {
+        let mut engine = DesEngine::new();
+        let cpu = engine.add_resource("cpu", 8);
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| Job::new(vec![Segment::on(cpu, Nanos::from_millis(10), "boot")]))
+            .collect();
+        let outcomes = engine.run(jobs);
+        assert!(outcomes.iter().all(|o| o.finish == Nanos::from_millis(10)));
+    }
+
+    #[test]
+    fn mixed_pipeline_queues_only_on_psp() {
+        let mut engine = DesEngine::new();
+        let psp = engine.add_resource("psp", 1);
+        let cpu = engine.add_resource("cpu", 32);
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| {
+                Job::new(vec![
+                    Segment::on(cpu, Nanos::from_millis(5), "vmm"),
+                    Segment::on(psp, Nanos::from_millis(20), "launch"),
+                    Segment::on(cpu, Nanos::from_millis(30), "guest"),
+                ])
+            })
+            .collect();
+        let outcomes = engine.run(jobs);
+        // Job i leaves the PSP at 5 + 20·(i+1); finishes 30 ms later.
+        for (i, o) in outcomes.iter().enumerate() {
+            let expect = Nanos::from_millis(5 + 20 * (i as u64 + 1) + 30);
+            assert_eq!(o.finish, expect, "job {i}");
+        }
+    }
+
+    #[test]
+    fn pure_delays_do_not_contend() {
+        let mut engine = DesEngine::new();
+        let jobs: Vec<Job> = (0..10)
+            .map(|_| Job::new(vec![Segment::delay(Nanos::from_millis(200), "network")]))
+            .collect();
+        let outcomes = engine.run(jobs);
+        assert!(outcomes.iter().all(|o| o.finish == Nanos::from_millis(200)));
+    }
+
+    #[test]
+    fn staggered_releases_respected() {
+        let mut engine = DesEngine::new();
+        let psp = engine.add_resource("psp", 1);
+        let jobs = vec![
+            Job::released_at(
+                Nanos::from_millis(100),
+                vec![Segment::on(psp, Nanos::from_millis(10), "late")],
+            ),
+            Job::new(vec![Segment::on(psp, Nanos::from_millis(10), "early")]),
+        ];
+        let outcomes = engine.run(jobs);
+        assert_eq!(outcomes[1].finish, Nanos::from_millis(10));
+        assert_eq!(outcomes[0].finish, Nanos::from_millis(110));
+        assert_eq!(outcomes[0].latency(), Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn empty_job_finishes_at_release() {
+        let mut engine = DesEngine::new();
+        let outcomes = engine.run(vec![Job::released_at(Nanos::from_millis(3), vec![])]);
+        assert_eq!(outcomes[0].finish, Nanos::from_millis(3));
+    }
+
+    #[test]
+    fn fifo_order_is_stable() {
+        let mut engine = DesEngine::new();
+        let psp = engine.add_resource("psp", 1);
+        // All released at once: FIFO by submission order.
+        let jobs: Vec<Job> = (0..3)
+            .map(|i| {
+                Job::new(vec![Segment::on(
+                    psp,
+                    Nanos::from_millis(10 + i as u64),
+                    "x",
+                )])
+            })
+            .collect();
+        let outcomes = engine.run(jobs);
+        assert_eq!(outcomes[0].finish, Nanos::from_millis(10));
+        assert_eq!(outcomes[1].finish, Nanos::from_millis(21));
+        assert_eq!(outcomes[2].finish, Nanos::from_millis(33));
+    }
+
+    #[test]
+    fn service_time_sums_segments() {
+        let mut engine = DesEngine::new();
+        let cpu = engine.add_resource("cpu", 1);
+        let job = Job::new(vec![
+            Segment::on(cpu, Nanos::from_millis(5), "a"),
+            Segment::delay(Nanos::from_millis(7), "b"),
+        ]);
+        assert_eq!(job.service_time(), Nanos::from_millis(12));
+        let outcomes = engine.run(vec![job]);
+        assert_eq!(outcomes[0].finish, Nanos::from_millis(12));
+    }
+}

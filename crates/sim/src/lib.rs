@@ -1,0 +1,46 @@
+//! Virtual time, cost model, timelines, and discrete-event simulation.
+//!
+//! Every *functional* operation in this reproduction (hashing, encrypting,
+//! copying, decompressing, page-table writes) really happens — but on the
+//! machine running the tests, not on an AMD EPYC 7313P with SEV-SNP. This
+//! crate supplies the **virtual clock** those operations advance and the
+//! **calibrated cost model** that converts byte counts and command streams
+//! into the durations the paper reports.
+//!
+//! * [`time::Nanos`] — the virtual time unit.
+//! * [`cost::CostModel`] — one struct holding every calibrated constant, each
+//!   documented with the paper number it was derived from.
+//! * [`timeline::Timeline`] — phase spans and debug-port/GHCB event marks,
+//!   reproducing the instrumentation methodology of §6.1.
+//! * [`des`] — a discrete-event engine with FIFO resources, used for the
+//!   Fig. 12 concurrency experiment where every launch serializes on the
+//!   single-core PSP.
+//! * [`stats`] — means, standard deviations, percentiles, and CDFs for the
+//!   figures.
+//!
+//! # Example
+//!
+//! ```
+//! use sevf_sim::cost::CostModel;
+//!
+//! let model = CostModel::calibrated();
+//! // Pre-encrypting the 1 MiB OVMF image costs ~a quarter second (§3.1).
+//! let t = model.psp_pre_encrypt_bytes(1 << 20);
+//! assert!(t.as_millis_f64() > 200.0 && t.as_millis_f64() < 320.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod des;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timeline;
+
+pub use cost::CostModel;
+pub use des::{DesEngine, Job, JobOutcome, ResourceId, Segment};
+pub use stats::Summary;
+pub use time::Nanos;
+pub use timeline::{EventChannel, PhaseKind, Span, Timeline};

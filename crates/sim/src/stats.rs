@@ -1,0 +1,166 @@
+//! Summary statistics and CDFs for the figures.
+
+use crate::time::Nanos;
+
+/// Mean / standard deviation / extremes / percentiles of a sample set.
+///
+/// # Example
+///
+/// ```
+/// use sevf_sim::Summary;
+///
+/// let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes a slice of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains non-finite numbers.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample set");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "samples must be finite"
+        );
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Summary {
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile_sorted(&sorted, 50.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            count,
+        }
+    }
+
+    /// Summarizes virtual durations in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_nanos(values: &[Nanos]) -> Self {
+        let ms: Vec<f64> = values.iter().map(|n| n.as_millis_f64()).collect();
+        Self::from_values(&ms)
+    }
+}
+
+/// Percentile (0–100) of an already-sorted slice, with linear interpolation.
+fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile (0–100) of an unsorted slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    percentile_sorted(&sorted, pct)
+}
+
+/// Empirical CDF of a sample set: `(value, cumulative_probability)` pairs,
+/// the series Fig. 9 plots.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.stddev - 2.0).abs() < 1e-9);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let points = cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(points.len(), 4);
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for pair in points.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 < pair[1].1);
+        }
+    }
+
+    #[test]
+    fn from_nanos_reports_millis() {
+        let s = Summary::from_nanos(&[Nanos::from_millis(10), Nanos::from_millis(20)]);
+        assert!((s.mean - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_summary_panics() {
+        let _ = Summary::from_values(&[]);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_values(&[42.0]);
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p99, 42.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Boot timelines: phase spans and instrumentation events.
+//!
+//! §6.1 of the paper describes its measurement methodology: a debug-port
+//! device at I/O port 0x80 records timestamped writes from the guest, and —
+//! before #VC handlers are installed in an SEV-ES/SNP guest — magic values
+//! written to the GHCB MSR are interpreted as timing events. [`Timeline`]
+//! reproduces exactly that: boot code emits [`EventChannel`]-tagged marks,
+//! and phases accumulate into [`Span`]s that the figures later group by
+//! [`PhaseKind`].
+
+use std::fmt;
+
+use crate::time::Nanos;
+
+/// The boot-phase buckets the paper's figures group time into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PhaseKind {
+    /// Time in the VMM before entering the guest (Firecracker/QEMU bars in
+    /// Figs. 10/11) excluding pre-encryption.
+    VmmSetup,
+    /// PSP launch sequence: LAUNCH_START / UPDATE_DATA / UPDATE_VMSA /
+    /// FINISH (the "Pre-encryption" column of Fig. 10).
+    PreEncryption,
+    /// OVMF SEC phase (Fig. 3).
+    OvmfSec,
+    /// OVMF PEI phase (Fig. 3).
+    OvmfPei,
+    /// OVMF DXE phase (Fig. 3).
+    OvmfDxe,
+    /// OVMF BDS phase (Fig. 3).
+    OvmfBds,
+    /// The boot verifier: pvalidate, page tables, measured direct boot
+    /// (Fig. 11 "Boot Verification"; Fig. 3 "Boot Verifier").
+    BootVerification,
+    /// The bzImage bootstrap loader decompressing/loading the vmlinux
+    /// (Fig. 11 "Bootstrap Loader").
+    BootstrapLoader,
+    /// Guest kernel from entry point to `init` (Fig. 11 "Linux Boot").
+    LinuxBoot,
+    /// Remote attestation (included in Fig. 9, excluded from Fig. 11).
+    Attestation,
+}
+
+impl PhaseKind {
+    /// Stable label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::VmmSetup => "VMM",
+            PhaseKind::PreEncryption => "Pre-encryption",
+            PhaseKind::OvmfSec => "OVMF SEC",
+            PhaseKind::OvmfPei => "OVMF PEI",
+            PhaseKind::OvmfDxe => "OVMF DXE",
+            PhaseKind::OvmfBds => "OVMF BDS",
+            PhaseKind::BootVerification => "Boot Verification",
+            PhaseKind::BootstrapLoader => "Bootstrap Loader",
+            PhaseKind::LinuxBoot => "Linux Boot",
+            PhaseKind::Attestation => "Attestation",
+        }
+    }
+
+    /// True for the phases that count as "boot" in the paper (attestation is
+    /// reported separately; §6.1).
+    pub fn counts_as_boot(self) -> bool {
+        self != PhaseKind::Attestation
+    }
+}
+
+impl fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How a timing event reached the VMM (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventChannel {
+    /// An `outb` to the debug port (0x80); requires #VC handling under SNP.
+    DebugPort,
+    /// A magic value written to the GHCB MSR — always intercepted, usable
+    /// before #VC handlers are installed.
+    GhcbMsr,
+    /// Logged directly by the VMM process.
+    VmmLog,
+}
+
+/// One contiguous stretch of work attributed to a phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Phase bucket for figures.
+    pub phase: PhaseKind,
+    /// Human-readable description of the work.
+    pub label: String,
+    /// Start instant on the virtual clock.
+    pub start: Nanos,
+    /// Duration of the work.
+    pub duration: Nanos,
+}
+
+impl Span {
+    /// Instant at which the span ends.
+    pub fn end(&self) -> Nanos {
+        self.start + self.duration
+    }
+}
+
+/// A timestamped instrumentation mark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// When the mark was recorded.
+    pub at: Nanos,
+    /// The channel it travelled through.
+    pub channel: EventChannel,
+    /// The mark's tag (the paper uses magic byte values; we keep strings).
+    pub tag: String,
+}
+
+/// An accumulating per-boot timeline with a virtual-clock cursor.
+///
+/// # Example
+///
+/// ```
+/// use sevf_sim::{Nanos, PhaseKind, Timeline};
+///
+/// let mut tl = Timeline::new();
+/// tl.push(PhaseKind::VmmSetup, "spawn", Nanos::from_millis(5));
+/// tl.push(PhaseKind::LinuxBoot, "kernel", Nanos::from_millis(30));
+/// assert_eq!(tl.total(), Nanos::from_millis(35));
+/// assert_eq!(tl.phase_total(PhaseKind::LinuxBoot), Nanos::from_millis(30));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+    events: Vec<Event>,
+    cursor: Nanos,
+}
+
+impl Timeline {
+    /// Creates an empty timeline at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current position of the virtual clock.
+    pub fn now(&self) -> Nanos {
+        self.cursor
+    }
+
+    /// Appends a span of `duration` starting at the cursor and advances it.
+    pub fn push(&mut self, phase: PhaseKind, label: impl Into<String>, duration: Nanos) {
+        self.spans.push(Span {
+            phase,
+            label: label.into(),
+            start: self.cursor,
+            duration,
+        });
+        self.cursor += duration;
+    }
+
+    /// Records an instrumentation mark at the current cursor.
+    pub fn mark(&mut self, channel: EventChannel, tag: impl Into<String>) {
+        self.events.push(Event {
+            at: self.cursor,
+            channel,
+            tag: tag.into(),
+        });
+    }
+
+    /// All spans in order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All instrumentation events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Total virtual time elapsed.
+    pub fn total(&self) -> Nanos {
+        self.cursor
+    }
+
+    /// Total time excluding attestation (the paper's "boot time", §6.1).
+    pub fn boot_total(&self) -> Nanos {
+        self.spans
+            .iter()
+            .filter(|s| s.phase.counts_as_boot())
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Sum of all spans in one phase bucket.
+    pub fn phase_total(&self, phase: PhaseKind) -> Nanos {
+        self.spans
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Appends another timeline's spans and events, shifted to start at this
+    /// timeline's cursor (used when the guest timeline continues the VMM's).
+    pub fn absorb(&mut self, other: Timeline) {
+        let base = self.cursor;
+        for span in other.spans {
+            self.spans.push(Span {
+                start: base + span.start,
+                ..span
+            });
+        }
+        for ev in other.events {
+            self.events.push(Event {
+                at: base + ev.at,
+                ..ev
+            });
+        }
+        self.cursor = base + other.cursor;
+    }
+
+    /// Returns a copy containing only the spans whose phase satisfies
+    /// `keep`, re-packed contiguously from time zero (events are dropped).
+    /// Used e.g. to strip attestation from a boot before replaying it in
+    /// the concurrency experiment.
+    pub fn filtered(&self, keep: impl Fn(PhaseKind) -> bool) -> Timeline {
+        let mut out = Timeline::new();
+        for span in &self.spans {
+            if keep(span.phase) {
+                out.push(span.phase, span.label.clone(), span.duration);
+            }
+        }
+        out
+    }
+
+    /// Renders an indented text breakdown (used by examples and the figure
+    /// harness).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            out.push_str(&format!(
+                "{:>12}  {:<18} {} ({})\n",
+                format!("{}", span.start),
+                span.phase.label(),
+                span.label,
+                span.duration
+            ));
+        }
+        out.push_str(&format!("{:>12}  total\n", format!("{}", self.total())));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_advances_with_spans() {
+        let mut tl = Timeline::new();
+        assert_eq!(tl.now(), Nanos::ZERO);
+        tl.push(PhaseKind::VmmSetup, "a", Nanos::from_millis(2));
+        tl.push(PhaseKind::PreEncryption, "b", Nanos::from_millis(8));
+        assert_eq!(tl.now(), Nanos::from_millis(10));
+        assert_eq!(tl.spans()[1].start, Nanos::from_millis(2));
+        assert_eq!(tl.spans()[1].end(), Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn phase_totals_accumulate() {
+        let mut tl = Timeline::new();
+        tl.push(PhaseKind::LinuxBoot, "early", Nanos::from_millis(10));
+        tl.push(PhaseKind::LinuxBoot, "late", Nanos::from_millis(20));
+        assert_eq!(tl.phase_total(PhaseKind::LinuxBoot), Nanos::from_millis(30));
+        assert_eq!(tl.phase_total(PhaseKind::VmmSetup), Nanos::ZERO);
+    }
+
+    #[test]
+    fn boot_total_excludes_attestation() {
+        let mut tl = Timeline::new();
+        tl.push(PhaseKind::LinuxBoot, "boot", Nanos::from_millis(40));
+        tl.push(PhaseKind::Attestation, "attest", Nanos::from_millis(200));
+        assert_eq!(tl.boot_total(), Nanos::from_millis(40));
+        assert_eq!(tl.total(), Nanos::from_millis(240));
+    }
+
+    #[test]
+    fn events_carry_cursor_time() {
+        let mut tl = Timeline::new();
+        tl.push(PhaseKind::VmmSetup, "a", Nanos::from_millis(1));
+        tl.mark(EventChannel::GhcbMsr, "verifier-entry");
+        assert_eq!(tl.events()[0].at, Nanos::from_millis(1));
+        assert_eq!(tl.events()[0].channel, EventChannel::GhcbMsr);
+    }
+
+    #[test]
+    fn absorb_shifts_child_timeline() {
+        let mut parent = Timeline::new();
+        parent.push(PhaseKind::VmmSetup, "vmm", Nanos::from_millis(5));
+        let mut child = Timeline::new();
+        child.push(PhaseKind::LinuxBoot, "guest", Nanos::from_millis(30));
+        child.mark(EventChannel::DebugPort, "init");
+        parent.absorb(child);
+        assert_eq!(parent.total(), Nanos::from_millis(35));
+        assert_eq!(parent.spans()[1].start, Nanos::from_millis(5));
+        assert_eq!(parent.events()[0].at, Nanos::from_millis(35));
+    }
+
+    #[test]
+    fn render_contains_phases() {
+        let mut tl = Timeline::new();
+        tl.push(PhaseKind::BootVerification, "hash kernel", Nanos::from_millis(3));
+        let text = tl.render();
+        assert!(text.contains("Boot Verification"));
+        assert!(text.contains("hash kernel"));
+        assert!(text.contains("total"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use sevf_sim::{DesEngine, Job, Nanos, PhaseKind, Segment, Timeline};
+
+fn arb_durations(max_segments: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..5_000_000, 1..max_segments)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn des_latency_never_below_service_time(
+        jobs_spec in proptest::collection::vec(arb_durations(5), 1..12),
+        capacity in 1usize..4,
+    ) {
+        let mut engine = DesEngine::new();
+        let res = engine.add_resource("r", capacity);
+        let jobs: Vec<Job> = jobs_spec
+            .iter()
+            .map(|durations| {
+                Job::new(
+                    durations
+                        .iter()
+                        .map(|&d| Segment::on(res, Nanos::from_nanos(d), "seg"))
+                        .collect(),
+                )
+            })
+            .collect();
+        let service: Vec<Nanos> = jobs.iter().map(Job::service_time).collect();
+        let outcomes = engine.run(jobs);
+        prop_assert_eq!(outcomes.len(), service.len());
+        for (outcome, s) in outcomes.iter().zip(&service) {
+            prop_assert!(outcome.latency() >= *s, "latency below service time");
+        }
+    }
+
+    #[test]
+    fn des_makespan_bounded_by_total_work(
+        jobs_spec in proptest::collection::vec(arb_durations(4), 1..10),
+    ) {
+        // Single-slot resource: makespan == total demand (work conserving),
+        // and the queue never idles while work remains.
+        let mut engine = DesEngine::new();
+        let res = engine.add_resource("psp", 1);
+        let total: u64 = jobs_spec.iter().flatten().sum();
+        let jobs: Vec<Job> = jobs_spec
+            .iter()
+            .map(|durations| {
+                Job::new(
+                    durations
+                        .iter()
+                        .map(|&d| Segment::on(res, Nanos::from_nanos(d), "seg"))
+                        .collect(),
+                )
+            })
+            .collect();
+        let outcomes = engine.run(jobs);
+        let makespan = outcomes.iter().map(|o| o.finish).max().unwrap();
+        prop_assert_eq!(makespan, Nanos::from_nanos(total));
+    }
+
+    #[test]
+    fn des_pure_delays_are_independent(
+        delays in proptest::collection::vec(1u64..1_000_000, 1..20),
+    ) {
+        let mut engine = DesEngine::new();
+        let jobs: Vec<Job> = delays
+            .iter()
+            .map(|&d| Job::new(vec![Segment::delay(Nanos::from_nanos(d), "net")]))
+            .collect();
+        let outcomes = engine.run(jobs);
+        for (outcome, &d) in outcomes.iter().zip(&delays) {
+            prop_assert_eq!(outcome.finish, Nanos::from_nanos(d));
+            prop_assert_eq!(outcome.queued, Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn timeline_totals_are_span_sums(durations in proptest::collection::vec(1u64..10_000_000, 1..30)) {
+        let mut tl = Timeline::new();
+        let phases = [PhaseKind::VmmSetup, PhaseKind::LinuxBoot, PhaseKind::Attestation];
+        for (i, &d) in durations.iter().enumerate() {
+            tl.push(phases[i % 3], "work", Nanos::from_nanos(d));
+        }
+        let total: u64 = durations.iter().sum();
+        prop_assert_eq!(tl.total(), Nanos::from_nanos(total));
+        let by_phase: u64 = phases
+            .iter()
+            .map(|&p| tl.phase_total(p).as_nanos())
+            .sum();
+        prop_assert_eq!(by_phase, total);
+        // boot_total excludes exactly the attestation spans.
+        let attestation: u64 = durations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 2)
+            .map(|(_, &d)| d)
+            .sum();
+        prop_assert_eq!(tl.boot_total(), Nanos::from_nanos(total - attestation));
+    }
+
+    #[test]
+    fn timeline_filtered_keeps_selected_phases(
+        durations in proptest::collection::vec(1u64..1_000_000, 1..20),
+    ) {
+        let mut tl = Timeline::new();
+        let phases = [PhaseKind::VmmSetup, PhaseKind::Attestation];
+        for (i, &d) in durations.iter().enumerate() {
+            tl.push(phases[i % 2], "work", Nanos::from_nanos(d));
+        }
+        let filtered = tl.filtered(|p| p.counts_as_boot());
+        prop_assert_eq!(filtered.total(), tl.boot_total());
+        prop_assert!(filtered
+            .spans()
+            .iter()
+            .all(|s| s.phase != PhaseKind::Attestation));
+    }
+
+    #[test]
+    fn jitter_preserves_scale(seed in any::<u64>()) {
+        let mut j = sevf_sim::rng::Jitter::new(seed);
+        let nominal = Nanos::from_millis(100);
+        let mean: f64 = (0..500)
+            .map(|_| j.apply(nominal).as_millis_f64())
+            .sum::<f64>()
+            / 500.0;
+        prop_assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn stats_percentiles_within_bounds(
+        values in proptest::collection::vec(0.0f64..1e9, 1..200),
+    ) {
+        let s = sevf_sim::Summary::from_values(&values);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.p50 <= s.p99 && s.p99 <= s.max);
+        let points = sevf_sim::stats::cdf(&values);
+        for pair in points.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+        prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

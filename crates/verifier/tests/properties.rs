@@ -1,0 +1,115 @@
+//! Property-based tests: measured direct boot must catch *any* tampering.
+
+use proptest::prelude::*;
+use sevf_codec::Codec;
+use sevf_crypto::sha256;
+use sevf_image::kernel::KernelConfig;
+use sevf_mem::GuestMemory;
+use sevf_sim::cost::SevGeneration;
+use sevf_sim::CostModel;
+use sevf_verifier::binary::{VerifierBinary, VerifierFeatures};
+use sevf_verifier::hashes::{HashPage, KernelHashes};
+use sevf_verifier::layout::{GuestLayout, HASH_PAGE_ADDR, VERIFIER_ADDR};
+use sevf_verifier::verify::{self, VerifierConfig};
+use sevf_verifier::VerifierError;
+
+const MB: u64 = 1024 * 1024;
+
+struct Staged {
+    mem: GuestMemory,
+    layout: GuestLayout,
+    kernel_len: usize,
+    initrd_len: usize,
+}
+
+fn stage_honest() -> Staged {
+    let image = KernelConfig::test_tiny().build();
+    let bz = image.bzimage(Codec::Lz4);
+    let initrd = sevf_image::initrd::build_initrd(64 * 1024);
+    let mut mem = GuestMemory::new_sev(64 * MB, [3u8; 16], SevGeneration::SevSnp);
+    let layout = GuestLayout::plan(64 * MB, bz.len() as u64, initrd.len() as u64).unwrap();
+    mem.host_write(layout.kernel_staging, &bz).unwrap();
+    mem.host_write(layout.initrd_staging, &initrd).unwrap();
+    let hash_page = HashPage {
+        kernel: KernelHashes::WholeImage(sha256(&bz)),
+        initrd: sha256(&initrd),
+    };
+    mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page()).unwrap();
+    let verifier = VerifierBinary::build(VerifierFeatures::severifast());
+    mem.host_write(VERIFIER_ADDR, verifier.bytes()).unwrap();
+    mem.pre_encrypt(HASH_PAGE_ADDR, 4096).unwrap();
+    mem.pre_encrypt(VERIFIER_ADDR, verifier.size()).unwrap();
+    for (base, len) in layout.private_ranges() {
+        mem.rmp_assign(base, len).unwrap();
+    }
+    Staged {
+        mem,
+        layout,
+        kernel_len: bz.len(),
+        initrd_len: initrd.len(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_kernel_byte_flip_is_detected(offset_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let mut staged = stage_honest();
+        let offset = (offset_frac * (staged.kernel_len - 1) as f64) as u64;
+        let addr = staged.layout.kernel_staging + offset;
+        let mut byte = staged.mem.host_read(addr, 1).unwrap();
+        byte[0] ^= flip;
+        staged.mem.host_write(addr, &byte).unwrap();
+        let err = verify::run(
+            &mut staged.mem,
+            &staged.layout,
+            &CostModel::calibrated(),
+            VerifierConfig::severifast(),
+        )
+        .unwrap_err();
+        let detected = matches!(
+            err,
+            VerifierError::HashMismatch { .. } | VerifierError::Image(_)
+        );
+        prop_assert!(detected, "flip at {offset} escaped: {err:?}");
+    }
+
+    #[test]
+    fn any_initrd_byte_flip_is_detected(offset_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let mut staged = stage_honest();
+        let offset = (offset_frac * (staged.initrd_len - 1) as f64) as u64;
+        let addr = staged.layout.initrd_staging + offset;
+        let mut byte = staged.mem.host_read(addr, 1).unwrap();
+        byte[0] ^= flip;
+        staged.mem.host_write(addr, &byte).unwrap();
+        let err = verify::run(
+            &mut staged.mem,
+            &staged.layout,
+            &CostModel::calibrated(),
+            VerifierConfig::severifast(),
+        )
+        .unwrap_err();
+        prop_assert!(
+            matches!(err, VerifierError::HashMismatch { component: "initrd" }),
+            "flip at {offset} gave {err:?}"
+        );
+    }
+
+    #[test]
+    fn honest_boot_always_succeeds_regardless_of_sweep_granularity(huge_pages in any::<bool>()) {
+        let mut staged = stage_honest();
+        let config = VerifierConfig {
+            huge_pages,
+            ..VerifierConfig::severifast()
+        };
+        let boot = verify::run(
+            &mut staged.mem,
+            &staged.layout,
+            &CostModel::calibrated(),
+            config,
+        )
+        .unwrap();
+        prop_assert!(boot.pvalidated_pages > 0);
+    }
+}

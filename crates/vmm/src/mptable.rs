@@ -1,0 +1,186 @@
+//! The MP (MultiProcessor specification) table.
+//!
+//! Fig. 7: the mptable describes the CPU configuration to the kernel; it
+//! spans 284 bytes plus 20 bytes per CPU, while the code to generate it is
+//! ~4 KB — so SEVeriFast *pre-encrypts* the table the VMM already builds
+//! instead of generating it in the boot verifier. The layout here follows
+//! the MP spec's shape: a floating pointer structure, a config-table
+//! header, and one processor entry per vCPU, all checksummed.
+
+/// Size of the MP floating pointer structure.
+const MPF_SIZE: usize = 16;
+/// Size of the MP config table header.
+const MPC_HEADER_SIZE: usize = 44;
+/// Fixed bus/ioapic/irq entries we emit (mirrors Firecracker's table).
+const FIXED_ENTRIES_SIZE: usize = 224;
+/// Size of one processor entry.
+const CPU_ENTRY_SIZE: usize = 20;
+
+/// Byte size of the table for a CPU count (Fig. 7: "284B + 20B/CPU").
+pub fn table_size(vcpus: u64) -> u64 {
+    (MPF_SIZE + MPC_HEADER_SIZE + FIXED_ENTRIES_SIZE) as u64 + vcpus * CPU_ENTRY_SIZE as u64
+}
+
+fn checksum_fix(bytes: &mut [u8], checksum_at: usize) {
+    bytes[checksum_at] = 0;
+    let sum: u8 = bytes.iter().fold(0u8, |acc, &b| acc.wrapping_add(b));
+    bytes[checksum_at] = 0u8.wrapping_sub(sum);
+}
+
+/// Builds the mptable for `vcpus` processors.
+///
+/// # Panics
+///
+/// Panics if `vcpus == 0`.
+pub fn build(vcpus: u64) -> Vec<u8> {
+    assert!(vcpus > 0);
+    let total = table_size(vcpus) as usize;
+    let mut out = Vec::with_capacity(total);
+
+    // Floating pointer: signature "_MP_", points at the config table.
+    out.extend_from_slice(b"_MP_");
+    out.extend_from_slice(&(MPF_SIZE as u32).to_le_bytes()); // phys ptr (relative)
+    out.push(1); // length in 16-byte units
+    out.push(4); // spec revision 1.4
+    out.push(0); // checksum (fixed below)
+    out.extend_from_slice(&[0u8; 5]); // feature bytes
+    debug_assert_eq!(out.len(), MPF_SIZE);
+    checksum_fix(&mut out[..MPF_SIZE], 10);
+
+    // Config table header: signature "PCMP".
+    let header_start = out.len();
+    out.extend_from_slice(b"PCMP");
+    let table_len = (MPC_HEADER_SIZE + FIXED_ENTRIES_SIZE) as u16
+        + (vcpus as u16) * CPU_ENTRY_SIZE as u16;
+    out.extend_from_slice(&table_len.to_le_bytes());
+    out.push(4); // spec revision
+    out.push(0); // checksum (fixed below)
+    out.extend_from_slice(b"SEVF    "); // OEM id (8 bytes)
+    out.extend_from_slice(b"MICROVM     "); // product id (12 bytes)
+    out.extend_from_slice(&0u32.to_le_bytes()); // OEM table pointer
+    out.extend_from_slice(&0u16.to_le_bytes()); // OEM table size
+    out.extend_from_slice(&((vcpus as u16) + 2).to_le_bytes()); // entry count
+    out.extend_from_slice(&0xFEE0_0000u32.to_le_bytes()); // local APIC addr
+    out.extend_from_slice(&[0u8; 4]); // ext table length/checksum + reserved
+    debug_assert_eq!(out.len() - header_start, MPC_HEADER_SIZE);
+
+    // Processor entries.
+    for cpu in 0..vcpus {
+        let mut entry = [0u8; CPU_ENTRY_SIZE];
+        entry[0] = 0; // type 0 = processor
+        entry[1] = cpu as u8; // local APIC id
+        entry[2] = 0x14; // APIC version
+        entry[3] = 0x01 | if cpu == 0 { 0x02 } else { 0 }; // enabled | BSP
+        entry[4..8].copy_from_slice(&0x000806F1u32.to_le_bytes()); // signature
+        entry[8..12].copy_from_slice(&0x0178FBFFu32.to_le_bytes()); // features
+        out.extend_from_slice(&entry);
+    }
+
+    // Fixed bus / I/O APIC / interrupt entries (content modeled, sized real).
+    out.extend(std::iter::repeat_n(0x5au8, FIXED_ENTRIES_SIZE));
+
+    // Config-table checksum covers header + entries.
+    let end = out.len();
+    checksum_fix(&mut out[header_start..end], 7);
+    out
+}
+
+/// Validation result for a parsed mptable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MptableInfo {
+    /// Number of processor entries found.
+    pub vcpus: u64,
+}
+
+/// Validates signatures and checksums, as the guest kernel does when it
+/// scans for the table.
+///
+/// # Errors
+///
+/// Returns a static description of the first corruption found.
+pub fn validate(bytes: &[u8]) -> Result<MptableInfo, &'static str> {
+    if bytes.len() < MPF_SIZE + MPC_HEADER_SIZE {
+        return Err("mptable shorter than headers");
+    }
+    if &bytes[..4] != b"_MP_" {
+        return Err("missing _MP_ signature");
+    }
+    let mpf_sum: u8 = bytes[..MPF_SIZE].iter().fold(0u8, |a, &b| a.wrapping_add(b));
+    if mpf_sum != 0 {
+        return Err("floating pointer checksum invalid");
+    }
+    if &bytes[MPF_SIZE..MPF_SIZE + 4] != b"PCMP" {
+        return Err("missing PCMP signature");
+    }
+    let table_len =
+        u16::from_le_bytes(bytes[MPF_SIZE + 4..MPF_SIZE + 6].try_into().expect("2")) as usize;
+    if MPF_SIZE + table_len > bytes.len() {
+        return Err("config table length out of bounds");
+    }
+    let table = &bytes[MPF_SIZE..MPF_SIZE + table_len];
+    let sum: u8 = table.iter().fold(0u8, |a, &b| a.wrapping_add(b));
+    if sum != 0 {
+        return Err("config table checksum invalid");
+    }
+    // Count processor entries (they directly follow the header here).
+    let mut vcpus = 0u64;
+    let mut at = MPC_HEADER_SIZE;
+    while at + CPU_ENTRY_SIZE <= table_len && table[at] == 0 {
+        vcpus += 1;
+        at += CPU_ENTRY_SIZE;
+    }
+    if vcpus == 0 {
+        return Err("no processor entries");
+    }
+    Ok(MptableInfo { vcpus })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_sizes() {
+        // Fig. 7: "284B + 20B/CPU" — 1 CPU ⇒ 304 bytes (§4.2).
+        assert_eq!(table_size(1), 304);
+        assert_eq!(table_size(2), 324);
+        assert_eq!(table_size(32), 284 + 32 * 20);
+        assert_eq!(build(1).len() as u64, table_size(1));
+    }
+
+    #[test]
+    fn builds_validate() {
+        for vcpus in [1, 2, 4, 32] {
+            let table = build(vcpus);
+            let info = validate(&table).unwrap();
+            assert_eq!(info.vcpus, vcpus, "vcpus {vcpus}");
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut table = build(2);
+        table[40] ^= 1;
+        assert!(validate(&table).is_err());
+    }
+
+    #[test]
+    fn bad_signature_detected() {
+        let mut table = build(1);
+        table[0] = b'X';
+        assert_eq!(validate(&table), Err("missing _MP_ signature"));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let table = build(4);
+        assert!(validate(&table[..40]).is_err());
+        assert!(validate(&table[..table.len() - 8]).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cpus_panics() {
+        build(0);
+    }
+}

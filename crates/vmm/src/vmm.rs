@@ -1,0 +1,1019 @@
+//! The microVM monitor: boot orchestration for all four policies.
+
+use std::sync::Arc;
+
+use sevf_attest::{expected_measurement, AttestError, GuestAttestClient, MeasuredItem};
+use sevf_codec::Codec;
+use sevf_image::ImageError;
+use sevf_mem::{GuestMemory, MemError};
+use sevf_ovmf::{OvmfImage, OVMF_BASE};
+use sevf_psp::PspError;
+use sevf_sim::cost::SevGeneration;
+use sevf_sim::rng::Jitter;
+use sevf_sim::{EventChannel, Nanos, PhaseKind, Timeline};
+use sevf_verifier::binary::{VerifierBinary, VerifierFeatures};
+use sevf_verifier::layout::{
+    GuestLayout, BOOT_PARAMS_ADDR, CMDLINE_ADDR, HASH_PAGE_ADDR, MPTABLE_ADDR, VERIFIER_ADDR,
+};
+use sevf_verifier::verify::{self, KernelKind, VerifierConfig};
+use sevf_verifier::VerifierError;
+
+use crate::boot_params::BootParams;
+use crate::cmdline;
+use crate::config::{BootPolicy, KaslrMode, LaunchMode, VmConfig};
+use crate::guest_kernel::{self, GuestBootError};
+use crate::hashes_file::precomputed_hash_page;
+use crate::machine::Machine;
+use crate::mptable;
+use crate::report::{BootOutcome, BootReport};
+
+/// Errors surfaced by a boot attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmmError {
+    /// The configuration is inconsistent.
+    Config(&'static str),
+    /// The components do not fit the guest memory map.
+    Layout(&'static str),
+    /// A PSP command failed.
+    Psp(PspError),
+    /// A host-side memory operation failed.
+    Mem(MemError),
+    /// The boot verifier refused to boot.
+    Verifier(VerifierError),
+    /// The guest kernel refused to boot.
+    Guest(GuestBootError),
+    /// Remote attestation failed.
+    Attest(AttestError),
+    /// A boot image could not be built or parsed.
+    Image(ImageError),
+}
+
+impl std::fmt::Display for VmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmmError::Config(w) => write!(f, "invalid configuration: {w}"),
+            VmmError::Layout(w) => write!(f, "layout error: {w}"),
+            VmmError::Psp(e) => write!(f, "PSP error: {e}"),
+            VmmError::Mem(e) => write!(f, "memory error: {e}"),
+            VmmError::Verifier(e) => write!(f, "boot verifier: {e}"),
+            VmmError::Guest(e) => write!(f, "guest kernel: {e}"),
+            VmmError::Attest(e) => write!(f, "attestation: {e}"),
+            VmmError::Image(e) => write!(f, "image error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for VmmError {
+            fn from(e: $ty) -> Self {
+                VmmError::$variant(e)
+            }
+        }
+    };
+}
+from_err!(Psp, PspError);
+from_err!(Mem, MemError);
+from_err!(Verifier, VerifierError);
+from_err!(Guest, GuestBootError);
+from_err!(Attest, AttestError);
+from_err!(Image, ImageError);
+
+/// A configured microVM, ready to boot on a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MicroVm {
+    config: VmConfig,
+}
+
+/// A booted guest's live state, for warm-start experiments (§7.1).
+pub(crate) struct LiveGuest {
+    /// The guest's memory, exactly as left at `init`.
+    pub(crate) mem: GuestMemory,
+    /// The PSP launch context (SEV boots) — kept alive so the PSP retains
+    /// the guest's key for the duration of a keep-alive window.
+    #[allow(dead_code)]
+    pub(crate) guest: Option<sevf_psp::GuestHandle>,
+    /// The loaded kernel's entry point.
+    pub(crate) kernel_entry: u64,
+}
+
+/// Everything boot needs that is derivable from the config alone.
+struct Artifacts {
+    kernel_bytes: Arc<Vec<u8>>,
+    initrd_bytes: Vec<u8>,
+    layout: GuestLayout,
+    verifier: Option<VerifierBinary>,
+    ovmf: Option<OvmfImage>,
+}
+
+impl MicroVm {
+    /// Validates the configuration and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::Config`] on inconsistent configurations.
+    pub fn new(config: VmConfig) -> Result<Self, VmmError> {
+        config.validate().map_err(VmmError::Config)?;
+        Ok(MicroVm { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    fn artifacts(&self) -> Result<Artifacts, VmmError> {
+        let image = self.config.kernel.build();
+        let kernel_bytes: Arc<Vec<u8>> = match self.config.policy {
+            BootPolicy::Severifast | BootPolicy::QemuOvmf => {
+                image.bzimage(self.config.kernel_codec)
+            }
+            BootPolicy::SeverifastVmlinux => {
+                // fw_cfg staging: [ehdr][phdrs][segments] back to back.
+                let (ehdr, phdrs, segs) = image.elf().fw_cfg_pieces();
+                let mut staged = ehdr;
+                staged.extend_from_slice(&phdrs);
+                staged.extend_from_slice(&segs);
+                Arc::new(staged)
+            }
+            BootPolicy::StockFirecracker => Arc::new(image.vmlinux().to_vec()),
+        };
+        let raw_initrd = sevf_image::initrd::build_initrd(self.config.initrd_size);
+        let initrd_bytes = match self.config.initrd_codec {
+            Codec::None => (*raw_initrd).clone(),
+            codec => codec.compress(&raw_initrd),
+        };
+        let layout = GuestLayout::plan_with_expansion(
+            self.config.mem_size,
+            kernel_bytes.len() as u64,
+            initrd_bytes.len() as u64,
+            self.config.policy.uses_bzimage(),
+        )
+        .map_err(VmmError::Layout)?;
+        let (verifier, ovmf) = match self.config.policy {
+            BootPolicy::Severifast => (
+                Some(VerifierBinary::build(VerifierFeatures::severifast())),
+                None,
+            ),
+            BootPolicy::SeverifastVmlinux => (
+                Some(VerifierBinary::build(VerifierFeatures::severifast_vmlinux())),
+                None,
+            ),
+            BootPolicy::QemuOvmf => (None, Some(OvmfImage::build())),
+            BootPolicy::StockFirecracker => (None, None),
+        };
+        Ok(Artifacts {
+            kernel_bytes,
+            initrd_bytes,
+            layout,
+            verifier,
+            ovmf,
+        })
+    }
+
+    /// The ordered pre-encryption plan (firmware, hash page, boot_params,
+    /// mptable, cmdline) — the input to the expected-measurement tool
+    /// (§4.2) and the exact sequence [`MicroVm::boot`] executes.
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::Config`] for non-SEV policies.
+    pub fn pre_encryption_plan(&self) -> Result<Vec<MeasuredItem>, VmmError> {
+        if !self.config.policy.is_sev() {
+            return Err(VmmError::Config("non-SEV boots pre-encrypt nothing"));
+        }
+        let artifacts = self.artifacts()?;
+        self.plan_from_artifacts(&artifacts)
+    }
+
+    /// [`MicroVm::pre_encryption_plan`] over artifacts the caller already
+    /// built (the boot path holds them; rebuilding would re-hash the kernel).
+    fn plan_from_artifacts(&self, artifacts: &Artifacts) -> Result<Vec<MeasuredItem>, VmmError> {
+        let mut items = Vec::new();
+        match self.config.policy {
+            BootPolicy::QemuOvmf => {
+                let ovmf = artifacts.ovmf.as_ref().expect("ovmf policy has image");
+                let mut data = ovmf.bytes().to_vec();
+                data.resize(ovmf.pre_encrypted_size() as usize, 0); // metadata pages
+                items.push(MeasuredItem {
+                    gpa: OVMF_BASE,
+                    data,
+                    label: "OVMF firmware + SNP metadata",
+                });
+            }
+            _ => {
+                let verifier = artifacts.verifier.as_ref().expect("sev policy has verifier");
+                items.push(MeasuredItem {
+                    gpa: VERIFIER_ADDR,
+                    data: verifier.bytes().to_vec(),
+                    label: "boot verifier",
+                });
+            }
+        }
+        let hash_page = precomputed_hash_page(
+            self.config.policy,
+            &artifacts.kernel_bytes,
+            &artifacts.initrd_bytes,
+        )?;
+        items.push(MeasuredItem {
+            gpa: HASH_PAGE_ADDR,
+            data: hash_page.to_page().to_vec(),
+            label: "kernel/initrd hash page",
+        });
+        items.push(MeasuredItem {
+            gpa: BOOT_PARAMS_ADDR,
+            data: BootParams::build(&self.config, &artifacts.layout)
+                .to_page()
+                .to_vec(),
+            label: "boot_params",
+        });
+        items.push(MeasuredItem {
+            gpa: MPTABLE_ADDR,
+            data: mptable::build(self.config.vcpus),
+            label: "mptable",
+        });
+        items.push(MeasuredItem {
+            gpa: CMDLINE_ADDR,
+            data: cmdline::to_page(&cmdline::default_cmdline()).to_vec(),
+            label: "kernel command line",
+        });
+        Ok(items)
+    }
+
+    /// The launch digest a correct boot of this VM must produce (§4.2's
+    /// out-of-band tool).
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::Config`] for non-SEV policies.
+    pub fn expected_measurement(&self) -> Result<[u8; 48], VmmError> {
+        let items = self.pre_encryption_plan()?;
+        let vcpus = if self.config.generation.encrypts_vmsa() {
+            self.config.vcpus
+        } else {
+            0
+        };
+        Ok(expected_measurement(&items, vcpus))
+    }
+
+    /// Registers this VM's expected measurement with the machine's guest
+    /// owner (what a real tenant does out of band before launching).
+    ///
+    /// # Errors
+    ///
+    /// [`VmmError::Config`] for non-SEV policies.
+    pub fn register_expected(&self, machine: &mut Machine) -> Result<(), VmmError> {
+        machine.owner.expect_measurement(self.expected_measurement()?);
+        Ok(())
+    }
+
+    /// Boots the VM on `machine`, producing a full timeline report.
+    ///
+    /// # Errors
+    ///
+    /// Any stage may refuse: layout, PSP commands, the boot verifier, the
+    /// guest kernel, or remote attestation.
+    pub fn boot(&self, machine: &mut Machine) -> Result<BootReport, VmmError> {
+        Ok(self.boot_capturing(machine)?.0)
+    }
+
+    /// Like [`MicroVm::boot`], but keeps the booted guest alive for the
+    /// §7.1 warm-start exploration: returns the running guest's memory and
+    /// PSP context alongside the report.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MicroVm::boot`].
+    pub fn boot_keep_alive(
+        &self,
+        machine: &mut Machine,
+    ) -> Result<(BootReport, crate::warm::KeepAliveVm), VmmError> {
+        let (report, live) = self.boot_capturing(machine)?;
+        Ok((
+            report,
+            crate::warm::KeepAliveVm::new(self.config.clone(), live),
+        ))
+    }
+
+    fn boot_capturing(&self, machine: &mut Machine) -> Result<(BootReport, LiveGuest), VmmError> {
+        let cost = machine.cost.clone();
+        let mut jitter = match self.config.jitter_seed {
+            Some(seed) => Jitter::new(seed),
+            None => Jitter::disabled(),
+        };
+        let mut tl = Timeline::new();
+        let mut psp_busy = Nanos::ZERO;
+        let artifacts = self.artifacts()?;
+        let layout = &artifacts.layout;
+
+        // ---- VMM process + KVM setup -------------------------------------
+        let spawn = if self.config.policy == BootPolicy::QemuOvmf {
+            cost.qemu_process_spawn
+        } else {
+            cost.fc_process_spawn
+        };
+        tl.push(PhaseKind::VmmSetup, "VMM process spawn + config", jitter.apply(spawn));
+        tl.push(
+            PhaseKind::VmmSetup,
+            "KVM VM/vCPU setup",
+            jitter.apply(cost.kvm_vm_setup),
+        );
+        tl.push(
+            PhaseKind::VmmSetup,
+            "device setup (serial, virtio, debug port)",
+            jitter.apply(cost.device_setup),
+        );
+        tl.mark(EventChannel::VmmLog, "vmm-ready");
+
+        if !self.config.policy.is_sev() {
+            return self.boot_stock(machine, tl, jitter, artifacts);
+        }
+
+        // ---- SEV launch ----------------------------------------------------
+        let template = if self.config.launch_mode == LaunchMode::SharedKeyTemplate {
+            machine.templates.get(&self.expected_measurement()?).copied()
+        } else {
+            None
+        };
+        let (guest, mut mem, measurement) = match template {
+            Some(template_guest) => self.launch_shared(
+                machine,
+                &mut tl,
+                &mut jitter,
+                &mut psp_busy,
+                &artifacts,
+                template_guest,
+            )?,
+            None => {
+                let launched =
+                    self.launch_full(machine, &mut tl, &mut jitter, &mut psp_busy, &artifacts)?;
+                if self.config.launch_mode == LaunchMode::SharedKeyTemplate {
+                    machine.templates.insert(launched.2, launched.0);
+                }
+                launched
+            }
+        };
+
+        // ---- Enter the guest -------------------------------------------------
+        tl.mark(EventChannel::GhcbMsr, "guest-entry");
+        let verified = match self.config.policy {
+            BootPolicy::Severifast | BootPolicy::SeverifastVmlinux => {
+                let vconfig = VerifierConfig {
+                    kind: if self.config.policy == BootPolicy::Severifast {
+                        KernelKind::Bzimage
+                    } else {
+                        KernelKind::Vmlinux
+                    },
+                    huge_pages: self.config.huge_pages,
+                    c_bit: sevf_mem::C_BIT_POSITION,
+                    firmware_base: VERIFIER_ADDR,
+                    firmware_size: artifacts
+                        .verifier
+                        .as_ref()
+                        .expect("sev policy has verifier")
+                        .size(),
+                };
+                let verified = verify::run(&mut mem, layout, &cost, vconfig)?;
+                for step in &verified.steps {
+                    tl.push(
+                        PhaseKind::BootVerification,
+                        step.label.clone(),
+                        jitter.apply(step.duration),
+                    );
+                }
+                verified
+            }
+            BootPolicy::QemuOvmf => {
+                let boot = sevf_ovmf::boot(
+                    &mut mem,
+                    layout,
+                    &cost,
+                    KernelKind::Bzimage,
+                    self.config.huge_pages,
+                )?;
+                for phase in &boot.phases {
+                    tl.push(phase.phase, phase.name, jitter.apply(phase.duration));
+                }
+                for step in boot.verifier_steps() {
+                    tl.push(
+                        PhaseKind::BootVerification,
+                        step.label.clone(),
+                        jitter.apply(step.duration),
+                    );
+                }
+                boot.verified
+            }
+            BootPolicy::StockFirecracker => unreachable!("handled above"),
+        };
+        tl.mark(EventChannel::GhcbMsr, "boot-verification-done");
+
+        // ---- Bootstrap loader (bzImage policies) ------------------------------
+        let entry = if self.config.policy.uses_bzimage() {
+            // Guest-side KASLR: the loader draws a slide inside encrypted
+            // memory. (Modeled with the machine RNG standing in for the
+            // guest's RDRAND; the host never depends on the value.)
+            let slide = if self.config.kaslr == KaslrMode::GuestSide {
+                let image = self.config.kernel.build();
+                Self::pick_slide(&mut machine.rng, &image, layout)
+            } else {
+                0
+            };
+            let loader = guest_kernel::run_bootstrap_loader_kaslr(
+                &mut mem,
+                verified.kernel_entry,
+                layout.kernel_size,
+                &cost,
+                slide,
+            )?;
+            for step in &loader.steps {
+                tl.push(
+                    PhaseKind::BootstrapLoader,
+                    step.label.clone(),
+                    jitter.apply(step.duration),
+                );
+            }
+            tl.mark(EventChannel::DebugPort, "bootstrap-loader-done");
+            loader.vmlinux_entry
+        } else {
+            verified.kernel_entry
+        };
+
+        // ---- Linux boot ---------------------------------------------------------
+        let stage = guest_kernel::run_kernel(&mut mem, entry, self.config.generation, &cost)?;
+        for step in &stage.steps {
+            tl.push(PhaseKind::LinuxBoot, step.label.clone(), jitter.apply(step.duration));
+        }
+        tl.mark(EventChannel::DebugPort, "init");
+
+        // ---- Remote attestation -------------------------------------------------
+        let (outcome, secret) = if stage.descriptor.has_network {
+            let client = GuestAttestClient::new(&measurement);
+            let (report, work) = machine.psp.guest_report(guest, client.report_data())?;
+            psp_busy += work.duration;
+            tl.push(
+                PhaseKind::Attestation,
+                "SNP_GUEST_REQUEST (report into encrypted memory)",
+                jitter.apply(work.duration),
+            );
+            tl.push(
+                PhaseKind::Attestation,
+                "send report; owner validates and wraps secret",
+                jitter.apply(cost.attestation_network_rtt + cost.attestation_server_validate),
+            );
+            let wrapped = machine.owner.handle_report(&report)?;
+            let secret = client.unwrap_secret(&wrapped)?;
+            tl.push(
+                PhaseKind::Attestation,
+                "derive session key; unwrap secret",
+                jitter.apply(cost.attestation_guest_crypto),
+            );
+            tl.mark(EventChannel::DebugPort, "attested");
+            (BootOutcome::Running, Some(secret))
+        } else {
+            (BootOutcome::RunningUnattested, None)
+        };
+
+        let report = BootReport {
+            config: self.config.clone(),
+            timeline: tl,
+            outcome,
+            measurement: Some(measurement),
+            provisioned_secret: secret,
+            psp_busy,
+        };
+        Ok((
+            report,
+            LiveGuest {
+                mem,
+                guest: Some(guest),
+                kernel_entry: entry,
+            },
+        ))
+    }
+
+    /// The full SEV launch flow (§2.4): LAUNCH_START, RMP init, staging,
+    /// the §4.2 pre-encryption plan, VMSAs, LAUNCH_FINISH.
+    fn launch_full(
+        &self,
+        machine: &mut Machine,
+        tl: &mut Timeline,
+        jitter: &mut Jitter,
+        psp_busy: &mut Nanos,
+        artifacts: &Artifacts,
+    ) -> Result<(sevf_psp::GuestHandle, GuestMemory, [u8; 48]), VmmError> {
+        let cost = machine.cost.clone();
+        let layout = &artifacts.layout;
+        let start = machine.psp.launch_start(self.config.generation)?;
+        *psp_busy += start.work.duration;
+        tl.push(
+            PhaseKind::PreEncryption,
+            "SNP_LAUNCH_START",
+            jitter.apply(start.work.duration),
+        );
+        let guest = start.guest;
+        let mut mem =
+            GuestMemory::new_sev(self.config.mem_size, start.memory_key, self.config.generation);
+
+        let rmp = machine.psp.rmp_init(guest, &mem)?;
+        *psp_busy += rmp.duration;
+        tl.push(
+            PhaseKind::VmmSetup,
+            "KVM RMP/page-state initialization",
+            jitter.apply(rmp.duration),
+        );
+        tl.push(
+            PhaseKind::VmmSetup,
+            "register/pin encrypted memory regions",
+            jitter.apply(cost.sev_kvm_extra),
+        );
+
+        // Stage plain-text components in the shared window.
+        mem.host_write(layout.kernel_staging, &artifacts.kernel_bytes)?;
+        tl.push(
+            PhaseKind::VmmSetup,
+            format!("stage kernel image ({} B)", artifacts.kernel_bytes.len()),
+            jitter.apply(cost.cpu_copy_plain(artifacts.kernel_bytes.len() as u64)),
+        );
+        mem.host_write(layout.initrd_staging, &artifacts.initrd_bytes)?;
+        tl.push(
+            PhaseKind::VmmSetup,
+            format!("stage initrd ({} B)", artifacts.initrd_bytes.len()),
+            jitter.apply(cost.cpu_copy_plain(artifacts.initrd_bytes.len() as u64)),
+        );
+
+        // Pre-encrypt the root of trust (the §4.2 plan, in order).
+        let plan = self.plan_from_artifacts(artifacts)?;
+        for item in &plan {
+            mem.host_write(item.gpa, &item.data)?;
+            let work = machine
+                .psp
+                .launch_update_data(guest, &mut mem, item.gpa, item.data.len() as u64)?;
+            *psp_busy += work.duration;
+            tl.push(
+                PhaseKind::PreEncryption,
+                format!("LAUNCH_UPDATE_DATA: {} ({} B)", item.label, item.data.len()),
+                jitter.apply(work.duration),
+            );
+        }
+        if self.config.generation.encrypts_vmsa() {
+            let work = machine
+                .psp
+                .launch_update_vmsa(guest, self.config.vcpus, &[0u8; 4096])?;
+            *psp_busy += work.duration;
+            tl.push(
+                PhaseKind::PreEncryption,
+                format!("LAUNCH_UPDATE_VMSA ({} vCPU)", self.config.vcpus),
+                jitter.apply(work.duration),
+            );
+        }
+        for (base, len) in layout.private_ranges() {
+            mem.rmp_assign(base, len)?;
+        }
+        let finish = machine.psp.launch_finish(guest)?;
+        *psp_busy += finish.work.duration;
+        tl.push(
+            PhaseKind::PreEncryption,
+            "SNP_LAUNCH_FINISH",
+            jitter.apply(finish.work.duration),
+        );
+        tl.mark(EventChannel::VmmLog, "launch-measurement-frozen");
+        Ok((guest, mem, finish.measurement))
+    }
+
+    /// The shared-key template launch (future work, §6.2/§8): reuse a
+    /// finalized template's key and measurement; install the attested
+    /// template state with plain copies instead of PSP measurement; skip
+    /// RMP re-initialization (page states are cloned copy-on-write from the
+    /// template).
+    fn launch_shared(
+        &self,
+        machine: &mut Machine,
+        tl: &mut Timeline,
+        jitter: &mut Jitter,
+        psp_busy: &mut Nanos,
+        artifacts: &Artifacts,
+        template: sevf_psp::GuestHandle,
+    ) -> Result<(sevf_psp::GuestHandle, GuestMemory, [u8; 48]), VmmError> {
+        let cost = machine.cost.clone();
+        let layout = &artifacts.layout;
+        let start = machine.psp.launch_start_shared(template)?;
+        *psp_busy += start.work.duration;
+        tl.push(
+            PhaseKind::PreEncryption,
+            "shared-key template launch (no per-VM measurement)",
+            jitter.apply(start.work.duration),
+        );
+        let mut mem =
+            GuestMemory::new_sev(self.config.mem_size, start.memory_key, self.config.generation);
+
+        // Stage the shared-window components exactly as a full launch does.
+        mem.host_write(layout.kernel_staging, &artifacts.kernel_bytes)?;
+        mem.host_write(layout.initrd_staging, &artifacts.initrd_bytes)?;
+        tl.push(
+            PhaseKind::VmmSetup,
+            "stage kernel image + initrd",
+            jitter.apply(cost.cpu_copy_plain(
+                (artifacts.kernel_bytes.len() + artifacts.initrd_bytes.len()) as u64,
+            )),
+        );
+
+        // Install the template's attested root-of-trust state: plain copies
+        // under the shared key (no PSP involvement).
+        let plan = self.plan_from_artifacts(artifacts)?;
+        let mut installed = 0u64;
+        for item in &plan {
+            mem.host_write(item.gpa, &item.data)?;
+            mem.pre_encrypt(item.gpa, item.data.len() as u64)?;
+            installed += item.data.len() as u64;
+        }
+        tl.push(
+            PhaseKind::VmmSetup,
+            format!("clone template root-of-trust state ({installed} B, CoW)"),
+            jitter.apply(cost.cpu_copy_plain(installed)),
+        );
+        for (base, len) in layout.private_ranges() {
+            mem.rmp_assign(base, len)?;
+        }
+        tl.mark(EventChannel::VmmLog, "template-launch-ready");
+
+        // The measurement is the template's; recomputing it locally keeps
+        // the attestation path identical.
+        Ok((start.guest, mem, self.expected_measurement()?))
+    }
+
+    /// Picks a 2 MiB-aligned KASLR slide that keeps the loaded kernel below
+    /// the initrd destination; 0 when there is no room.
+    fn pick_slide(rng: &mut sevf_sim::rng::XorShift64, image: &sevf_image::kernel::KernelImage, layout: &GuestLayout) -> u64 {
+        const ALIGN: u64 = 2 * 1024 * 1024;
+        let end = image
+            .elf()
+            .segments
+            .iter()
+            .map(|s| s.vaddr + s.mem_size())
+            .max()
+            .unwrap_or(0);
+        if end >= layout.initrd_dest {
+            return 0;
+        }
+        let slots = (layout.initrd_dest - end) / ALIGN;
+        if slots == 0 {
+            return 0;
+        }
+        rng.next_below(slots) * ALIGN
+    }
+
+    /// The stock Firecracker path: direct boot of an uncompressed vmlinux,
+    /// no SEV (§2.1's three steps).
+    fn boot_stock(
+        &self,
+        _machine: &mut Machine,
+        mut tl: Timeline,
+        mut jitter: Jitter,
+        artifacts: Artifacts,
+    ) -> Result<(BootReport, LiveGuest), VmmError> {
+        let cost = _machine.cost.clone();
+        let layout = &artifacts.layout;
+        let mut mem = GuestMemory::new_plain(self.config.mem_size);
+        let image = self.config.kernel.build();
+
+        // 1. Load the kernel ELF in one operation to where it will run —
+        //    with in-monitor KASLR the VMM slides the whole image
+        //    (Holmes et al., EuroSys'22; only possible without SEV, §8).
+        let slide = if self.config.kaslr == KaslrMode::InMonitor {
+            Self::pick_slide(&mut _machine.rng, &image, layout)
+        } else {
+            0
+        };
+        let mut loaded = 0u64;
+        for seg in &image.elf().segments {
+            mem.host_write(seg.vaddr + slide, &seg.data)?;
+            loaded += seg.data.len() as u64;
+        }
+        tl.push(
+            PhaseKind::VmmSetup,
+            format!("direct-load vmlinux segments ({loaded} B)"),
+            jitter.apply(
+                cost.cpu_copy_plain(loaded)
+                    + cost
+                        .elf_segment_overhead
+                        .scale(image.elf().segments.len() as u64),
+            ),
+        );
+        mem.host_write(layout.initrd_dest, &artifacts.initrd_bytes)?;
+        tl.push(
+            PhaseKind::VmmSetup,
+            "load initrd",
+            jitter.apply(cost.cpu_copy_plain(artifacts.initrd_bytes.len() as u64)),
+        );
+
+        // 2. Set up the data structures Linux needs.
+        let mut layout_for_bp = layout.clone();
+        layout_for_bp.initrd_size = artifacts.initrd_bytes.len() as u64;
+        let bp = BootParams::build(&self.config, &layout_for_bp);
+        mem.host_write(BOOT_PARAMS_ADDR, &bp.to_page())?;
+        mem.host_write(MPTABLE_ADDR, &mptable::build(self.config.vcpus))?;
+        mem.host_write(CMDLINE_ADDR, &cmdline::to_page(&cmdline::default_cmdline()))?;
+        tl.push(
+            PhaseKind::VmmSetup,
+            "generate boot_params/mptable/cmdline",
+            jitter.apply(Nanos::from_micros(120)),
+        );
+        tl.mark(EventChannel::VmmLog, "direct-boot-entry");
+
+        // 3. Enter at the (possibly slid) 64-bit entry point.
+        let stage =
+            guest_kernel::run_kernel(&mut mem, image.elf().entry + slide, SevGeneration::None, &cost)?;
+        for step in &stage.steps {
+            tl.push(PhaseKind::LinuxBoot, step.label.clone(), jitter.apply(step.duration));
+        }
+        tl.mark(EventChannel::DebugPort, "init");
+
+        let report = BootReport {
+            config: self.config.clone(),
+            timeline: tl,
+            outcome: BootOutcome::RunningUnattested,
+            measurement: None,
+            provisioned_secret: None,
+            psp_busy: Nanos::ZERO,
+        };
+        Ok((
+            report,
+            LiveGuest {
+                mem,
+                guest: None,
+                kernel_entry: image.elf().entry + slide,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevf_image::kernel::KernelConfig;
+
+    fn machine() -> Machine {
+        Machine::new(1)
+    }
+
+    fn booted(policy: BootPolicy) -> BootReport {
+        let mut m = machine();
+        let mut config = VmConfig::test_tiny(policy);
+        if policy == BootPolicy::SeverifastVmlinux {
+            config.kernel_codec = Codec::None;
+        }
+        let vm = MicroVm::new(config).unwrap();
+        if policy.is_sev() {
+            vm.register_expected(&mut m).unwrap();
+        }
+        vm.boot(&mut m).unwrap()
+    }
+
+    #[test]
+    fn severifast_boots_and_attests() {
+        let report = booted(BootPolicy::Severifast);
+        assert_eq!(report.outcome, BootOutcome::Running);
+        assert_eq!(
+            report.provisioned_secret.as_deref(),
+            Some(&b"tenant disk encryption key"[..])
+        );
+        assert!(report.measurement.is_some());
+        assert!(report.psp_busy > Nanos::ZERO);
+        // Attestation excluded from boot time, included in total.
+        assert!(report.total_time() > report.boot_time());
+    }
+
+    #[test]
+    fn stock_firecracker_is_fastest() {
+        let stock = booted(BootPolicy::StockFirecracker);
+        let sevf = booted(BootPolicy::Severifast);
+        assert_eq!(stock.outcome, BootOutcome::RunningUnattested);
+        assert!(stock.boot_time() < sevf.boot_time());
+        assert_eq!(stock.psp_busy, Nanos::ZERO);
+    }
+
+    #[test]
+    fn qemu_ovmf_is_slowest_by_far() {
+        let qemu = booted(BootPolicy::QemuOvmf);
+        let sevf = booted(BootPolicy::Severifast);
+        // Fig. 9: SEVeriFast cuts boot time by ~86-94%.
+        let reduction = 1.0
+            - sevf.boot_time().as_millis_f64() / qemu.boot_time().as_millis_f64();
+        assert!(reduction > 0.8, "reduction {reduction:.3}");
+    }
+
+    #[test]
+    fn vmlinux_policy_boots() {
+        let report = booted(BootPolicy::SeverifastVmlinux);
+        assert_eq!(report.outcome, BootOutcome::Running);
+        // No bootstrap loader phase for an uncompressed kernel.
+        assert_eq!(report.phase(PhaseKind::BootstrapLoader), Nanos::ZERO);
+    }
+
+    #[test]
+    fn measurement_matches_expected_tool() {
+        let mut m = machine();
+        let vm = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+        vm.register_expected(&mut m).unwrap();
+        let report = vm.boot(&mut m).unwrap();
+        assert_eq!(report.measurement.unwrap(), vm.expected_measurement().unwrap());
+    }
+
+    #[test]
+    fn unregistered_measurement_fails_attestation() {
+        let mut m = machine();
+        let vm = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+        // No register_expected: the owner cannot recognize the digest.
+        let err = vm.boot(&mut m).unwrap_err();
+        assert!(matches!(
+            err,
+            VmmError::Attest(AttestError::UnexpectedMeasurement { .. })
+        ));
+    }
+
+    #[test]
+    fn lupine_like_kernel_skips_attestation() {
+        let mut m = machine();
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.kernel = KernelConfig {
+            name: "tiny-lupine".into(),
+            has_network: false,
+            ..KernelConfig::test_tiny()
+        };
+        let vm = MicroVm::new(config).unwrap();
+        vm.register_expected(&mut m).unwrap();
+        let report = vm.boot(&mut m).unwrap();
+        assert_eq!(report.outcome, BootOutcome::RunningUnattested);
+        assert_eq!(report.phase(PhaseKind::Attestation), Nanos::ZERO);
+    }
+
+    #[test]
+    fn jitter_changes_times_not_outcomes() {
+        let mut m = machine();
+        let base = VmConfig::test_tiny(BootPolicy::Severifast);
+        let vm1 = MicroVm::new(base.clone().with_jitter(1)).unwrap();
+        let vm2 = MicroVm::new(base.with_jitter(2)).unwrap();
+        vm1.register_expected(&mut m).unwrap();
+        let a = vm1.boot(&mut m).unwrap();
+        let b = vm2.boot(&mut m).unwrap();
+        assert_ne!(a.boot_time(), b.boot_time());
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.measurement, b.measurement, "jitter must not affect crypto");
+    }
+
+    #[test]
+    fn phases_present_in_severifast_timeline() {
+        let report = booted(BootPolicy::Severifast);
+        for phase in [
+            PhaseKind::VmmSetup,
+            PhaseKind::PreEncryption,
+            PhaseKind::BootVerification,
+            PhaseKind::BootstrapLoader,
+            PhaseKind::LinuxBoot,
+            PhaseKind::Attestation,
+        ] {
+            assert!(
+                report.phase(phase) > Nanos::ZERO,
+                "missing phase {phase}"
+            );
+        }
+        // Instrumentation events reached the VMM through both channels.
+        let events = report.timeline.events();
+        assert!(events.iter().any(|e| e.channel == EventChannel::GhcbMsr));
+        assert!(events.iter().any(|e| e.channel == EventChannel::DebugPort));
+    }
+
+    #[test]
+    fn in_monitor_kaslr_slides_stock_boots() {
+        let mut m = machine();
+        let mut config = VmConfig::test_tiny(BootPolicy::StockFirecracker);
+        config.kaslr = KaslrMode::InMonitor;
+        let vm = MicroVm::new(config).unwrap();
+        let mut entries = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let (report, alive) = vm.boot_keep_alive(&mut m).unwrap();
+            assert_eq!(report.outcome, BootOutcome::RunningUnattested);
+            let entry = alive.kernel_entry();
+            assert!(entry >= sevf_image::kernel::KERNEL_BASE);
+            assert_eq!(
+                (entry - sevf_image::kernel::KERNEL_BASE) % (2 * 1024 * 1024),
+                0,
+                "slide must be 2 MiB aligned"
+            );
+            entries.insert(entry);
+        }
+        assert!(entries.len() > 1, "KASLR produced no entropy: {entries:?}");
+    }
+
+    #[test]
+    fn in_monitor_kaslr_rejected_under_sev() {
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.kaslr = KaslrMode::InMonitor;
+        assert!(matches!(MicroVm::new(config), Err(VmmError::Config(_))));
+    }
+
+    #[test]
+    fn guest_side_kaslr_boots_and_leaves_measurement_unchanged() {
+        let mut m = machine();
+        let baseline = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.kaslr = KaslrMode::GuestSide;
+        let kaslr_vm = MicroVm::new(config).unwrap();
+        // The slide happens in the guest: the launch measurement (and thus
+        // attestation) is identical to the non-KASLR boot.
+        assert_eq!(
+            kaslr_vm.expected_measurement().unwrap(),
+            baseline.expected_measurement().unwrap()
+        );
+        kaslr_vm.register_expected(&mut m).unwrap();
+        let (report, alive_a) = kaslr_vm.boot_keep_alive(&mut m).unwrap();
+        assert_eq!(report.outcome, BootOutcome::Running);
+        let (_, alive_b) = kaslr_vm.boot_keep_alive(&mut m).unwrap();
+        let (_, alive_c) = kaslr_vm.boot_keep_alive(&mut m).unwrap();
+        let distinct: std::collections::HashSet<u64> = [
+            alive_a.kernel_entry(),
+            alive_b.kernel_entry(),
+            alive_c.kernel_entry(),
+        ]
+        .into();
+        assert!(distinct.len() > 1, "no slide entropy: {distinct:?}");
+    }
+
+    #[test]
+    fn guest_side_kaslr_requires_a_bzimage() {
+        let mut config = VmConfig::test_tiny(BootPolicy::SeverifastVmlinux);
+        config.kernel_codec = Codec::None;
+        config.kaslr = KaslrMode::GuestSide;
+        assert!(matches!(MicroVm::new(config), Err(VmmError::Config(_))));
+    }
+
+    #[test]
+    fn shared_key_template_launch_bypasses_the_psp() {
+        let mut m = machine();
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.launch_mode = LaunchMode::SharedKeyTemplate;
+        let vm = MicroVm::new(config).unwrap();
+        vm.register_expected(&mut m).unwrap();
+
+        // First boot: cold template — full launch cost, template cached.
+        let cold = vm.boot(&mut m).unwrap();
+        assert_eq!(cold.outcome, BootOutcome::Running);
+        assert_eq!(m.templates.len(), 1);
+
+        // Second boot: shared-key fast path.
+        let warm = vm.boot(&mut m).unwrap();
+        assert_eq!(warm.outcome, BootOutcome::Running, "attestation still works");
+        assert_eq!(warm.measurement, cold.measurement);
+        assert!(
+            warm.psp_busy.as_millis_f64() < cold.psp_busy.as_millis_f64() / 5.0,
+            "warm PSP {} vs cold {}",
+            warm.psp_busy,
+            cold.psp_busy
+        );
+        assert!(warm.boot_time() < cold.boot_time());
+    }
+
+    #[test]
+    fn shared_key_weakens_cross_vm_ciphertext_separation() {
+        // The §8 caveat: two guests sharing a key produce identical
+        // ciphertext for identical plaintext at identical addresses.
+        use sevf_mem::GuestMemory;
+        let mut m = machine();
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.launch_mode = LaunchMode::SharedKeyTemplate;
+        let vm = MicroVm::new(config).unwrap();
+        vm.register_expected(&mut m).unwrap();
+        vm.boot(&mut m).unwrap();
+        let template = *m.templates.values().next().unwrap();
+        let a = m.psp.launch_start_shared(template).unwrap();
+        let b = m.psp.launch_start_shared(template).unwrap();
+        assert_eq!(a.memory_key, b.memory_key);
+        let mk = |key| {
+            let mut mem = GuestMemory::new_sev(1 << 20, key, SevGeneration::SevSnp);
+            mem.pre_encrypt(0x1000, 4096).unwrap();
+            mem.guest_write(0x1000, b"same plaintext", true).unwrap();
+            mem.host_read(0x1000, 14).unwrap()
+        };
+        assert_eq!(mk(a.memory_key), mk(b.memory_key), "dedup is now possible");
+        // Whereas two *normal* launches differ.
+        let c = m.psp.launch_start(SevGeneration::SevSnp).unwrap();
+        assert_ne!(mk(a.memory_key), mk(c.memory_key));
+    }
+
+    #[test]
+    fn severifast_preencryption_near_8ms() {
+        // Fig. 10: SEVeriFast pre-encryption is ~8 ms regardless of kernel.
+        let report = booted(BootPolicy::Severifast);
+        let ms = report.pre_encryption().as_millis_f64();
+        assert!((6.0..12.0).contains(&ms), "pre-encryption {ms} ms");
+    }
+
+    #[test]
+    fn qemu_preencryption_near_288ms() {
+        let report = booted(BootPolicy::QemuOvmf);
+        let ms = report.pre_encryption().as_millis_f64();
+        assert!((250.0..330.0).contains(&ms), "pre-encryption {ms} ms");
+    }
+}

@@ -1,0 +1,9 @@
+//! Root package of the SEVeriFast reproduction workspace.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`;
+//! the library surface lives in the [`severifast`] crate, re-exported here
+//! verbatim. See README.md for the tour and DESIGN.md for the architecture.
+
+#![forbid(unsafe_code)]
+
+pub use severifast::*;

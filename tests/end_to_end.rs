@@ -1,0 +1,190 @@
+//! Workspace integration tests: full boots across policies, kernels, and
+//! SEV generations, exercising every crate together.
+
+use severifast::prelude::*;
+
+fn machine() -> Machine {
+    Machine::new(0xE2E)
+}
+
+#[test]
+fn all_policies_boot_all_kernels() {
+    let mut m = machine();
+    for policy in [
+        BootPolicy::StockFirecracker,
+        BootPolicy::Severifast,
+        BootPolicy::SeverifastVmlinux,
+        BootPolicy::QemuOvmf,
+    ] {
+        let mut config = VmConfig::test_tiny(policy);
+        if policy == BootPolicy::SeverifastVmlinux {
+            config.kernel_codec = Codec::None;
+        }
+        let vm = MicroVm::new(config).unwrap();
+        if policy.is_sev() {
+            vm.register_expected(&mut m).unwrap();
+        }
+        let report = vm.boot(&mut m).unwrap();
+        assert!(
+            matches!(report.outcome, BootOutcome::Running | BootOutcome::RunningUnattested),
+            "{policy}"
+        );
+    }
+}
+
+#[test]
+fn every_bzimage_codec_boots() {
+    let mut m = machine();
+    for codec in [Codec::Lz4, Codec::Deflate, Codec::Zstd] {
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.kernel_codec = codec;
+        let vm = MicroVm::new(config).unwrap();
+        vm.register_expected(&mut m).unwrap();
+        let report = vm.boot(&mut m).unwrap();
+        assert_eq!(report.outcome, BootOutcome::Running, "codec {codec}");
+    }
+}
+
+#[test]
+fn compressed_initrd_boots_but_costs_more() {
+    let mut m = machine();
+    let mut raw = VmConfig::test_tiny(BootPolicy::Severifast);
+    raw.initrd_size = 512 * 1024;
+    let mut lz4 = raw.clone();
+    lz4.initrd_codec = Codec::Lz4;
+
+    let vm_raw = MicroVm::new(raw).unwrap();
+    vm_raw.register_expected(&mut m).unwrap();
+    let report_raw = vm_raw.boot(&mut m).unwrap();
+
+    let vm_lz4 = MicroVm::new(lz4).unwrap();
+    vm_lz4.register_expected(&mut m).unwrap();
+    let report_lz4 = vm_lz4.boot(&mut m).unwrap();
+
+    assert_eq!(report_lz4.outcome, BootOutcome::Running);
+    // §3.3: our initrd content barely compresses, so the compressed boot
+    // pays decompression without saving much copy+hash — it must not win.
+    let raw_ms = report_raw.boot_time().as_millis_f64();
+    let lz4_ms = report_lz4.boot_time().as_millis_f64();
+    assert!(
+        lz4_ms > raw_ms * 0.98,
+        "compressed initrd should not win: raw {raw_ms:.2} vs lz4 {lz4_ms:.2}"
+    );
+}
+
+#[test]
+fn measurement_is_deterministic_across_machines() {
+    // The expected digest depends only on the VM configuration, never on
+    // the machine (chip keys must not leak into the measurement).
+    let vm = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+    let digest_a = vm.expected_measurement().unwrap();
+
+    let mut m1 = Machine::new(1);
+    let mut m2 = Machine::new(2);
+    vm.register_expected(&mut m1).unwrap();
+    vm.register_expected(&mut m2).unwrap();
+    let r1 = vm.boot(&mut m1).unwrap();
+    let r2 = vm.boot(&mut m2).unwrap();
+    assert_eq!(r1.measurement.unwrap(), digest_a);
+    assert_eq!(r2.measurement.unwrap(), digest_a);
+}
+
+#[test]
+fn any_config_change_changes_the_measurement() {
+    let base = VmConfig::test_tiny(BootPolicy::Severifast);
+    let digest = |config: VmConfig| {
+        MicroVm::new(config)
+            .unwrap()
+            .expected_measurement()
+            .unwrap()
+    };
+    let base_digest = digest(base.clone());
+
+    // Different kernel content.
+    let mut other_kernel = base.clone();
+    other_kernel.kernel = KernelConfig {
+        name: "different".into(),
+        ..KernelConfig::test_tiny()
+    };
+    assert_ne!(digest(other_kernel), base_digest);
+
+    // Different codec (different bzImage bytes → different hash page).
+    let mut other_codec = base.clone();
+    other_codec.kernel_codec = Codec::Deflate;
+    assert_ne!(digest(other_codec), base_digest);
+
+    // Different vCPU count (different mptable and VMSA count).
+    let mut more_cpus = base.clone();
+    more_cpus.vcpus = 2;
+    assert_ne!(digest(more_cpus), base_digest);
+
+    // Different initrd (different hash page).
+    let mut bigger_initrd = base.clone();
+    bigger_initrd.initrd_size = 128 * 1024;
+    assert_ne!(digest(bigger_initrd), base_digest);
+}
+
+#[test]
+fn sev_generations_boot_with_matching_owner_policy() {
+    for generation in [SevGeneration::Sev, SevGeneration::SevEs, SevGeneration::SevSnp] {
+        let mut m = machine();
+        m.owner.set_required_generation(generation);
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.generation = generation;
+        let vm = MicroVm::new(config).unwrap();
+        vm.register_expected(&mut m).unwrap();
+        let report = vm.boot(&mut m).unwrap();
+        assert_eq!(report.outcome, BootOutcome::Running, "{}", generation.name());
+    }
+}
+
+#[test]
+fn snp_boot_is_slowest_generation() {
+    let mut times = Vec::new();
+    for generation in [SevGeneration::Sev, SevGeneration::SevEs, SevGeneration::SevSnp] {
+        let mut m = machine();
+        m.owner.set_required_generation(generation);
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.generation = generation;
+        let vm = MicroVm::new(config).unwrap();
+        vm.register_expected(&mut m).unwrap();
+        times.push(vm.boot(&mut m).unwrap().boot_time());
+    }
+    assert!(times[0] < times[2], "SEV should boot faster than SNP");
+    assert!(times[1] < times[2], "SEV-ES should boot faster than SNP");
+}
+
+#[test]
+fn psp_accumulates_across_boots_on_one_machine() {
+    let mut m = machine();
+    let vm = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+    vm.register_expected(&mut m).unwrap();
+    vm.boot(&mut m).unwrap();
+    let after_one = m.psp.total_busy;
+    vm.boot(&mut m).unwrap();
+    assert!(m.psp.total_busy > after_one.scale(2).saturating_sub(Nanos::from_millis(1)));
+}
+
+#[test]
+fn stock_boot_has_no_sev_artifacts() {
+    let mut m = machine();
+    let vm = MicroVm::new(VmConfig::test_tiny(BootPolicy::StockFirecracker)).unwrap();
+    let report = vm.boot(&mut m).unwrap();
+    assert_eq!(report.measurement, None);
+    assert_eq!(report.psp_busy, Nanos::ZERO);
+    assert_eq!(report.pre_encryption(), Nanos::ZERO);
+    assert!(vm.expected_measurement().is_err());
+}
+
+#[test]
+fn multi_vcpu_guests_boot() {
+    let mut m = machine();
+    for vcpus in [2u64, 4, 8] {
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.vcpus = vcpus;
+        let vm = MicroVm::new(config).unwrap();
+        vm.register_expected(&mut m).unwrap();
+        let report = vm.boot(&mut m).unwrap();
+        assert_eq!(report.outcome, BootOutcome::Running, "{vcpus} vcpus");
+    }
+}

