@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from the repo root:
+#
+#   ./ci.sh          # full gate: build, tests, fmt, clippy
+#   ./ci.sh quick    # skip the release build (fast inner loop)
+#
+# Everything must pass offline — the workspace has no external
+# dependencies by design (see DESIGN.md §2, "External crates").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=${1:-}
+
+if [[ "$quick" != quick ]]; then
+  echo "==> cargo build --release --workspace"
+  cargo build --release --workspace
+fi
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -98,7 +98,9 @@ impl GuestOwner {
             return Err(AttestError::BadSignature);
         }
         if report.policy.debug_allowed {
-            return Err(AttestError::PolicyViolation("debug access must be disabled"));
+            return Err(AttestError::PolicyViolation(
+                "debug access must be disabled",
+            ));
         }
         if report.policy.generation != self.required_generation {
             return Err(AttestError::PolicyViolation(
@@ -184,7 +186,8 @@ mod tests {
         mem.host_write(0x1000, b"the boot verifier binary").unwrap();
         psp.launch_update_data(start.guest, &mut mem, 0x1000, 4096)
             .unwrap();
-        psp.launch_update_vmsa(start.guest, 1, &[0u8; 4096]).unwrap();
+        psp.launch_update_vmsa(start.guest, 1, &[0u8; 4096])
+            .unwrap();
         let finish = psp.launch_finish(start.guest).unwrap();
         (psp, start.guest, finish.measurement)
     }

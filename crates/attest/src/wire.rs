@@ -90,7 +90,8 @@ mod tests {
     fn wrong_session_fails() {
         let (shared, owner_pub) = session();
         let wrapped = WrappedSecret::seal(&shared, owner_pub, [1u8; 12], b"disk key");
-        let other = DhKeyPair::from_seed(b"eve").shared_secret(&DhKeyPair::from_seed(b"x").public_key());
+        let other =
+            DhKeyPair::from_seed(b"eve").shared_secret(&DhKeyPair::from_seed(b"x").public_key());
         assert_eq!(wrapped.open(&other), None);
     }
 }

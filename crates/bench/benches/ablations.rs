@@ -1,6 +1,6 @@
 //! Ablation studies on the design choices DESIGN.md calls out.
 //!
-//! These are virtual-time what-ifs, printed after a token Criterion run:
+//! These are virtual-time what-ifs, printed after a token wall-clock run:
 //!
 //! * **verifier features** — what the kitchen-sink verifier (generate
 //!   everything in the guest, carry both loaders) costs in pre-encryption;
@@ -9,33 +9,37 @@
 //!   bottleneck stops mattering at serverless scale;
 //! * **SEV generations** — SEV vs SEV-ES vs SEV-SNP boot cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use severifast::experiments::ExperimentScale;
 use severifast::prelude::*;
+use sevf_bench::time_it;
 use sevf_sim::cost::{PAGE_2M, PAGE_4K};
 use sevf_verifier::binary::VerifierFeatures;
 use sevf_vmm::concurrent;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_token");
-    group.sample_size(10);
-    group.bench_function("severifast_quick_boot", |b| {
+fn main() {
+    {
         let scale = ExperimentScale::quick();
-        b.iter(|| {
+        time_it("ablation/severifast_quick_boot", 10, || {
             let mut machine = Machine::new(1);
             scale
-                .boot(&mut machine, BootPolicy::Severifast, scale.kernels().remove(0))
+                .boot(
+                    &mut machine,
+                    BootPolicy::Severifast,
+                    scale.kernels().remove(0),
+                )
                 .expect("boot")
-        })
-    });
-    group.finish();
+        });
+    }
 
     let cost = CostModel::calibrated();
 
     println!("\nAblation: verifier feature sets → binary size → pre-encryption");
     for (name, features) in [
         ("severifast (bzImage)", VerifierFeatures::severifast()),
-        ("severifast (vmlinux)", VerifierFeatures::severifast_vmlinux()),
+        (
+            "severifast (vmlinux)",
+            VerifierFeatures::severifast_vmlinux(),
+        ),
         ("kitchen sink", VerifierFeatures::kitchen_sink()),
     ] {
         let size = features.binary_size();
@@ -60,7 +64,8 @@ fn bench(c: &mut Criterion) {
     for speedup in [1u64, 2, 4, 8] {
         let mut cost = CostModel::calibrated();
         cost.psp_encrypt_ps_per_byte /= speedup;
-        cost.psp_rmp_init_per_2mb = Nanos::from_nanos(cost.psp_rmp_init_per_2mb.as_nanos() / speedup);
+        cost.psp_rmp_init_per_2mb =
+            Nanos::from_nanos(cost.psp_rmp_init_per_2mb.as_nanos() / speedup);
         let mut machine = Machine::with_cost_model(1, cost);
         let vm = MicroVm::new({
             let mut c = VmConfig::test_tiny(BootPolicy::Severifast);
@@ -86,7 +91,8 @@ fn bench(c: &mut Criterion) {
         let shared =
             severifast::experiments::futurework_shared_key_concurrency(&scale).expect("fw");
         let pick = |rows: &[severifast::experiments::ConcurrencyRow]| {
-            rows.iter().rfind(|r| r.policy == BootPolicy::Severifast)
+            rows.iter()
+                .rfind(|r| r.policy == BootPolicy::Severifast)
                 .map(|r| (r.concurrency, r.mean_ms))
                 .expect("rows")
         };
@@ -96,7 +102,11 @@ fn bench(c: &mut Criterion) {
     }
 
     println!("\nAblation: SEV generation vs boot time (tiny kernel)");
-    for generation in [SevGeneration::Sev, SevGeneration::SevEs, SevGeneration::SevSnp] {
+    for generation in [
+        SevGeneration::Sev,
+        SevGeneration::SevEs,
+        SevGeneration::SevSnp,
+    ] {
         let mut machine = Machine::new(1);
         machine.owner.set_required_generation(generation);
         let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
@@ -113,6 +123,3 @@ fn bench(c: &mut Criterion) {
         }
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,25 @@
 //! Fig. 3 bench: one QEMU/OVMF SEV-SNP boot, end to end.
 //!
-//! Criterion times the *simulation* of the boot (the functional work:
-//! pre-encryption hashing, measured direct boot, decompression); the
-//! figure's virtual-time data is printed once at the end.
+//! Wall-clock timing covers the *simulation* of the boot (the functional
+//! work: pre-encryption hashing, measured direct boot, decompression); the
+//! figure's virtual-time data is printed at the end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use severifast::experiments::{fig3_ovmf_phases, ExperimentScale};
 use severifast::prelude::*;
+use sevf_bench::time_it;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scale = ExperimentScale::quick();
-    let mut group = c.benchmark_group("fig03");
-    group.sample_size(10);
-    group.bench_function("ovmf_snp_boot", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new(1);
-            scale
-                .boot(&mut machine, BootPolicy::QemuOvmf, scale.kernels().remove(1))
-                .expect("ovmf boot")
-        })
+    time_it("fig03/ovmf_snp_boot", 10, || {
+        let mut machine = Machine::new(1);
+        scale
+            .boot(
+                &mut machine,
+                BootPolicy::QemuOvmf,
+                scale.kernels().remove(1),
+            )
+            .expect("ovmf boot")
     });
-    group.finish();
 
     let slices = fig3_ovmf_phases(&scale).expect("fig3");
     let total: f64 = slices.iter().map(|s| s.ms).sum();
@@ -29,6 +28,3 @@ fn bench(c: &mut Criterion) {
         println!("  {:<18} {:>9.2} ms", s.label, s.ms);
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

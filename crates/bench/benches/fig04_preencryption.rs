@@ -2,38 +2,34 @@
 //! (SHA-384 chaining) and encrypting real pages — across component sizes,
 //! plus the virtual-time line the figure plots.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use severifast::experiments::fig4_preencryption;
 use severifast::prelude::*;
+use sevf_bench::time_it;
 use sevf_mem::GuestMemory;
 use sevf_psp::Psp;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig04_launch_update_data");
-    group.sample_size(10);
+fn main() {
     for kb in [16u64, 256, 1024] {
         let bytes = kb * 1024;
-        group.throughput(Throughput::Bytes(bytes));
-        group.bench_with_input(BenchmarkId::from_parameter(kb), &bytes, |b, &bytes| {
-            b.iter(|| {
-                let mut psp = Psp::new(CostModel::calibrated(), 1);
-                let start = psp.launch_start(SevGeneration::SevSnp).expect("start");
-                let mut mem =
-                    GuestMemory::new_sev(bytes + (1 << 20), start.memory_key, SevGeneration::SevSnp);
-                psp.launch_update_data(start.guest, &mut mem, 0, bytes)
-                    .expect("update")
-            })
+        time_it(&format!("fig04/launch_update_data/{kb}k"), 10, || {
+            let mut psp = Psp::new(CostModel::calibrated(), 1);
+            let start = psp.launch_start(SevGeneration::SevSnp).expect("start");
+            let mut mem =
+                GuestMemory::new_sev(bytes + (1 << 20), start.memory_key, SevGeneration::SevSnp);
+            psp.launch_update_data(start.guest, &mut mem, 0, bytes)
+                .expect("update")
         });
     }
-    group.finish();
 
     println!("\nFig. 4 (virtual time): pre-encryption vs size");
     for p in fig4_preencryption() {
         if !p.label.is_empty() {
-            println!("  {:<26} {:>8.1} KiB  {:>10.2} ms", p.label, p.bytes as f64 / 1024.0, p.ms);
+            println!(
+                "  {:<26} {:>8.1} KiB  {:>10.2} ms",
+                p.label,
+                p.bytes as f64 / 1024.0,
+                p.ms
+            );
         }
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

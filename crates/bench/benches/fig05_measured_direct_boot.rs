@@ -2,35 +2,30 @@
 //! real copy into encrypted memory, real SHA-256, real LZ4 decompression —
 //! per codec, plus the virtual-time figure rows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use severifast::experiments::{fig5_measured_direct_boot, ExperimentScale};
 use severifast::prelude::*;
+use sevf_bench::time_it;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scale = ExperimentScale::quick();
     let kernel = scale.kernels().remove(1); // AWS config
-    let mut group = c.benchmark_group("fig05_measured_direct_boot");
-    group.sample_size(10);
     for codec in [Codec::None, Codec::Lz4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(codec.name()),
-            &codec,
-            |b, &codec| {
-                b.iter(|| {
-                    let mut machine = Machine::new(1);
-                    let policy = if codec == Codec::None {
-                        BootPolicy::SeverifastVmlinux
-                    } else {
-                        BootPolicy::Severifast
-                    };
-                    scale
-                        .boot(&mut machine, policy, kernel.clone())
-                        .expect("boot")
-                })
+        let policy = if codec == Codec::None {
+            BootPolicy::SeverifastVmlinux
+        } else {
+            BootPolicy::Severifast
+        };
+        time_it(
+            &format!("fig05/measured_direct_boot/{}", codec.name()),
+            10,
+            || {
+                let mut machine = Machine::new(1);
+                scale
+                    .boot(&mut machine, policy, kernel.clone())
+                    .expect("boot")
             },
         );
     }
-    group.finish();
 
     println!("\nFig. 5 (virtual time): copy+hash+decompress per codec");
     for row in fig5_measured_direct_boot(&scale) {
@@ -45,6 +40,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

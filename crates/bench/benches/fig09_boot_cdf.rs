@@ -1,30 +1,31 @@
 //! Fig. 9 bench: full SEVeriFast boots (the CDF's fast series) and the
 //! virtual-time mean reductions against QEMU/OVMF.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use severifast::experiments::{fig9_boot_cdfs, ExperimentScale};
 use severifast::prelude::*;
+use sevf_bench::time_it;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scale = ExperimentScale::quick();
-    let mut group = c.benchmark_group("fig09");
-    group.sample_size(10);
-    group.bench_function("severifast_end_to_end_boot", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new(1);
-            scale
-                .boot(&mut machine, BootPolicy::Severifast, scale.kernels().remove(1))
-                .expect("boot")
-        })
+    time_it("fig09/severifast_end_to_end_boot", 10, || {
+        let mut machine = Machine::new(1);
+        scale
+            .boot(
+                &mut machine,
+                BootPolicy::Severifast,
+                scale.kernels().remove(1),
+            )
+            .expect("boot")
     });
-    group.finish();
 
     let series = fig9_boot_cdfs(&scale).expect("fig9");
     println!("\nFig. 9 (virtual time): end-to-end means");
     for s in &series {
-        println!("  {:<18} {:<14} mean {:>9.1} ms", s.policy.name(), s.kernel, s.mean());
+        println!(
+            "  {:<18} {:<14} mean {:>9.1} ms",
+            s.policy.name(),
+            s.kernel,
+            s.mean()
+        );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

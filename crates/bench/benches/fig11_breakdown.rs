@@ -1,28 +1,21 @@
 //! Fig. 11 bench: stock Firecracker vs SEVeriFast boots, plus the
 //! virtual-time stacked-bar data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use severifast::experiments::{fig11_breakdown, ExperimentScale};
 use severifast::prelude::*;
+use sevf_bench::time_it;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scale = ExperimentScale::quick();
     let kernel = scale.kernels().remove(1); // AWS config
-    let mut group = c.benchmark_group("fig11");
-    group.sample_size(10);
     for policy in [BootPolicy::StockFirecracker, BootPolicy::Severifast] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.name()),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut machine = Machine::new(1);
-                    scale.boot(&mut machine, policy, kernel.clone()).expect("boot")
-                })
-            },
-        );
+        time_it(&format!("fig11/{}", policy.name()), 10, || {
+            let mut machine = Machine::new(1);
+            scale
+                .boot(&mut machine, policy, kernel.clone())
+                .expect("boot")
+        });
     }
-    group.finish();
 
     println!("\nFig. 11 (virtual time): boot breakdown");
     for row in fig11_breakdown(&scale).expect("fig11") {
@@ -38,6 +31,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,27 @@
 //! Fig. 12 bench: the discrete-event replay of concurrent launches, plus
 //! the virtual-time sweep the figure plots.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use severifast::experiments::{fig12_concurrency, ExperimentScale};
 use severifast::prelude::*;
+use sevf_bench::time_it;
 use sevf_vmm::concurrent;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scale = ExperimentScale::quick();
     let mut machine = Machine::new(1);
     let report = scale
-        .boot(&mut machine, BootPolicy::Severifast, scale.kernels().remove(1))
+        .boot(
+            &mut machine,
+            BootPolicy::Severifast,
+            scale.kernels().remove(1),
+        )
         .expect("boot");
 
-    let mut group = c.benchmark_group("fig12_des_replay");
-    group.sample_size(10);
     for n in [10usize, 50] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| concurrent::run_concurrent(&report, n))
+        time_it(&format!("fig12/des_replay/{n}"), 10, || {
+            concurrent::run_concurrent(&report, n)
         });
     }
-    group.finish();
 
     println!("\nFig. 12 (virtual time): mean boot vs concurrency");
     for row in fig12_concurrency(&scale).expect("fig12") {
@@ -33,6 +34,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,33 +1,24 @@
 //! Microbenchmarks of the from-scratch codecs on kernel-like content.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sevf_bench::time_it;
 use sevf_codec::Codec;
 use sevf_image::content::{generate, ContentProfile};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let data = generate(ContentProfile::aws(), 256 * 1024, b"bench");
 
-    let mut group = c.benchmark_group("compress_256k");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
     for codec in [Codec::Lz4, Codec::Deflate, Codec::Zstd] {
-        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
-            b.iter(|| codec.compress(&data))
+        time_it(&format!("compress_256k/{}", codec.name()), 10, || {
+            codec.compress(&data)
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("decompress_256k");
-    group.throughput(Throughput::Bytes(data.len() as u64));
     for codec in [Codec::Lz4, Codec::Deflate, Codec::Zstd] {
         let packed = codec.compress(&data);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(codec.name()),
-            &packed,
-            |b, packed| b.iter(|| codec.decompress(packed).expect("roundtrip")),
-        );
+        time_it(&format!("decompress_256k/{}", codec.name()), 10, || {
+            codec.decompress(&packed).expect("roundtrip")
+        });
     }
-    group.finish();
 
     println!("\nCompression ratios on AWS-profile content (256 KiB):");
     for codec in [Codec::Lz4, Codec::Deflate, Codec::Zstd] {
@@ -40,6 +31,3 @@ fn bench(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

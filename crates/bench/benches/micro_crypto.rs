@@ -5,43 +5,27 @@
 //! virtual-time constants (SHA-NI-class 2 GB/s, PSP 4 MB/s) sit from a
 //! portable software implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sevf_bench::time_it;
 use sevf_crypto::{hmac_sha384, sha256, sha384, Aes128, DhKeyPair, XexCipher};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let data_64k = vec![0xa5u8; 64 * 1024];
 
-    let mut group = c.benchmark_group("hash");
-    group.throughput(Throughput::Bytes(data_64k.len() as u64));
-    group.bench_function("sha256_64k", |b| b.iter(|| sha256(&data_64k)));
-    group.bench_function("sha384_64k", |b| b.iter(|| sha384(&data_64k)));
-    group.bench_function("hmac_sha384_64k", |b| b.iter(|| hmac_sha384(b"key", &data_64k)));
-    group.finish();
+    time_it("hash/sha256_64k", 20, || sha256(&data_64k));
+    time_it("hash/sha384_64k", 20, || sha384(&data_64k));
+    time_it("hash/hmac_sha384_64k", 20, || {
+        hmac_sha384(b"key", &data_64k)
+    });
 
-    let mut group = c.benchmark_group("aes");
     let cipher = Aes128::new(&[7u8; 16]);
     let block = [0x11u8; 16];
-    group.throughput(Throughput::Bytes(16));
-    group.bench_function("encrypt_block", |b| b.iter(|| cipher.encrypt_block(&block)));
+    time_it("aes/encrypt_block", 100, || cipher.encrypt_block(&block));
     let xex = XexCipher::new(&[7u8; 16]);
     let page = vec![0x22u8; 4096];
-    group.throughput(Throughput::Bytes(4096));
-    group.bench_function("xex_page", |b| b.iter(|| xex.encrypt(0x1000, &page)));
-    group.finish();
+    time_it("aes/xex_page", 50, || xex.encrypt(0x1000, &page));
 
-    let mut group = c.benchmark_group("dh");
-    group.sample_size(10);
-    {
-        let seed = "alice";
-        group.bench_with_input(BenchmarkId::from_parameter(seed), &seed, |b, seed| {
-            b.iter(|| DhKeyPair::from_seed(seed.as_bytes()))
-        });
-    }
+    time_it("dh/from_seed", 10, || DhKeyPair::from_seed(b"alice"));
     let a = DhKeyPair::from_seed(b"a");
     let bkey = DhKeyPair::from_seed(b"b").public_key();
-    group.bench_function("shared_secret", |b| b.iter(|| a.shared_secret(&bkey)));
-    group.finish();
+    time_it("dh/shared_secret", 10, || a.shared_secret(&bkey));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,12 +3,14 @@
 //! ```text
 //! cargo run --release -p sevf-bench --bin figures -- --all
 //! cargo run --release -p sevf-bench --bin figures -- --fig 9 --scale quick
+//! cargo run --release -p sevf-bench --bin figures -- --table fleet
 //! cargo run --release -p sevf-bench --bin figures -- --all --out data/
 //! ```
 
 use severifast::experiments::{self as exp, ExperimentScale};
 use severifast::BootPolicy;
-use sevf_bench::{fmt_ms, mib, render_table, write_dumps, FigureDump};
+use sevf_bench::{fmt_ms, mib, render_table, write_dumps, FigureDump, Json};
+use sevf_fleet::experiment as fleet_exp;
 use sevf_sim::stats::cdf;
 
 struct Args {
@@ -17,7 +19,7 @@ struct Args {
     out: Option<std::path::PathBuf>,
 }
 
-const USAGE: &str = "usage: figures [--all] [--fig <3|4|5|7|8|9|10|11|12|mem|warm|fw12|headline>]...\n       [--scale quick|full] [--out <dir>]";
+const USAGE: &str = "usage: figures [--all] [--fig <3|4|5|7|8|9|10|11|12|mem|warm|fw12|fleet|headline>]...\n       [--scale quick|full] [--out <dir>]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}\n{USAGE}");
@@ -33,12 +35,12 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--all" => {
                 figures = [
-                    "3", "4", "5", "7", "8", "9", "10", "11", "12", "mem", "warm", "fw12",
+                    "3", "4", "5", "7", "8", "9", "10", "11", "12", "mem", "warm", "fw12", "fleet",
                     "headline",
                 ]
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect();
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             }
             "--fig" | "--table" => match args.next() {
                 Some(fig) => figures.push(fig),
@@ -86,6 +88,7 @@ fn main() {
             "mem" => mem_table(),
             "warm" => warm_table(&args.scale),
             "fw12" => fw12(&args.scale),
+            "fleet" => fleet_table(),
             "headline" => headline(&args.scale),
             other => usage_error(&format!("unknown figure '{other}'")),
         };
@@ -117,10 +120,17 @@ fn fig3(scale: &ExperimentScale) -> FigureDump {
     FigureDump {
         id: "fig3".into(),
         caption: "OVMF boot process with SEV-SNP".into(),
-        data: serde_json::json!(slices
-            .iter()
-            .map(|s| serde_json::json!({"phase": s.label, "ms": s.ms}))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            slices
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("phase", Json::from(s.label.clone())),
+                        ("ms", Json::from(s.ms)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -132,7 +142,11 @@ fn fig4() -> FigureDump {
         .iter()
         .map(|p| {
             vec![
-                if p.label.is_empty() { "·".into() } else { p.label.clone() },
+                if p.label.is_empty() {
+                    "·".into()
+                } else {
+                    p.label.clone()
+                },
                 mib(p.bytes),
                 fmt_ms(p.ms),
             ]
@@ -142,10 +156,18 @@ fn fig4() -> FigureDump {
     FigureDump {
         id: "fig4".into(),
         caption: "Pre-encryption cost scales linearly with size".into(),
-        data: serde_json::json!(points
-            .iter()
-            .map(|p| serde_json::json!({"label": p.label, "bytes": p.bytes, "ms": p.ms}))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("label", Json::from(p.label.clone())),
+                        ("bytes", Json::from(p.bytes)),
+                        ("ms", Json::from(p.ms)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -170,21 +192,35 @@ fn fig5(scale: &ExperimentScale) -> FigureDump {
     println!(
         "{}",
         render_table(
-            &["component", "codec", "MiB", "copy", "hash", "decompress", "total(ms)"],
+            &[
+                "component",
+                "codec",
+                "MiB",
+                "copy",
+                "hash",
+                "decompress",
+                "total(ms)"
+            ],
             &table
         )
     );
     FigureDump {
         id: "fig5".into(),
         caption: "Measured direct boot favors LZ4 kernels, raw initrds".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "component": r.component, "codec": r.codec.name(),
-                "bytes": r.transferred_bytes, "copy_ms": r.copy_ms,
-                "hash_ms": r.hash_ms, "decompress_ms": r.decompress_ms,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("component", Json::from(r.component.clone())),
+                        ("codec", Json::from(r.codec.name())),
+                        ("bytes", Json::from(r.transferred_bytes)),
+                        ("copy_ms", Json::from(r.copy_ms)),
+                        ("hash_ms", Json::from(r.hash_ms)),
+                        ("decompress_ms", Json::from(r.decompress_ms)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -209,18 +245,32 @@ fn fig7() -> FigureDump {
         .collect();
     println!(
         "{}",
-        render_table(&["structure", "purpose", "struct size", "code size", "decision"], &table)
+        render_table(
+            &[
+                "structure",
+                "purpose",
+                "struct size",
+                "code size",
+                "decision"
+            ],
+            &table
+        )
     );
     FigureDump {
         id: "fig7".into(),
         caption: "Pre-encrypt a structure iff generating code is larger".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "name": r.name, "struct_bytes": r.struct_bytes,
-                "code_bytes": r.code_bytes, "decision": r.decision,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("name", Json::from(r.name)),
+                        ("struct_bytes", Json::from(r.struct_bytes)),
+                        ("code_bytes", Json::from(r.code_bytes)),
+                        ("decision", Json::from(r.decision)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -239,13 +289,27 @@ fn fig8(scale: &ExperimentScale) -> FigureDump {
     FigureDump {
         id: "fig8".into(),
         caption: "Kernel configurations".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "config": r.config, "vmlinux": r.vmlinux_bytes, "bzimage": r.bzimage_bytes,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("config", Json::from(r.config.clone())),
+                        ("vmlinux", Json::from(r.vmlinux_bytes)),
+                        ("bzimage", Json::from(r.bzimage_bytes)),
+                    ])
+                })
+                .collect(),
+        ),
     }
+}
+
+fn cdf_json(samples: &[f64]) -> Json {
+    Json::Arr(
+        cdf(samples)
+            .into_iter()
+            .map(|(x, p)| Json::Arr(vec![Json::from(x), Json::from(p)]))
+            .collect(),
+    )
 }
 
 fn fig9(scale: &ExperimentScale) -> FigureDump {
@@ -273,13 +337,18 @@ fn fig9(scale: &ExperimentScale) -> FigureDump {
     FigureDump {
         id: "fig9".into(),
         caption: "CDF of boot times, SEVeriFast vs QEMU/OVMF".into(),
-        data: serde_json::json!(series
-            .iter()
-            .map(|s| serde_json::json!({
-                "policy": s.policy.name(), "kernel": s.kernel,
-                "cdf": cdf(&s.samples_ms),
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            series
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("policy", Json::from(s.policy.name())),
+                        ("kernel", Json::from(s.kernel.clone())),
+                        ("cdf", cdf_json(&s.samples_ms)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -301,20 +370,30 @@ fn fig10(scale: &ExperimentScale) -> FigureDump {
     println!(
         "{}",
         render_table(
-            &["policy", "kernel", "pre-encryption ms", "firmware/verification ms"],
+            &[
+                "policy",
+                "kernel",
+                "pre-encryption ms",
+                "firmware/verification ms"
+            ],
             &table
         )
     );
     FigureDump {
         id: "fig10".into(),
         caption: "Boot time breakdown of SEVeriFast vs QEMU".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "policy": r.policy.name(), "kernel": r.kernel,
-                "pre_encryption_ms": r.pre_encryption_ms, "firmware_ms": r.firmware_ms,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("policy", Json::from(r.policy.name())),
+                        ("kernel", Json::from(r.kernel.clone())),
+                        ("pre_encryption_ms", Json::from(r.pre_encryption_ms)),
+                        ("firmware_ms", Json::from(r.firmware_ms)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -339,21 +418,35 @@ fn fig11(scale: &ExperimentScale) -> FigureDump {
     println!(
         "{}",
         render_table(
-            &["policy", "kernel", "VMM", "verification", "loader", "linux", "total(ms)"],
+            &[
+                "policy",
+                "kernel",
+                "VMM",
+                "verification",
+                "loader",
+                "linux",
+                "total(ms)"
+            ],
             &table
         )
     );
     FigureDump {
         id: "fig11".into(),
         caption: "Boot breakdown: stock vs SEVeriFast".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "policy": r.policy.name(), "kernel": r.kernel, "vmm_ms": r.vmm_ms,
-                "verification_ms": r.verification_ms, "loader_ms": r.loader_ms,
-                "linux_ms": r.linux_ms,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("policy", Json::from(r.policy.name())),
+                        ("kernel", Json::from(r.kernel.clone())),
+                        ("vmm_ms", Json::from(r.vmm_ms)),
+                        ("verification_ms", Json::from(r.verification_ms)),
+                        ("loader_ms", Json::from(r.loader_ms)),
+                        ("linux_ms", Json::from(r.linux_ms)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -379,13 +472,18 @@ fn fig12(scale: &ExperimentScale) -> FigureDump {
     FigureDump {
         id: "fig12".into(),
         caption: "Average boot time of concurrent guests".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "policy": r.policy.name(), "n": r.concurrency,
-                "mean_ms": r.mean_ms, "max_ms": r.max_ms,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("policy", Json::from(r.policy.name())),
+                        ("n", Json::from(r.concurrency)),
+                        ("mean_ms", Json::from(r.mean_ms)),
+                        ("max_ms", Json::from(r.max_ms)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -410,13 +508,17 @@ fn mem_table() -> FigureDump {
     FigureDump {
         id: "mem".into(),
         caption: "Memory footprint".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "policy": r.policy.name(), "binary": r.binary_bytes,
-                "overhead": r.overhead_bytes,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("policy", Json::from(r.policy.name())),
+                        ("binary", Json::from(r.binary_bytes)),
+                        ("overhead", Json::from(r.overhead_bytes)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -439,21 +541,32 @@ fn warm_table(scale: &ExperimentScale) -> FigureDump {
     println!(
         "{}",
         render_table(
-            &["policy", "cold boot ms", "warm invoke ms", "resident MiB", "dedupable"],
+            &[
+                "policy",
+                "cold boot ms",
+                "warm invoke ms",
+                "resident MiB",
+                "dedupable"
+            ],
             &table
         )
     );
     FigureDump {
         id: "warm".into(),
         caption: "Warm start: latency vs memory rent vs dedup (§7.1)".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "policy": r.policy.name(), "cold_ms": r.cold_boot_ms,
-                "warm_ms": r.warm_invoke_ms, "resident": r.resident_bytes,
-                "dedupable": r.dedupable_fraction,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("policy", Json::from(r.policy.name())),
+                        ("cold_ms", Json::from(r.cold_boot_ms)),
+                        ("warm_ms", Json::from(r.warm_invoke_ms)),
+                        ("resident", Json::from(r.resident_bytes)),
+                        ("dedupable", Json::from(r.dedupable_fraction)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -478,12 +591,82 @@ fn fw12(scale: &ExperimentScale) -> FigureDump {
     FigureDump {
         id: "fw12".into(),
         caption: "Concurrent shared-key launches (future work)".into(),
-        data: serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({
-                "n": r.concurrency, "mean_ms": r.mean_ms, "max_ms": r.max_ms,
-            }))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("n", Json::from(r.concurrency)),
+                        ("mean_ms", Json::from(r.mean_ms)),
+                        ("max_ms", Json::from(r.max_ms)),
+                    ])
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn fleet_table() -> FigureDump {
+    let report =
+        fleet_exp::serving_sweep(&fleet_exp::SweepConfig::paper_serving()).expect("fleet sweep");
+    println!("\n=== Fleet: serving launch traffic against the PSP bottleneck ===");
+    println!(
+        "(cold SEV launches serialize {:.1} ms/VM on the PSP → {:.0} req/s ceiling;",
+        report.cold_psp_ms, report.cold_capacity_rps
+    );
+    println!(" template launches and warm pools move the knee out)\n");
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tier.name().into(),
+                format!("{:.0}", r.offered_rps),
+                r.completed.to_string(),
+                r.shed.to_string(),
+                fmt_ms(r.p50_ms),
+                fmt_ms(r.p99_ms),
+                format!("{:.0}%", r.psp_utilization * 100.0),
+                format!("{:.0}%", r.cpu_utilization * 100.0),
+                r.max_queue_depth.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["tier", "req/s", "done", "shed", "p50 ms", "p99 ms", "psp", "cpu", "maxq"],
+            &table
+        )
+    );
+    FigureDump {
+        id: "fleet".into(),
+        caption: "Serving latency vs offered load: cold vs template vs warm pool".into(),
+        data: Json::obj([
+            ("cold_psp_ms", Json::from(report.cold_psp_ms)),
+            ("cold_capacity_rps", Json::from(report.cold_capacity_rps)),
+            (
+                "rows",
+                Json::Arr(
+                    report
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("tier", Json::from(r.tier.name())),
+                                ("offered_rps", Json::from(r.offered_rps)),
+                                ("completed", Json::from(r.completed)),
+                                ("shed", Json::from(r.shed)),
+                                ("p50_ms", Json::from(r.p50_ms)),
+                                ("p99_ms", Json::from(r.p99_ms)),
+                                ("psp_utilization", Json::from(r.psp_utilization)),
+                                ("cpu_utilization", Json::from(r.cpu_utilization)),
+                                ("max_queue_depth", Json::from(r.max_queue_depth)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
     }
 }
 
@@ -500,9 +683,16 @@ fn headline(scale: &ExperimentScale) -> FigureDump {
     FigureDump {
         id: "headline".into(),
         caption: "Cold-start reduction over the QEMU/OVMF baseline".into(),
-        data: serde_json::json!(reductions
-            .iter()
-            .map(|(k, r)| serde_json::json!({"kernel": k, "reduction": r}))
-            .collect::<Vec<_>>()),
+        data: Json::Arr(
+            reductions
+                .iter()
+                .map(|(k, r)| {
+                    Json::obj([
+                        ("kernel", Json::from(k.clone())),
+                        ("reduction", Json::from(*r)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }

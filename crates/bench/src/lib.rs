@@ -1,15 +1,17 @@
 //! Shared rendering/serialization helpers for the benchmark harness.
 //!
 //! The `figures` binary regenerates every table and figure of the paper;
-//! the Criterion benches under `benches/` time the experiment drivers and
-//! the from-scratch primitives. This library holds the bits both share:
-//! text-table rendering and the JSON emitter whose output EXPERIMENTS.md is
-//! built from.
+//! the benches under `benches/` time the experiment drivers and the
+//! from-scratch primitives. This library holds the bits both share: text-
+//! table rendering, a dependency-free JSON emitter whose output
+//! EXPERIMENTS.md is built from, and a small wall-clock timing harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Renders a fixed-width text table.
 ///
@@ -52,15 +54,170 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// A minimal JSON value for figure dumps.
+///
+/// The figure data is plain numbers/strings in arrays of objects; a full
+/// serialization framework buys nothing here and the repository builds
+/// offline, so this emitter is hand-rolled. Object keys are kept in a
+/// `BTreeMap` so output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (emitted via `f64`; integers print without `.0`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministic key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes with two-space indentation (stable across runs).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
 /// A serialized figure: identifier, caption, and free-form data.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct FigureDump {
     /// Figure/table identifier ("fig3", "fig10", "mem", ...).
     pub id: String,
     /// What the paper's version shows.
     pub caption: String,
     /// The data series, shaped per figure.
-    pub data: serde_json::Value,
+    pub data: Json,
+}
+
+impl FigureDump {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("caption", Json::Str(self.caption.clone())),
+            ("data", self.data.clone()),
+        ])
+    }
 }
 
 /// Writes figure dumps as pretty JSON into `dir/<id>.json`.
@@ -72,7 +229,7 @@ pub fn write_dumps(dir: &std::path::Path, dumps: &[FigureDump]) -> std::io::Resu
     std::fs::create_dir_all(dir)?;
     for dump in dumps {
         let path = dir.join(format!("{}.json", dump.id));
-        std::fs::write(&path, serde_json::to_string_pretty(dump).expect("serializable"))?;
+        std::fs::write(&path, dump.to_json().to_pretty())?;
     }
     Ok(())
 }
@@ -87,16 +244,37 @@ pub fn fmt_ms(ms: f64) -> String {
     format!("{ms:.2}")
 }
 
+/// Times `f` over `iters` runs and prints mean/min wall-clock per run.
+///
+/// Replaces the external Criterion harness for the `benches/` entry points:
+/// the repository builds offline, and these benches only need honest
+/// wall-clock numbers next to the virtual-time figures they print.
+pub fn time_it<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    assert!(iters > 0);
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&out);
+        best = best.min(elapsed);
+        total += elapsed;
+    }
+    println!(
+        "{name:<40} {iters:>3} iters  mean {:>9.3} ms  min {:>9.3} ms",
+        total / iters as f64,
+        best
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn table_aligns_columns() {
-        let t = render_table(
-            &["a", "long-header"],
-            &[vec!["xxxxxx".into(), "1".into()]],
-        );
+        let t = render_table(&["a", "long-header"], &[vec!["xxxxxx".into(), "1".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("long-header"));
@@ -106,5 +284,36 @@ mod tests {
     fn helpers_format() {
         assert_eq!(mib(1024 * 1024 * 3 / 2), "1.5");
         assert_eq!(fmt_ms(8.216), "8.22");
+    }
+
+    #[test]
+    fn json_emits_deterministic_pretty_output() {
+        let v = Json::obj([
+            ("b", Json::from(2u64)),
+            (
+                "a",
+                Json::Arr(vec![Json::from("x\n"), Json::Null, Json::Bool(true)]),
+            ),
+            ("c", Json::from(1.5)),
+        ]);
+        let text = v.to_pretty();
+        // Keys are sorted; integral floats print as integers; strings escape.
+        assert!(text.find("\"a\"").unwrap() < text.find("\"b\"").unwrap());
+        assert!(text.contains("\"x\\n\""));
+        assert!(text.contains("2,") || text.contains("2\n"));
+        assert!(text.contains("1.5"));
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(Json::Arr(vec![]).to_pretty(), "[]");
+        assert_eq!(Json::Obj(Default::default()).to_pretty(), "{}");
+    }
+
+    #[test]
+    fn timer_runs_closure() {
+        let mut calls = 0;
+        time_it("noop", 3, || calls += 1);
+        assert_eq!(calls, 3);
     }
 }

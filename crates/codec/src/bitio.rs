@@ -130,7 +130,14 @@ mod tests {
     #[test]
     fn roundtrip_mixed_widths() {
         let mut w = BitWriter::new();
-        let values = [(0x1u32, 1u8), (0x3, 2), (0x1f, 5), (0xabcd, 16), (0, 3), (0x7fffffff, 31)];
+        let values = [
+            (0x1u32, 1u8),
+            (0x3, 2),
+            (0x1f, 5),
+            (0xabcd, 16),
+            (0, 3),
+            (0x7fffffff, 31),
+        ];
         for (v, n) in values {
             w.write_bits(v, n);
         }

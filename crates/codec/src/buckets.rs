@@ -112,7 +112,11 @@ impl BucketTable {
             .buckets
             .get(symbol)
             .ok_or(CodecError::CorruptStream("bucket symbol out of range"))?;
-        let offset = if extra > 0 { reader.read_bits(extra)? } else { 0 };
+        let offset = if extra > 0 {
+            reader.read_bits(extra)?
+        } else {
+            0
+        };
         let value = base + offset;
         if value > self.max_value {
             return Err(CodecError::CorruptStream("bucketed value exceeds maximum"));
@@ -140,7 +144,10 @@ mod tests {
     #[test]
     fn roundtrip_every_value() {
         let t = BucketTable::new(1, 1 << 20, 4, 2);
-        let probe: Vec<u32> = (0..21).map(|i| 1u32 << i).chain([3, 5, 1000, 65_535, (1 << 20)]).collect();
+        let probe: Vec<u32> = (0..21)
+            .map(|i| 1u32 << i)
+            .chain([3, 5, 1000, 65_535, (1 << 20)])
+            .collect();
         for v in probe {
             let v = v.min(t.max_value()).max(t.min_value());
             let sym = t.symbol_for(v);

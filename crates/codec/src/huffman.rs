@@ -71,7 +71,10 @@ fn build_unlimited(freqs: &[u64]) -> Vec<u8> {
     let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
     let mut parent: Vec<usize> = vec![usize::MAX; freqs.len()];
     for &i in &live {
-        heap.push(Reverse(Node { weight: freqs[i], id: i }));
+        heap.push(Reverse(Node {
+            weight: freqs[i],
+            id: i,
+        }));
     }
     let mut next_id = freqs.len();
     while heap.len() > 1 {
@@ -317,8 +320,8 @@ mod tests {
         let lengths2 = build_code_lengths(&[8, 4, 2, 1, 1]);
         let dec2 = Decoder::from_lengths(&lengths2).unwrap();
         let _ = dec; // the 2-symbol decoder accepts any bit; no corrupt case
-        // Feed all-ones; with a complete code this will always decode, so
-        // instead check truncation.
+                     // Feed all-ones; with a complete code this will always decode, so
+                     // instead check truncation.
         let mut r = BitReader::new(&[]);
         assert_eq!(dec2.decode(&mut r), Err(CodecError::Truncated));
     }

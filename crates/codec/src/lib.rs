@@ -71,7 +71,10 @@ impl fmt::Display for CodecError {
             CodecError::BadMagic => write!(f, "stream does not begin with the codec magic"),
             CodecError::Truncated => write!(f, "compressed stream ended prematurely"),
             CodecError::InvalidBackReference { at } => {
-                write!(f, "back-reference before window start at output offset {at}")
+                write!(
+                    f,
+                    "back-reference before window start at output offset {at}"
+                )
             }
             CodecError::CorruptStream(what) => write!(f, "corrupt stream: {what}"),
             CodecError::LengthMismatch { expected, actual } => write!(
@@ -174,7 +177,14 @@ mod tests {
     /// which entropy coding (deflate/zstd-class) out-compresses LZ4.
     fn sample() -> Vec<u8> {
         let words = [
-            "sched", "futex", "vfs_read", "memcg", "tcp_v4_rcv", "kmalloc", "rcu", "ext4",
+            "sched",
+            "futex",
+            "vfs_read",
+            "memcg",
+            "tcp_v4_rcv",
+            "kmalloc",
+            "rcu",
+            "ext4",
         ];
         let mut state = 0x243f6a8885a308d3u64;
         let mut v = Vec::new();

@@ -229,7 +229,9 @@ mod tests {
         let mut state = 0xdeadbeefu64;
         let data: Vec<u8> = (0..50_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();
@@ -277,9 +279,7 @@ mod tests {
     #[test]
     fn overlapping_copy_semantics() {
         // abab... via offset 2.
-        let data: Vec<u8> = std::iter::repeat_n([b'a', b'b'], 500)
-            .flatten()
-            .collect();
+        let data: Vec<u8> = std::iter::repeat_n([b'a', b'b'], 500).flatten().collect();
         assert_eq!(decompress(&compress(&data)).unwrap(), data);
     }
 }

@@ -75,8 +75,9 @@ pub fn tokenize(data: &[u8], window_log: u32, max_match: u32) -> Vec<Token> {
                 // Lazy matching: if the next position has a strictly better
                 // match, emit a literal instead and advance one byte.
                 let take_match = if pos + 1 < data.len() {
-                    let next =
-                        find_match_after_insert(data, pos, window, max_match, &mut head, &mut chain);
+                    let next = find_match_after_insert(
+                        data, pos, window, max_match, &mut head, &mut chain,
+                    );
                     !matches!(next, Some((next_len, _)) if next_len > len + 1)
                 } else {
                     insert(&mut head, &mut chain, pos);
@@ -203,7 +204,10 @@ mod tests {
     #[test]
     fn roundtrip_text() {
         let data = b"abracadabra abracadabra abracadabra".repeat(10);
-        assert_eq!(apply(&tokenize(&data, 15, DEFLATE_MAX_MATCH)).unwrap(), data);
+        assert_eq!(
+            apply(&tokenize(&data, 15, DEFLATE_MAX_MATCH)).unwrap(),
+            data
+        );
     }
 
     #[test]
@@ -224,14 +228,20 @@ mod tests {
                 (state >> 33) as u8
             })
             .collect();
-        assert_eq!(apply(&tokenize(&data, 15, DEFLATE_MAX_MATCH)).unwrap(), data);
+        assert_eq!(
+            apply(&tokenize(&data, 15, DEFLATE_MAX_MATCH)).unwrap(),
+            data
+        );
     }
 
     #[test]
     fn tiny_inputs() {
         for len in 0..6usize {
             let data: Vec<u8> = (0..len as u8).collect();
-            assert_eq!(apply(&tokenize(&data, 15, DEFLATE_MAX_MATCH)).unwrap(), data);
+            assert_eq!(
+                apply(&tokenize(&data, 15, DEFLATE_MAX_MATCH)).unwrap(),
+                data
+            );
         }
     }
 

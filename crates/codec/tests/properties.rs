@@ -1,72 +1,128 @@
 //! Property-based tests: every codec must roundtrip arbitrary byte streams
 //! and fail cleanly (never panic) on arbitrary garbage input.
+//!
+//! Cases are drawn from a local xorshift generator (sevf-sim's RNG lives
+//! downstream of this crate), so every run covers the same seeded family.
 
-use proptest::prelude::*;
 use sevf_codec::Codec;
 
-fn compressible(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    // Mix of runs, repeated phrases, and raw bytes — kernel-image-like.
-    proptest::collection::vec(
-        prop_oneof![
-            Just(b"init_task".to_vec()),
-            Just(vec![0u8; 37]),
-            proptest::collection::vec(any::<u8>(), 1..20),
-        ],
-        0..max_len / 16,
-    )
-    .prop_map(|chunks| chunks.concat())
+const CASES: u64 = 64;
+
+/// Minimal xorshift64* generator for deterministic case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.below(max_len as u64 + 1) as usize;
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn roundtrip_random(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        for codec in Codec::ALL {
-            let packed = codec.compress(&data);
-            prop_assert_eq!(codec.decompress(&packed).unwrap(), data.clone(), "{}", codec);
+/// Mix of runs, repeated phrases, and raw bytes — kernel-image-like.
+fn compressible(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let chunks = rng.below(max_len as u64 / 16) as usize;
+    let mut data = Vec::new();
+    for _ in 0..chunks {
+        match rng.below(3) {
+            0 => data.extend_from_slice(b"init_task"),
+            1 => data.extend_from_slice(&[0u8; 37]),
+            _ => {
+                let n = 1 + rng.below(19) as usize;
+                data.extend((0..n).map(|_| rng.next_u64() as u8));
+            }
         }
     }
+    data
+}
 
-    #[test]
-    fn roundtrip_compressible(data in compressible(4096)) {
+#[test]
+fn roundtrip_random() {
+    let mut rng = Rng::new(0xC0DE_C001);
+    for _ in 0..CASES {
+        let data = rng.bytes(4096);
         for codec in Codec::ALL {
             let packed = codec.compress(&data);
-            prop_assert_eq!(codec.decompress(&packed).unwrap(), data.clone(), "{}", codec);
+            assert_eq!(codec.decompress(&packed).unwrap(), data, "{codec}");
         }
     }
+}
 
-    #[test]
-    fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn roundtrip_compressible() {
+    let mut rng = Rng::new(0xC0DE_C002);
+    for _ in 0..CASES {
+        let data = compressible(&mut rng, 4096);
+        for codec in Codec::ALL {
+            let packed = codec.compress(&data);
+            assert_eq!(codec.decompress(&packed).unwrap(), data, "{codec}");
+        }
+    }
+}
+
+#[test]
+fn garbage_never_panics() {
+    let mut rng = Rng::new(0xC0DE_C003);
+    for _ in 0..CASES {
+        let data = rng.bytes(512);
         for codec in Codec::ALL {
             let _ = codec.decompress(&data);
         }
     }
+}
 
-    #[test]
-    fn bit_flip_is_detected_or_harmless(
-        data in compressible(2048),
-        byte_index in any::<usize>(),
-        bit in 0u8..8,
-    ) {
-        // Flipping any bit of a compressed stream must either fail cleanly
-        // or (rarely, e.g. inside literals) still decode — never panic.
+#[test]
+fn bit_flip_is_detected_or_harmless() {
+    // Flipping any bit of a compressed stream must either fail cleanly
+    // or (rarely, e.g. inside literals) still decode — never panic.
+    let mut rng = Rng::new(0xC0DE_C004);
+    for _ in 0..CASES {
+        let data = compressible(&mut rng, 2048);
+        let byte_index = rng.next_u64() as usize;
+        let bit = rng.below(8) as u8;
         for codec in Codec::ALL {
             let mut packed = codec.compress(&data);
-            if packed.is_empty() { continue; }
+            if packed.is_empty() {
+                continue;
+            }
             let idx = byte_index % packed.len();
             packed[idx] ^= 1 << bit;
             let _ = codec.decompress(&packed);
         }
     }
+}
 
-    #[test]
-    fn compressed_size_bounded(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        // Even on incompressible input, overhead stays modest.
+#[test]
+fn compressed_size_bounded() {
+    // Even on incompressible input, overhead stays modest.
+    let mut rng = Rng::new(0xC0DE_C005);
+    for _ in 0..CASES {
+        let data = rng.bytes(4096);
         for codec in Codec::ALL {
             let packed = codec.compress(&data);
-            prop_assert!(packed.len() <= data.len() + data.len() / 8 + 1024,
-                "{}: {} -> {}", codec, data.len(), packed.len());
+            assert!(
+                packed.len() <= data.len() + data.len() / 8 + 1024,
+                "{}: {} -> {}",
+                codec,
+                data.len(),
+                packed.len()
+            );
         }
     }
 }

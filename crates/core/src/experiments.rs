@@ -617,8 +617,7 @@ pub fn warm_start_analysis(scale: &ExperimentScale) -> Result<Vec<WarmStartRow>,
             cold_boot_ms: cold_a.boot_time().as_millis_f64(),
             warm_invoke_ms: warm.latency.as_millis_f64(),
             resident_bytes: alive_a.resident_bytes(),
-            dedupable_fraction: dedupable_fraction(&[&alive_a, &alive_b])
-                .map_err(VmmError::Mem)?,
+            dedupable_fraction: dedupable_fraction(&[&alive_a, &alive_b]).map_err(VmmError::Mem)?,
         });
     }
     Ok(rows)
@@ -672,8 +671,7 @@ pub fn headline_reductions(scale: &ExperimentScale) -> Result<Vec<(String, f64)>
         let name = kernel.name.clone();
         let sevf = scale.boot(&mut machine, BootPolicy::Severifast, kernel.clone())?;
         let qemu = scale.boot(&mut machine, BootPolicy::QemuOvmf, kernel)?;
-        let reduction =
-            1.0 - sevf.total_time().as_millis_f64() / qemu.total_time().as_millis_f64();
+        let reduction = 1.0 - sevf.total_time().as_millis_f64() / qemu.total_time().as_millis_f64();
         out.push((name, reduction));
     }
     Ok(out)
@@ -720,7 +718,10 @@ mod tests {
         let ratio = last.ms / prev.ms;
         assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
         // §3.2 anchors.
-        let vmlinux = points.iter().find(|p| p.label.contains("Lupine vmlinux")).unwrap();
+        let vmlinux = points
+            .iter()
+            .find(|p| p.label.contains("Lupine vmlinux"))
+            .unwrap();
         assert!((5000.0..6500.0).contains(&vmlinux.ms), "{}", vmlinux.ms);
         let ovmf = points.iter().find(|p| p.label.contains("OVMF")).unwrap();
         assert!((240.0..280.0).contains(&ovmf.ms), "{}", ovmf.ms);
@@ -738,7 +739,10 @@ mod tests {
                     .total_ms()
             };
             assert!(of(Codec::Lz4) < of(Codec::None), "{kernel}: lz4 vs none");
-            assert!(of(Codec::Lz4) < of(Codec::Deflate), "{kernel}: lz4 vs deflate");
+            assert!(
+                of(Codec::Lz4) < of(Codec::Deflate),
+                "{kernel}: lz4 vs deflate"
+            );
             assert!(of(Codec::Lz4) < of(Codec::Zstd), "{kernel}: lz4 vs zstd");
         }
         let initrd = |codec: Codec| {
@@ -815,7 +819,8 @@ mod tests {
         let normal = fig12_concurrency(&scale).unwrap();
         let shared = futurework_shared_key_concurrency(&scale).unwrap();
         let last_normal = normal
-            .iter().rfind(|r| r.policy == BootPolicy::Severifast)
+            .iter()
+            .rfind(|r| r.policy == BootPolicy::Severifast)
             .unwrap();
         let last_shared = shared.last().unwrap();
         assert_eq!(last_normal.concurrency, last_shared.concurrency);
@@ -830,7 +835,10 @@ mod tests {
     #[test]
     fn warm_start_tradeoff_holds() {
         let rows = warm_start_analysis(&ExperimentScale::quick()).unwrap();
-        let sev = rows.iter().find(|r| r.policy == BootPolicy::Severifast).unwrap();
+        let sev = rows
+            .iter()
+            .find(|r| r.policy == BootPolicy::Severifast)
+            .unwrap();
         let plain = rows
             .iter()
             .find(|r| r.policy == BootPolicy::StockFirecracker)
@@ -838,7 +846,11 @@ mod tests {
         // Warm invocation is orders of magnitude faster than cold boot.
         assert!(sev.cold_boot_ms / sev.warm_invoke_ms > 100.0);
         // §7.1: plain VMs dedup well, SEV VMs barely.
-        assert!(plain.dedupable_fraction > 0.4, "{}", plain.dedupable_fraction);
+        assert!(
+            plain.dedupable_fraction > 0.4,
+            "{}",
+            plain.dedupable_fraction
+        );
         assert!(
             sev.dedupable_fraction < plain.dedupable_fraction / 2.0,
             "sev {} plain {}",
@@ -850,8 +862,14 @@ mod tests {
     #[test]
     fn footprint_matches_s6_3() {
         let rows = footprint_table();
-        let stock = rows.iter().find(|r| r.policy == BootPolicy::StockFirecracker).unwrap();
-        let sevf = rows.iter().find(|r| r.policy == BootPolicy::Severifast).unwrap();
+        let stock = rows
+            .iter()
+            .find(|r| r.policy == BootPolicy::StockFirecracker)
+            .unwrap();
+        let sevf = rows
+            .iter()
+            .find(|r| r.policy == BootPolicy::Severifast)
+            .unwrap();
         assert_eq!(sevf.binary_bytes, stock.binary_bytes);
         assert_eq!(sevf.overhead_bytes - stock.overhead_bytes, 16 * 1024);
     }

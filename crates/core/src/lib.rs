@@ -44,6 +44,7 @@
 //! | [`ovmf`] | the QEMU/OVMF baseline |
 //! | [`attest`] | guest owner, expected-measurement tool, secret channel |
 //! | [`vmm`] | the Firecracker-like monitor and boot policies |
+//! | [`fleet`] | serverless fleet control plane: load gen, admission, launch cache, warm pools |
 //! | [`experiments`] | drivers that regenerate every paper figure/table |
 
 #![forbid(unsafe_code)]
@@ -80,6 +81,9 @@ pub use sevf_attest as attest;
 
 /// Re-export: the microVM monitor.
 pub use sevf_vmm as vmm;
+
+/// Re-export: the serverless fleet control plane.
+pub use sevf_fleet as fleet;
 
 pub use sevf_codec::Codec;
 pub use sevf_image::kernel::KernelConfig;

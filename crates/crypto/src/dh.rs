@@ -143,7 +143,10 @@ mod tests {
     fn key_agreement_commutes() {
         let a = DhKeyPair::from_seed(b"alpha");
         let b = DhKeyPair::from_seed(b"bravo");
-        assert_eq!(a.shared_secret(&b.public_key()), b.shared_secret(&a.public_key()));
+        assert_eq!(
+            a.shared_secret(&b.public_key()),
+            b.shared_secret(&a.public_key())
+        );
     }
 
     #[test]

@@ -1,115 +1,172 @@
 //! Property-based tests for the cryptographic primitives.
+//!
+//! Seeded XorShift64 case generation keeps the sweep deterministic without
+//! an external property-testing dependency.
 
-use proptest::prelude::*;
-use sevf_crypto::{AesCtr, Aes128, BigUint, DhKeyPair, XexCipher};
+use sevf_crypto::{Aes128, AesCtr, BigUint, DhKeyPair, XexCipher};
+use sevf_sim::rng::XorShift64;
 
-proptest! {
-    #[test]
-    fn biguint_add_commutes(a in proptest::collection::vec(any::<u8>(), 0..40),
-                            b in proptest::collection::vec(any::<u8>(), 0..40)) {
-        let x = BigUint::from_bytes_be(&a);
-        let y = BigUint::from_bytes_be(&b);
-        prop_assert_eq!(x.add(&y), y.add(&x));
+const CASES: u64 = 64;
+
+fn bytes(rng: &mut XorShift64, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = min_len as u64 + rng.next_below((max_len - min_len) as u64 + 1);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn array<const N: usize>(rng: &mut XorShift64) -> [u8; N] {
+    let mut out = [0u8; N];
+    for b in &mut out {
+        *b = rng.next_u64() as u8;
     }
+    out
+}
 
-    #[test]
-    fn biguint_mul_commutes_and_distributes(
-        a in proptest::collection::vec(any::<u8>(), 0..24),
-        b in proptest::collection::vec(any::<u8>(), 0..24),
-        c in proptest::collection::vec(any::<u8>(), 0..24)) {
-        let x = BigUint::from_bytes_be(&a);
-        let y = BigUint::from_bytes_be(&b);
-        let z = BigUint::from_bytes_be(&c);
-        prop_assert_eq!(x.mul(&y), y.mul(&x));
-        prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+#[test]
+fn biguint_add_commutes() {
+    let mut rng = XorShift64::new(0xC4A_0001);
+    for _ in 0..CASES {
+        let x = BigUint::from_bytes_be(&bytes(&mut rng, 0, 39));
+        let y = BigUint::from_bytes_be(&bytes(&mut rng, 0, 39));
+        assert_eq!(x.add(&y), y.add(&x));
     }
+}
 
-    #[test]
-    fn biguint_div_rem_invariant(
-        a in proptest::collection::vec(any::<u8>(), 0..32),
-        b in proptest::collection::vec(1u8..=255, 1..16)) {
-        let x = BigUint::from_bytes_be(&a);
-        let y = BigUint::from_bytes_be(&b);
+#[test]
+fn biguint_mul_commutes_and_distributes() {
+    let mut rng = XorShift64::new(0xC4A_0002);
+    for _ in 0..CASES {
+        let x = BigUint::from_bytes_be(&bytes(&mut rng, 0, 23));
+        let y = BigUint::from_bytes_be(&bytes(&mut rng, 0, 23));
+        let z = BigUint::from_bytes_be(&bytes(&mut rng, 0, 23));
+        assert_eq!(x.mul(&y), y.mul(&x));
+        assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+}
+
+#[test]
+fn biguint_div_rem_invariant() {
+    let mut rng = XorShift64::new(0xC4A_0003);
+    for _ in 0..CASES {
+        let x = BigUint::from_bytes_be(&bytes(&mut rng, 0, 31));
+        let divisor: Vec<u8> = (0..1 + rng.next_below(15))
+            .map(|_| 1 + (rng.next_u64() % 255) as u8)
+            .collect();
+        let y = BigUint::from_bytes_be(&divisor);
         let (q, r) = x.div_rem(&y);
-        prop_assert!(r < y);
-        prop_assert_eq!(q.mul(&y).add(&r), x);
+        assert!(r < y);
+        assert_eq!(q.mul(&y).add(&r), x);
     }
+}
 
-    #[test]
-    fn biguint_nth_root_bounds(
-        a in proptest::collection::vec(any::<u8>(), 1..20),
-        n in 1u32..5) {
-        let x = BigUint::from_bytes_be(&a);
+#[test]
+fn biguint_nth_root_bounds() {
+    let mut rng = XorShift64::new(0xC4A_0004);
+    for _ in 0..CASES {
+        let x = BigUint::from_bytes_be(&bytes(&mut rng, 1, 19));
+        let n = 1 + (rng.next_below(4) as u32);
         let r = x.nth_root(n);
-        prop_assert!(r.pow_small(n) <= x);
-        prop_assert!(r.add(&BigUint::one()).pow_small(n) > x);
+        assert!(r.pow_small(n) <= x);
+        assert!(r.add(&BigUint::one()).pow_small(n) > x);
     }
+}
 
-    #[test]
-    fn biguint_bytes_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..64)) {
-        let x = BigUint::from_bytes_be(&a);
-        prop_assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
+#[test]
+fn biguint_bytes_roundtrip() {
+    let mut rng = XorShift64::new(0xC4A_0005);
+    for _ in 0..CASES {
+        let x = BigUint::from_bytes_be(&bytes(&mut rng, 0, 63));
+        assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
     }
+}
 
-    #[test]
-    fn aes_block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+#[test]
+fn aes_block_roundtrip() {
+    let mut rng = XorShift64::new(0xC4A_0006);
+    for _ in 0..CASES {
+        let key: [u8; 16] = array(&mut rng);
+        let block: [u8; 16] = array(&mut rng);
         let cipher = Aes128::new(&key);
-        prop_assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
+        assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
     }
+}
 
-    #[test]
-    fn ctr_roundtrip(key in any::<[u8; 16]>(), nonce in any::<[u8; 12]>(),
-                     data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn ctr_roundtrip() {
+    let mut rng = XorShift64::new(0xC4A_0007);
+    for _ in 0..CASES {
+        let key: [u8; 16] = array(&mut rng);
+        let nonce: [u8; 12] = array(&mut rng);
+        let data = bytes(&mut rng, 0, 511);
         let ctr = AesCtr::new(&key, &nonce);
-        prop_assert_eq!(ctr.apply(&ctr.apply(&data)), data);
+        assert_eq!(ctr.apply(&ctr.apply(&data)), data);
     }
+}
 
-    #[test]
-    fn xex_roundtrip(key in any::<[u8; 16]>(), addr in any::<u64>(),
-                     data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn xex_roundtrip() {
+    let mut rng = XorShift64::new(0xC4A_0008);
+    for _ in 0..CASES {
+        let key: [u8; 16] = array(&mut rng);
+        let addr = rng.next_u64();
+        let data = bytes(&mut rng, 0, 511);
         let engine = XexCipher::new(&key);
         let ct = engine.encrypt(addr, &data);
-        prop_assert_eq!(ct.len(), data.len());
-        prop_assert_eq!(engine.decrypt(addr, &ct), data);
+        assert_eq!(ct.len(), data.len());
+        assert_eq!(engine.decrypt(addr, &ct), data);
     }
+}
 
-    #[test]
-    fn xex_address_binding(key in any::<[u8; 16]>(), addr in any::<u64>(),
-                           data in proptest::collection::vec(any::<u8>(), 16..128)) {
+#[test]
+fn xex_address_binding() {
+    let mut rng = XorShift64::new(0xC4A_0009);
+    for _ in 0..CASES {
+        let key: [u8; 16] = array(&mut rng);
+        let addr = rng.next_u64();
+        let data = bytes(&mut rng, 16, 127);
         let engine = XexCipher::new(&key);
         let ct = engine.encrypt(addr, &data);
         let moved = engine.decrypt(addr.wrapping_add(16), &ct);
-        prop_assert_ne!(moved, data, "relocating ciphertext must corrupt plaintext");
+        assert_ne!(moved, data, "relocating ciphertext must corrupt plaintext");
     }
+}
 
-    #[test]
-    fn dh_agreement(seed_a in proptest::collection::vec(any::<u8>(), 1..32),
-                    seed_b in proptest::collection::vec(any::<u8>(), 1..32)) {
-        let a = DhKeyPair::from_seed(&seed_a);
-        let b = DhKeyPair::from_seed(&seed_b);
-        prop_assert_eq!(a.shared_secret(&b.public_key()), b.shared_secret(&a.public_key()));
+#[test]
+fn dh_agreement() {
+    let mut rng = XorShift64::new(0xC4A_000A);
+    for _ in 0..CASES {
+        let a = DhKeyPair::from_seed(&bytes(&mut rng, 1, 31));
+        let b = DhKeyPair::from_seed(&bytes(&mut rng, 1, 31));
+        assert_eq!(
+            a.shared_secret(&b.public_key()),
+            b.shared_secret(&a.public_key())
+        );
     }
+}
 
-    #[test]
-    fn hmac_is_deterministic_and_key_sensitive(
-        key in proptest::collection::vec(any::<u8>(), 1..64),
-        data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn hmac_is_deterministic_and_key_sensitive() {
+    let mut rng = XorShift64::new(0xC4A_000B);
+    for _ in 0..CASES {
+        let key = bytes(&mut rng, 1, 63);
+        let data = bytes(&mut rng, 0, 255);
         let t1 = sevf_crypto::hmac_sha384(&key, &data);
         let t2 = sevf_crypto::hmac_sha384(&key, &data);
-        prop_assert_eq!(t1, t2);
+        assert_eq!(t1, t2);
         let mut other_key = key.clone();
         other_key[0] ^= 1;
-        prop_assert_ne!(t1, sevf_crypto::hmac_sha384(&other_key, &data));
+        assert_ne!(t1, sevf_crypto::hmac_sha384(&other_key, &data));
     }
+}
 
-    #[test]
-    fn sha256_streaming_equivalence(
-        data in proptest::collection::vec(any::<u8>(), 0..1024),
-        split in 0usize..1024) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_streaming_equivalence() {
+    let mut rng = XorShift64::new(0xC4A_000C);
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 0, 1023);
+        let split = (rng.next_u64() as usize % 1024).min(data.len());
         let mut h = sevf_crypto::Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), sevf_crypto::sha256(&data));
+        assert_eq!(h.finalize(), sevf_crypto::sha256(&data));
     }
 }

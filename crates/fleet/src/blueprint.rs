@@ -1,0 +1,452 @@
+//! Launch blueprints, the class catalog, and the content-addressed cache.
+//!
+//! Serving thousands of requests cannot re-run the full functional boot
+//! (real hashing, real encryption) per request — and does not need to: the
+//! virtual-time shape of a boot is a property of its *configuration*. So the
+//! control plane boots each request class **once per serving tier** on a
+//! real [`sevf_vmm::Machine`], converts the resulting timeline into a
+//! replayable [`Blueprint`] (the same span-to-segment mapping
+//! [`sevf_vmm::concurrent::boot_job`] uses), and replays that blueprint for
+//! every request of the class.
+//!
+//! Three blueprints per class:
+//!
+//! * **cold** — a full launch: every byte measured by the PSP.
+//! * **template fill / hit** — the §6.2 shared-key path: the first launch of
+//!   a configuration fills the template (full PSP work + registration),
+//!   subsequent identical launches reuse its key and measurement and skip
+//!   almost all PSP work. [`LaunchCache`] decides fill vs hit by
+//!   content-address ([`TemplateKey`] = the launch measurement).
+//! * **warm invoke** — the §7.1 keep-alive path: no launch at all, just a
+//!   vCPU kick into a resident guest.
+
+use std::collections::HashMap;
+
+use sevf_image::kernel::KernelConfig;
+use sevf_psp::TemplateKey;
+use sevf_sim::cost::SevGeneration;
+use sevf_sim::{Job, Nanos, ResourceClass, ResourceId, Segment};
+use sevf_vmm::config::LaunchMode;
+use sevf_vmm::{BootPolicy, BootReport, Machine, MicroVm, VmConfig};
+
+use crate::FleetError;
+
+const MB: u64 = 1024 * 1024;
+
+/// The virtual-time shape of one launch, replayable as a DES job.
+#[derive(Debug, Clone)]
+pub struct Blueprint {
+    /// Label carried into job segments (shows up in traces).
+    pub label: String,
+    /// Ordered `(resource class, duration)` steps.
+    pub segments: Vec<(ResourceClass, Nanos)>,
+}
+
+impl Blueprint {
+    /// Extracts the blueprint of a boot report's timeline.
+    pub fn from_report(label: impl Into<String>, report: &BootReport) -> Self {
+        Blueprint {
+            label: label.into(),
+            segments: report
+                .timeline
+                .spans()
+                .iter()
+                .map(|span| (span.class, span.duration))
+                .collect(),
+        }
+    }
+
+    /// A single-step CPU blueprint (used for warm invocations).
+    pub fn cpu_step(label: impl Into<String>, duration: Nanos) -> Self {
+        Blueprint {
+            label: label.into(),
+            segments: vec![(ResourceClass::HostCpu, duration)],
+        }
+    }
+
+    /// Serialized PSP work this blueprint costs per replay — the quantity
+    /// the shortest-expected-PSP-work scheduler orders by.
+    pub fn psp_work(&self) -> Nanos {
+        self.segments
+            .iter()
+            .filter(|(class, _)| *class == ResourceClass::Psp)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Total service time (all segments, uncontended).
+    pub fn service_time(&self) -> Nanos {
+        self.segments.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Converts the blueprint into a DES job released at `release`.
+    pub fn to_job(&self, release: Nanos, cpu: ResourceId, psp: ResourceId) -> Job {
+        let segments = self
+            .segments
+            .iter()
+            .map(|&(class, duration)| match class {
+                ResourceClass::Psp => Segment::on(psp, duration, self.label.clone()),
+                ResourceClass::HostCpu => Segment::on(cpu, duration, self.label.clone()),
+                ResourceClass::Network => Segment::delay(duration, self.label.clone()),
+            })
+            .collect();
+        Job::released_at(release, segments)
+    }
+}
+
+/// One request class the fleet serves: a named VM configuration.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Display name ("aws-snp", ...).
+    pub name: String,
+    /// The configuration every request of this class launches.
+    pub config: VmConfig,
+}
+
+impl ClassSpec {
+    /// Builds a class from a policy/generation/kernel triple at the paper's
+    /// guest size (`mem_size` bytes of guest memory — the PSP's RMP-init
+    /// cost scales with it, so this knob sets the Fig. 12 slope).
+    pub fn new(
+        name: impl Into<String>,
+        policy: BootPolicy,
+        generation: SevGeneration,
+        kernel: KernelConfig,
+        mem_size: u64,
+    ) -> Self {
+        let mut config = VmConfig::paper_default(policy, kernel);
+        config.generation = generation;
+        config.mem_size = mem_size.max(32 * MB);
+        ClassSpec {
+            name: name.into(),
+            config,
+        }
+    }
+
+    /// The paper-mix request classes: the three §6.1 kernels across
+    /// SEV / SEV-ES / SEV-SNP plus a stock (non-SEV) class, with images
+    /// scaled down by `kernel_div` (1 = paper scale) and `mem_size` of
+    /// guest memory.
+    pub fn paper_classes(kernel_div: u64, mem_size: u64) -> Vec<ClassSpec> {
+        let scaled = |k: KernelConfig| {
+            if kernel_div == 1 {
+                k
+            } else {
+                k.scaled_down(kernel_div)
+            }
+        };
+        let mut classes = vec![
+            ClassSpec::new(
+                "aws-snp",
+                BootPolicy::Severifast,
+                SevGeneration::SevSnp,
+                scaled(KernelConfig::aws()),
+                mem_size,
+            ),
+            ClassSpec::new(
+                "lupine-snp",
+                BootPolicy::Severifast,
+                SevGeneration::SevSnp,
+                scaled(KernelConfig::lupine()),
+                mem_size,
+            ),
+            ClassSpec::new(
+                "ubuntu-es",
+                BootPolicy::Severifast,
+                SevGeneration::SevEs,
+                scaled(KernelConfig::ubuntu()),
+                mem_size,
+            ),
+            ClassSpec::new(
+                "aws-sev",
+                BootPolicy::Severifast,
+                SevGeneration::Sev,
+                scaled(KernelConfig::aws()),
+                mem_size,
+            ),
+            ClassSpec::new(
+                "stock",
+                BootPolicy::StockFirecracker,
+                SevGeneration::None,
+                scaled(KernelConfig::aws()),
+                mem_size,
+            ),
+        ];
+        for class in &mut classes {
+            class.config.initrd_size = sevf_image::initrd::FULL_SIZE / kernel_div;
+        }
+        classes
+    }
+
+    /// Two tiny classes for fast tests and doctests.
+    pub fn quick_test_classes() -> Vec<ClassSpec> {
+        vec![
+            ClassSpec {
+                name: "tiny-snp".into(),
+                config: VmConfig::test_tiny(BootPolicy::Severifast),
+            },
+            ClassSpec {
+                name: "tiny-stock".into(),
+                config: VmConfig::test_tiny(BootPolicy::StockFirecracker),
+            },
+        ]
+    }
+}
+
+/// The measured blueprints of one request class.
+#[derive(Debug, Clone)]
+pub struct ClassBlueprints {
+    /// Class name.
+    pub name: String,
+    /// Content-address of the class's launch template.
+    pub key: TemplateKey,
+    /// Full cold launch.
+    pub cold: Blueprint,
+    /// Template fill: the first shared-key launch (full PSP work).
+    pub template_fill: Blueprint,
+    /// Template hit: a launch reusing the filled template.
+    pub template_hit: Blueprint,
+    /// Warm invocation into a resident keep-alive guest.
+    pub warm_invoke: Blueprint,
+    /// Host memory one keep-alive of this class holds resident (§7.1 rent).
+    pub resident_bytes: u64,
+}
+
+/// The fleet's class catalog: every class booted once per tier on a real
+/// machine, blueprints extracted for replay.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    classes: Vec<ClassBlueprints>,
+}
+
+impl Catalog {
+    /// Boots each class on a fresh seeded machine and extracts blueprints.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoClasses`] for an empty spec list;
+    /// [`FleetError::Boot`] if any blueprint boot fails.
+    pub fn build(seed: u64, specs: &[ClassSpec]) -> Result<Catalog, FleetError> {
+        if specs.is_empty() {
+            return Err(FleetError::NoClasses);
+        }
+        let mut classes = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let mut machine = Machine::new(seed.wrapping_add(i as u64).wrapping_mul(0x9e37) | 1);
+            machine
+                .owner
+                .set_required_generation(spec.config.generation);
+
+            // Cold: full launch, fresh key, everything measured.
+            let cold_vm = MicroVm::new(spec.config.clone())?;
+            if spec.config.policy.is_sev() {
+                cold_vm.register_expected(&mut machine)?;
+            }
+            let cold_report = cold_vm.boot(&mut machine)?;
+            let key = match cold_report.measurement {
+                Some(m) => TemplateKey::from_measurement(m),
+                // Non-SEV classes have no launch measurement; give each a
+                // distinct synthetic address so cache/affinity logic still
+                // has a per-class identity.
+                None => {
+                    let mut pseudo = [0xA5u8; 48];
+                    pseudo[0] = i as u8;
+                    TemplateKey::from_measurement(pseudo)
+                }
+            };
+
+            // Template pair: same machine, shared-key mode. First boot
+            // fills `machine.templates`, second reuses it.
+            let mut template_config = spec.config.clone();
+            template_config.launch_mode = LaunchMode::SharedKeyTemplate;
+            let template_vm = MicroVm::new(template_config)?;
+            if spec.config.policy.is_sev() {
+                template_vm.register_expected(&mut machine)?;
+            }
+            let fill_report = template_vm.boot(&mut machine)?;
+            let hit_report = template_vm.boot(&mut machine)?;
+
+            // Warm: keep one guest alive and time a vCPU kick into it.
+            let (_, mut warm_vm) = cold_vm.boot_keep_alive(&mut machine)?;
+            let invocation = warm_vm.invoke(&machine.cost);
+
+            classes.push(ClassBlueprints {
+                name: spec.name.clone(),
+                key,
+                cold: Blueprint::from_report(format!("{} cold", spec.name), &cold_report),
+                template_fill: Blueprint::from_report(
+                    format!("{} template-fill", spec.name),
+                    &fill_report,
+                ),
+                template_hit: Blueprint::from_report(
+                    format!("{} template-hit", spec.name),
+                    &hit_report,
+                ),
+                warm_invoke: Blueprint::cpu_step(
+                    format!("{} warm-invoke", spec.name),
+                    invocation.latency,
+                ),
+                resident_bytes: warm_vm.resident_bytes(),
+            });
+        }
+        Ok(Catalog { classes })
+    }
+
+    /// The measured classes, in spec order.
+    pub fn classes(&self) -> &[ClassBlueprints] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the catalog is empty (never true for a built catalog).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// One class by index.
+    pub fn class(&self, idx: usize) -> &ClassBlueprints {
+        &self.classes[idx]
+    }
+}
+
+/// Content-addressed launch cache: which template measurements are live on
+/// the machine. A hit replays the cheap template-hit blueprint; a miss pays
+/// the full fill.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchCache {
+    live: HashMap<TemplateKey, usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LaunchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, recording a hit or a miss. On miss the key is
+    /// inserted (the fill launch that follows makes it live).
+    pub fn lookup_or_fill(&mut self, key: TemplateKey, class: usize) -> bool {
+        if self.live.contains_key(&key) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            self.live.insert(key, class);
+            false
+        }
+    }
+
+    /// Whether `key` is live, without touching the counters (used by the
+    /// template-affinity scheduler to peek).
+    pub fn contains(&self, key: &TemplateKey) -> bool {
+        self.live.contains_key(key)
+    }
+
+    /// Pre-fills the cache (warm-pool serving starts with every class's
+    /// template live, since the pool itself was built from them).
+    pub fn prefill(&mut self, key: TemplateKey, class: usize) {
+        self.live.insert(key, class);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_catalog() -> Catalog {
+        Catalog::build(41, &ClassSpec::quick_test_classes()).unwrap()
+    }
+
+    #[test]
+    fn catalog_builds_all_tiers_for_each_class() {
+        let catalog = quick_catalog();
+        assert_eq!(catalog.len(), 2);
+        for class in catalog.classes() {
+            assert!(class.cold.service_time() > Nanos::ZERO, "{}", class.name);
+            assert!(class.warm_invoke.service_time() > Nanos::ZERO);
+            assert!(class.resident_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn template_hit_skips_most_psp_work() {
+        let catalog = quick_catalog();
+        let snp = catalog.class(0);
+        assert!(snp.cold.psp_work() > Nanos::ZERO);
+        // Fill pays full launch work; the hit skips nearly all of it (§6.2).
+        assert!(snp.template_fill.psp_work() > snp.template_hit.psp_work().scale(5));
+        // Warm invocation touches the PSP not at all.
+        assert_eq!(snp.warm_invoke.psp_work(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn warm_invoke_is_far_cheaper_than_any_launch() {
+        let catalog = quick_catalog();
+        let snp = catalog.class(0);
+        assert!(snp.cold.service_time() > snp.warm_invoke.service_time().scale(100));
+        assert!(snp.template_hit.service_time() > snp.warm_invoke.service_time());
+    }
+
+    #[test]
+    fn stock_class_uses_no_psp() {
+        let catalog = quick_catalog();
+        let stock = catalog.class(1);
+        assert_eq!(stock.cold.psp_work(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn keys_are_distinct_per_class() {
+        let catalog = quick_catalog();
+        assert_ne!(catalog.class(0).key, catalog.class(1).key);
+    }
+
+    #[test]
+    fn catalog_is_deterministic_under_a_seed() {
+        let a = Catalog::build(9, &ClassSpec::quick_test_classes()).unwrap();
+        let b = Catalog::build(9, &ClassSpec::quick_test_classes()).unwrap();
+        assert_eq!(a.class(0).key, b.class(0).key);
+        assert_eq!(
+            a.class(0).cold.service_time(),
+            b.class(0).cold.service_time()
+        );
+    }
+
+    #[test]
+    fn cache_counts_fill_then_hits() {
+        let mut cache = LaunchCache::new();
+        let key = TemplateKey::from_measurement([3u8; 48]);
+        assert!(!cache.lookup_or_fill(key, 0));
+        assert!(cache.lookup_or_fill(key, 0));
+        assert!(cache.lookup_or_fill(key, 0));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert!(cache.contains(&key));
+    }
+
+    #[test]
+    fn blueprint_job_round_trips_service_time() {
+        let catalog = quick_catalog();
+        let bp = &catalog.class(0).cold;
+        let mut engine = sevf_sim::DesEngine::new();
+        let psp = engine.add_resource("psp", 1);
+        let cpu = engine.add_resource("cpu", 4);
+        let outcomes = engine.run(vec![bp.to_job(Nanos::ZERO, cpu, psp)]);
+        assert_eq!(outcomes[0].latency(), bp.service_time());
+    }
+}

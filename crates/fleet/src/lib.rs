@@ -1,0 +1,95 @@
+//! A serverless fleet control plane for SEV microVM launch traffic.
+//!
+//! The paper's scaling result (Fig. 12) is that SEV cold boots serialize on
+//! the single-core PSP: every `LAUNCH_*` command of every guest passes
+//! through one low-power core, so average startup grows linearly with
+//! concurrency. §6.2 sketches shared-key template launches and §7.1
+//! analyzes keep-alive warm pools as the two mitigations. This crate turns
+//! those one-shot experiments into a *service*: a host agent that accepts a
+//! stream of launch requests, admits and schedules them onto the host's DES
+//! resources, reuses template measurements through a content-addressed
+//! launch cache, keeps a warm pool topped up, and reports service-level
+//! metrics.
+//!
+//! * [`workload`] — seeded open-loop (Poisson) and closed-loop arrival
+//!   processes over a configurable request mix.
+//! * [`blueprint`] — replayable launch blueprints derived from real boots,
+//!   and the content-addressed [`blueprint::LaunchCache`] keyed by
+//!   [`sevf_psp::TemplateKey`].
+//! * [`admission`] — bounded request queue with shed-on-overload and
+//!   pluggable scheduling policies (FIFO, shortest-expected-PSP-work-first,
+//!   template-affinity).
+//! * [`pool`] — the §7.1 warm-pool manager with target-size/evict logic.
+//! * [`service`] — the control plane itself, driving
+//!   [`sevf_sim::DesEngine::run_dynamic`].
+//! * [`metrics`] — latency percentiles/histograms, queue depth over time,
+//!   PSP/CPU utilization, shed/hit/miss counters.
+//! * [`experiment`] — the serving sweep behind the `figures --table fleet`
+//!   output: cold vs template vs warm-pool serving at offered loads.
+//!
+//! # Example
+//!
+//! ```
+//! use sevf_fleet::prelude::*;
+//!
+//! let catalog = Catalog::build(7, &ClassSpec::quick_test_classes())?;
+//! let mut config = FleetConfig::open_loop(ServingTier::Cold, 40.0, 40);
+//! config.seed = 7;
+//! let report = FleetService::new(catalog, config).run();
+//! assert_eq!(report.metrics.completed + report.metrics.shed as usize, 40);
+//! # Ok::<(), sevf_fleet::FleetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod blueprint;
+pub mod experiment;
+pub mod metrics;
+pub mod pool;
+pub mod service;
+pub mod workload;
+
+pub use admission::{AdmissionConfig, BoundedQueue, SchedPolicy};
+pub use blueprint::{Blueprint, Catalog, ClassSpec, LaunchCache};
+pub use experiment::{serving_sweep, ServingRow, SweepConfig, SweepReport};
+pub use metrics::FleetMetrics;
+pub use pool::WarmPool;
+pub use service::{FleetConfig, FleetReport, FleetService, ServingTier};
+pub use workload::{Arrival, RequestMix};
+
+/// Errors from building fleet components.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A blueprint boot failed.
+    Boot(sevf_vmm::VmmError),
+    /// The catalog was built with no request classes.
+    NoClasses,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Boot(e) => write!(f, "blueprint boot failed: {e}"),
+            FleetError::NoClasses => write!(f, "catalog needs at least one request class"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<sevf_vmm::VmmError> for FleetError {
+    fn from(e: sevf_vmm::VmmError) -> Self {
+        FleetError::Boot(e)
+    }
+}
+
+/// The common imports for working with the fleet control plane.
+pub mod prelude {
+    pub use crate::admission::{AdmissionConfig, SchedPolicy};
+    pub use crate::blueprint::{Catalog, ClassSpec};
+    pub use crate::service::{FleetConfig, FleetReport, FleetService, ServingTier};
+    pub use crate::workload::{Arrival, RequestMix};
+    pub use crate::FleetError;
+}

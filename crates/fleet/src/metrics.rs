@@ -1,0 +1,204 @@
+//! Service-level metrics for one fleet run.
+//!
+//! Everything the experiment tables print comes from here: request latency
+//! percentiles (on [`sevf_sim::stats::Summary`]), a coarse latency
+//! histogram, queue depth sampled at every enqueue/dequeue, PSP/CPU
+//! utilization derived from the DES [`sevf_sim::RunTrace`], and the
+//! shed / cache-hit / warm-hit counters that explain *why* the latencies
+//! look the way they do.
+
+use sevf_sim::{Nanos, Summary};
+
+/// Metrics collected over one [`crate::service::FleetService`] run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetMetrics {
+    /// Requests that completed a launch (or warm invocation).
+    pub completed: usize,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Template-cache hits (template and warm-pool tiers).
+    pub cache_hits: u64,
+    /// Template-cache misses (fills).
+    pub cache_misses: u64,
+    /// Warm-pool hits.
+    pub warm_hits: u64,
+    /// Warm-pool misses (fell through to a launch).
+    pub warm_misses: u64,
+    /// Warm guests evicted above target.
+    pub evicted: u64,
+    /// Per-request latency, arrival to completion.
+    pub latencies: Vec<Nanos>,
+    /// `(instant, depth)` samples taken at every queue transition.
+    pub queue_depth: Vec<(Nanos, usize)>,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: usize,
+    /// Fraction of the run the PSP spent busy.
+    pub psp_utilization: f64,
+    /// Fraction of `makespan × cores` the CPU pool spent busy.
+    pub cpu_utilization: f64,
+    /// Instant the last job finished.
+    pub makespan: Nanos,
+}
+
+impl FleetMetrics {
+    /// Records one completed request's latency.
+    pub fn record_latency(&mut self, latency: Nanos) {
+        self.completed += 1;
+        self.latencies.push(latency);
+    }
+
+    /// Records a queue-depth transition.
+    pub fn sample_queue_depth(&mut self, at: Nanos, depth: usize) {
+        self.queue_depth.push((at, depth));
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+    }
+
+    /// Latency summary; `None` when nothing completed.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.latencies.is_empty() {
+            None
+        } else {
+            Some(Summary::from_nanos(&self.latencies))
+        }
+    }
+
+    /// Mean latency in ms (0 when nothing completed).
+    pub fn mean_ms(&self) -> f64 {
+        self.summary().map_or(0.0, |s| s.mean)
+    }
+
+    /// Median latency in ms (0 when nothing completed).
+    pub fn p50_ms(&self) -> f64 {
+        self.summary().map_or(0.0, |s| s.p50)
+    }
+
+    /// 99th-percentile latency in ms (0 when nothing completed).
+    pub fn p99_ms(&self) -> f64 {
+        self.summary().map_or(0.0, |s| s.p99)
+    }
+
+    /// Latency histogram over `bucket_ms`-wide buckets:
+    /// `(upper bound ms, count)` pairs covering every sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ms` is not positive.
+    pub fn histogram(&self, bucket_ms: f64) -> Vec<(f64, usize)> {
+        assert!(bucket_ms > 0.0, "bucket width must be positive");
+        if self.latencies.is_empty() {
+            return Vec::new();
+        }
+        let max_ms = self
+            .latencies
+            .iter()
+            .map(|l| l.as_millis_f64())
+            .fold(0.0, f64::max);
+        let buckets = (max_ms / bucket_ms).floor() as usize + 1;
+        let mut hist = vec![0usize; buckets];
+        for l in &self.latencies {
+            let idx = (l.as_millis_f64() / bucket_ms).floor() as usize;
+            hist[idx.min(buckets - 1)] += 1;
+        }
+        hist.iter()
+            .enumerate()
+            .map(|(i, &count)| ((i + 1) as f64 * bucket_ms, count))
+            .collect()
+    }
+
+    /// Mean queue depth weighted by the time each depth was held.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_depth.len() < 2 {
+            return 0.0;
+        }
+        let mut weighted = 0.0;
+        let mut span = 0.0;
+        for pair in self.queue_depth.windows(2) {
+            let dt = (pair[1].0 - pair[0].0).as_nanos() as f64;
+            weighted += pair[0].1 as f64 * dt;
+            span += dt;
+        }
+        if span == 0.0 {
+            0.0
+        } else {
+            weighted / span
+        }
+    }
+
+    /// Human-readable one-run report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "completed {}  shed {}  (cache {}h/{}m, warm {}h/{}m, evicted {})\n",
+            self.completed,
+            self.shed,
+            self.cache_hits,
+            self.cache_misses,
+            self.warm_hits,
+            self.warm_misses,
+            self.evicted,
+        ));
+        out.push_str(&format!(
+            "latency mean {:.2} ms  p50 {:.2} ms  p99 {:.2} ms\n",
+            self.mean_ms(),
+            self.p50_ms(),
+            self.p99_ms(),
+        ));
+        out.push_str(&format!(
+            "psp {:.0}%  cpu {:.0}%  max queue {}  makespan {}\n",
+            self.psp_utilization * 100.0,
+            self.cpu_utilization * 100.0,
+            self.max_queue_depth,
+            self.makespan,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_report_zeros_not_panics() {
+        let m = FleetMetrics::default();
+        assert!(m.summary().is_none());
+        assert_eq!(m.p99_ms(), 0.0);
+        assert_eq!(m.mean_queue_depth(), 0.0);
+        assert!(m.histogram(10.0).is_empty());
+        assert!(m.render().contains("completed 0"));
+    }
+
+    #[test]
+    fn latency_percentiles_flow_through() {
+        let mut m = FleetMetrics::default();
+        for ms in [10u64, 20, 30, 40] {
+            m.record_latency(Nanos::from_millis(ms));
+        }
+        assert_eq!(m.completed, 4);
+        assert!((m.mean_ms() - 25.0).abs() < 1e-9);
+        assert!((m.p50_ms() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let mut m = FleetMetrics::default();
+        for ms in [1u64, 9, 11, 35] {
+            m.record_latency(Nanos::from_millis(ms));
+        }
+        let hist = m.histogram(10.0);
+        assert_eq!(hist.iter().map(|(_, c)| c).sum::<usize>(), 4);
+        assert_eq!(hist[0], (10.0, 2));
+        assert_eq!(hist.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn queue_depth_time_weighting() {
+        let mut m = FleetMetrics::default();
+        m.sample_queue_depth(Nanos::ZERO, 0);
+        m.sample_queue_depth(Nanos::from_millis(10), 2);
+        m.sample_queue_depth(Nanos::from_millis(30), 0);
+        // Depth 0 for 10 ms, depth 2 for 20 ms → mean 4/3.
+        assert!((m.mean_queue_depth() - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.max_queue_depth, 2);
+    }
+}

@@ -1,0 +1,519 @@
+//! The fleet control plane: serving launch traffic over virtual time.
+//!
+//! [`FleetService`] wires the pieces together on top of
+//! [`DesEngine::run_dynamic`]: arrivals are zero-segment marker jobs whose
+//! completion hands control to the service at the arrival instant; the
+//! service then routes each request — warm pool first (if serving that
+//! tier), then admission control — and injects the chosen launch blueprint
+//! as a follow-up job on the shared PSP/CPU resources. Everything is seeded
+//! and runs on the virtual clock, so a `(catalog, config)` pair fully
+//! determines the outcome.
+//!
+//! The three serving tiers mirror the paper's options:
+//!
+//! * [`ServingTier::Cold`] — every request pays the full launch; throughput
+//!   caps at `1 / psp_busy` because the PSP serializes (Fig. 12).
+//! * [`ServingTier::Template`] — first request of a class fills the §6.2
+//!   shared-key template (cold-priced), the rest are cheap hits.
+//! * [`ServingTier::WarmPool`] — requests take §7.1 keep-alive guests from
+//!   the pool (no launch at all); the pool refills in the background via
+//!   template launches, and misses fall through to the template path.
+
+use sevf_sim::rng::XorShift64;
+use sevf_sim::{DesEngine, Job, JobOutcome, Nanos, ResourceId, RunTrace};
+use sevf_vmm::machine::HOST_CORES;
+
+use crate::admission::{AdmissionConfig, BoundedQueue, Pending};
+use crate::blueprint::{Blueprint, Catalog, LaunchCache};
+use crate::metrics::FleetMetrics;
+use crate::pool::WarmPool;
+use crate::workload::{open_arrivals, Arrival, RequestMix};
+
+/// Which reuse tier the fleet serves requests from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingTier {
+    /// Full launch per request.
+    Cold,
+    /// Content-addressed shared-key template launches (§6.2).
+    Template,
+    /// Pre-warmed keep-alive guests, template-backed refills (§7.1).
+    WarmPool,
+}
+
+impl ServingTier {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServingTier::Cold => "cold",
+            ServingTier::Template => "template",
+            ServingTier::WarmPool => "warm-pool",
+        }
+    }
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Serving tier.
+    pub tier: ServingTier,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Request mix over catalog classes; `None` = uniform over the catalog.
+    pub mix: Option<RequestMix>,
+    /// Total requests to serve.
+    pub requests: usize,
+    /// Seed for arrivals and class sampling.
+    pub seed: u64,
+    /// Admission-controller knobs.
+    pub admission: AdmissionConfig,
+    /// Warm-pool target size per class (warm-pool tier only).
+    pub warm_target: usize,
+}
+
+impl FleetConfig {
+    /// An open-loop run at `rate_per_sec` offered load.
+    pub fn open_loop(tier: ServingTier, rate_per_sec: f64, requests: usize) -> Self {
+        FleetConfig {
+            tier,
+            arrival: Arrival::Open { rate_per_sec },
+            mix: None,
+            requests,
+            seed: 0x5EF0,
+            admission: AdmissionConfig::default(),
+            warm_target: 8,
+        }
+    }
+
+    /// A closed-loop run with `users` clients and `think` think time.
+    pub fn closed_loop(tier: ServingTier, users: usize, think: Nanos, requests: usize) -> Self {
+        FleetConfig {
+            tier,
+            arrival: Arrival::Closed { users, think },
+            mix: None,
+            requests,
+            seed: 0x5EF0,
+            admission: AdmissionConfig::default(),
+            warm_target: 8,
+        }
+    }
+}
+
+/// Outcome of one serving run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Tier that served.
+    pub tier: ServingTier,
+    /// Offered load (open loops only).
+    pub offered_rps: Option<f64>,
+    /// Collected metrics.
+    pub metrics: FleetMetrics,
+    /// Memory rent the warm pool held at the end of the run (§7.1).
+    pub pool_resident_bytes: u64,
+    /// Resource-occupancy trace of the run (for invariant checks).
+    pub trace: RunTrace,
+}
+
+/// What an engine job index means to the control plane.
+#[derive(Debug, Clone, Copy)]
+enum JobKind {
+    /// Arrival marker for a request (zero segments).
+    Arrival { request: usize },
+    /// The launch (or warm invocation) serving a request.
+    Launch { request: usize },
+    /// Background warm-pool refill for a class.
+    Replenish { class: usize },
+}
+
+/// The control plane: routes a request stream onto the host's resources.
+#[derive(Debug)]
+pub struct FleetService {
+    catalog: Catalog,
+    config: FleetConfig,
+}
+
+/// Mutable serving state threaded through the DES completion hook.
+struct State<'a> {
+    catalog: &'a Catalog,
+    config: &'a FleetConfig,
+    psp: ResourceId,
+    cpu: ResourceId,
+    mix: RequestMix,
+    rng: XorShift64,
+    meta: Vec<JobKind>,
+    req_class: Vec<usize>,
+    arrived: Vec<Nanos>,
+    queue: BoundedQueue,
+    pool: WarmPool,
+    cache: LaunchCache,
+    inflight: usize,
+    issued: usize,
+    metrics: FleetMetrics,
+}
+
+impl FleetService {
+    /// Builds a service over a measured catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's mix references a class outside the catalog,
+    /// or a closed loop has zero users.
+    pub fn new(catalog: Catalog, config: FleetConfig) -> Self {
+        if let Some(mix) = &config.mix {
+            assert!(
+                mix.max_class() < catalog.len(),
+                "mix references class {} but catalog has {}",
+                mix.max_class(),
+                catalog.len()
+            );
+        }
+        if let Arrival::Closed { users, .. } = config.arrival {
+            assert!(users > 0, "closed loop needs at least one user");
+        }
+        FleetService { catalog, config }
+    }
+
+    /// Serves the configured request stream to completion.
+    pub fn run(self) -> FleetReport {
+        let mut engine = DesEngine::new();
+        let psp = engine.add_resource("psp", 1);
+        let cpu = engine.add_resource("host-cpus", HOST_CORES);
+
+        let mix = self
+            .config
+            .mix
+            .clone()
+            .unwrap_or_else(|| RequestMix::uniform(self.catalog.len()));
+        let mut state = State {
+            catalog: &self.catalog,
+            config: &self.config,
+            psp,
+            cpu,
+            mix,
+            rng: XorShift64::new(self.config.seed ^ 0x5EF0_F1EE7),
+            meta: Vec::new(),
+            req_class: Vec::new(),
+            arrived: Vec::new(),
+            queue: BoundedQueue::new(self.config.admission.queue_bound),
+            pool: WarmPool::prewarmed(
+                self.catalog.len(),
+                if self.config.tier == ServingTier::WarmPool {
+                    self.config.warm_target
+                } else {
+                    0
+                },
+                self.catalog
+                    .classes()
+                    .iter()
+                    .map(|c| c.resident_bytes)
+                    .collect(),
+            ),
+            cache: LaunchCache::new(),
+            inflight: 0,
+            issued: 0,
+            metrics: FleetMetrics::default(),
+        };
+
+        // Warm-pool serving starts with every template live: the pool's
+        // resident guests were launched from them.
+        if self.config.tier == ServingTier::WarmPool {
+            for (idx, class) in self.catalog.classes().iter().enumerate() {
+                state.cache.prefill(class.key, idx);
+            }
+        }
+
+        // Seed the arrival stream: open loops pre-draw every arrival, closed
+        // loops start one marker per user and chain the rest on completions.
+        let mut seed_jobs = Vec::new();
+        match self.config.arrival {
+            Arrival::Open { rate_per_sec } => {
+                let times = open_arrivals(rate_per_sec, self.config.requests, &mut state.rng);
+                for at in times {
+                    let request = state.new_request(at);
+                    seed_jobs.push(Job::released_at(at, vec![]));
+                    state.meta.push(JobKind::Arrival { request });
+                }
+            }
+            Arrival::Closed { users, .. } => {
+                for i in 0..users.min(self.config.requests) {
+                    // Tiny stagger keeps user start order deterministic and
+                    // distinct.
+                    let at = Nanos::from_micros(i as u64);
+                    let request = state.new_request(at);
+                    seed_jobs.push(Job::released_at(at, vec![]));
+                    state.meta.push(JobKind::Arrival { request });
+                }
+            }
+        }
+
+        let (_, trace) = engine.run_dynamic(seed_jobs, |outcome, inject| {
+            state.on_event(outcome, inject);
+        });
+
+        let mut metrics = state.metrics;
+        metrics.shed = state.queue.shed();
+        metrics.max_queue_depth = state.queue.max_depth();
+        metrics.cache_hits = state.cache.hits();
+        metrics.cache_misses = state.cache.misses();
+        metrics.warm_hits = state.pool.hits();
+        metrics.warm_misses = state.pool.misses();
+        metrics.evicted = state.pool.evicted();
+        metrics.psp_utilization = trace.utilization(psp, 1);
+        metrics.cpu_utilization = trace.utilization(cpu, HOST_CORES);
+        metrics.makespan = trace.makespan();
+
+        FleetReport {
+            tier: self.config.tier,
+            offered_rps: self.config.arrival.offered_rps(),
+            metrics,
+            pool_resident_bytes: state.pool.resident_bytes(),
+            trace,
+        }
+    }
+}
+
+impl State<'_> {
+    /// Allocates a request id, sampling its class.
+    fn new_request(&mut self, arrival_hint: Nanos) -> usize {
+        let request = self.req_class.len();
+        self.req_class.push(self.mix.sample(&mut self.rng));
+        self.arrived.push(arrival_hint);
+        self.issued += 1;
+        request
+    }
+
+    fn on_event(&mut self, outcome: &JobOutcome, inject: &mut Vec<Job>) {
+        match self.meta[outcome.job] {
+            JobKind::Arrival { request } => {
+                self.arrived[request] = outcome.finish;
+                self.route(request, outcome.finish, inject);
+            }
+            JobKind::Launch { request } => {
+                self.metrics
+                    .record_latency(outcome.finish - self.arrived[request]);
+                self.inflight = self.inflight.saturating_sub(1);
+                self.drain_queue(outcome.finish, inject);
+                self.issue_next_closed(outcome.finish, inject);
+            }
+            JobKind::Replenish { class } => {
+                self.pool.refill_done(class);
+            }
+        }
+    }
+
+    /// Routes a fresh arrival: warm pool first (warm tier), else admission.
+    fn route(&mut self, request: usize, now: Nanos, inject: &mut Vec<Job>) {
+        let class = self.req_class[request];
+        if self.config.tier == ServingTier::WarmPool && self.pool.try_take(class) {
+            // Warm hit: no launch, no admission — one vCPU kick. The freed
+            // slot is refilled in the background by a template launch.
+            let blueprint = self.catalog.class(class).warm_invoke.clone();
+            self.inject_launch(request, &blueprint, now, inject);
+            if self.pool.wants_refill(class) {
+                self.pool.refill_started(class);
+                let refill = self.catalog.class(class).template_hit.clone();
+                inject.push(refill.to_job(now, self.cpu, self.psp));
+                self.meta.push(JobKind::Replenish { class });
+            }
+            return;
+        }
+        self.admit(request, class, now, inject);
+    }
+
+    /// Admission control: dispatch if a slot is free, queue if there is
+    /// room, shed otherwise.
+    fn admit(&mut self, request: usize, class: usize, now: Nanos, inject: &mut Vec<Job>) {
+        if self.inflight < self.config.admission.max_inflight {
+            self.dispatch(request, class, now, inject);
+            return;
+        }
+        let cb = self.catalog.class(class);
+        let expected_psp = match self.config.tier {
+            ServingTier::Cold => cb.cold.psp_work(),
+            ServingTier::Template | ServingTier::WarmPool => {
+                if self.cache.contains(&cb.key) {
+                    cb.template_hit.psp_work()
+                } else {
+                    cb.template_fill.psp_work()
+                }
+            }
+        };
+        let admitted = self.queue.offer(Pending {
+            request,
+            class,
+            expected_psp,
+            key: cb.key,
+        });
+        self.metrics.sample_queue_depth(now, self.queue.len());
+        if !admitted {
+            // Shed: fail fast. A closed-loop client still comes back.
+            self.issue_next_closed(now, inject);
+        }
+    }
+
+    /// Picks the launch blueprint for a dispatch and injects it.
+    fn dispatch(&mut self, request: usize, class: usize, now: Nanos, inject: &mut Vec<Job>) {
+        self.inflight += 1;
+        let cb = self.catalog.class(class);
+        let blueprint = match self.config.tier {
+            ServingTier::Cold => cb.cold.clone(),
+            ServingTier::Template | ServingTier::WarmPool => {
+                if self.cache.lookup_or_fill(cb.key, class) {
+                    cb.template_hit.clone()
+                } else {
+                    cb.template_fill.clone()
+                }
+            }
+        };
+        self.inject_launch(request, &blueprint, now, inject);
+    }
+
+    fn inject_launch(
+        &mut self,
+        request: usize,
+        blueprint: &Blueprint,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        inject.push(blueprint.to_job(now, self.cpu, self.psp));
+        self.meta.push(JobKind::Launch { request });
+    }
+
+    /// Fills freed dispatch slots from the queue per the scheduling policy.
+    fn drain_queue(&mut self, now: Nanos, inject: &mut Vec<Job>) {
+        while self.inflight < self.config.admission.max_inflight {
+            let cache = &self.cache;
+            let Some(next) = self
+                .queue
+                .pick(self.config.admission.policy, |key| cache.contains(key))
+            else {
+                break;
+            };
+            self.metrics.sample_queue_depth(now, self.queue.len());
+            self.dispatch(next.request, next.class, now, inject);
+        }
+    }
+
+    /// Closed loops: a completion (or shed) sends the client into think
+    /// time, after which it issues the next request — until the budget runs
+    /// out.
+    fn issue_next_closed(&mut self, now: Nanos, inject: &mut Vec<Job>) {
+        let Arrival::Closed { think, .. } = self.config.arrival else {
+            return;
+        };
+        if self.issued >= self.config.requests {
+            return;
+        }
+        let at = now + think;
+        let request = self.new_request(at);
+        inject.push(Job::released_at(at, vec![]));
+        self.meta.push(JobKind::Arrival { request });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::SchedPolicy;
+    use crate::blueprint::ClassSpec;
+
+    fn quick_catalog() -> Catalog {
+        Catalog::build(17, &ClassSpec::quick_test_classes()).unwrap()
+    }
+
+    fn run(config: FleetConfig) -> FleetReport {
+        FleetService::new(quick_catalog(), config).run()
+    }
+
+    #[test]
+    fn open_loop_conserves_requests() {
+        let report = run(FleetConfig::open_loop(ServingTier::Cold, 30.0, 60));
+        let m = &report.metrics;
+        assert_eq!(m.completed + m.shed as usize, 60);
+        assert_eq!(m.latencies.len(), m.completed);
+    }
+
+    #[test]
+    fn closed_loop_conserves_requests() {
+        let config = FleetConfig::closed_loop(ServingTier::Template, 4, Nanos::from_millis(5), 40);
+        let report = run(config);
+        let m = &report.metrics;
+        assert_eq!(m.completed + m.shed as usize, 40);
+        assert_eq!(report.offered_rps, None);
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_a_seed() {
+        let a = run(FleetConfig::open_loop(ServingTier::Template, 80.0, 80));
+        let b = run(FleetConfig::open_loop(ServingTier::Template, 80.0, 80));
+        assert_eq!(a.metrics.latencies, b.metrics.latencies);
+        assert_eq!(a.metrics.shed, b.metrics.shed);
+        assert_eq!(a.metrics.makespan, b.metrics.makespan);
+    }
+
+    #[test]
+    fn template_tier_fills_once_per_class_then_hits() {
+        let report = run(FleetConfig::open_loop(ServingTier::Template, 40.0, 50));
+        let m = &report.metrics;
+        // Two classes → at most two fills; everything else hits.
+        assert!(m.cache_misses <= 2, "misses {}", m.cache_misses);
+        assert!(m.cache_hits >= 48 - m.shed, "hits {}", m.cache_hits);
+    }
+
+    #[test]
+    fn warm_tier_serves_hits_and_refills() {
+        let mut config = FleetConfig::open_loop(ServingTier::WarmPool, 40.0, 50);
+        config.warm_target = 4;
+        let report = run(config);
+        let m = &report.metrics;
+        assert!(m.warm_hits > 0);
+        assert_eq!(m.completed + m.shed as usize, 50);
+        assert!(report.pool_resident_bytes > 0);
+    }
+
+    #[test]
+    fn overload_sheds_once_queue_bound_hits() {
+        let mut config = FleetConfig::open_loop(ServingTier::Cold, 2000.0, 120);
+        config.admission.queue_bound = 8;
+        config.admission.max_inflight = 4;
+        let report = run(config);
+        let m = &report.metrics;
+        assert!(m.shed > 0, "expected shedding under overload");
+        assert_eq!(m.completed + m.shed as usize, 120);
+        assert_eq!(m.max_queue_depth, 8);
+    }
+
+    #[test]
+    fn scheduling_policies_all_serve_everything() {
+        for policy in [
+            SchedPolicy::Fifo,
+            SchedPolicy::ShortestPspFirst,
+            SchedPolicy::TemplateAffinity,
+        ] {
+            let mut config = FleetConfig::open_loop(ServingTier::Template, 150.0, 60);
+            config.admission.max_inflight = 2;
+            config.admission.policy = policy;
+            let report = run(config);
+            let m = &report.metrics;
+            assert_eq!(
+                m.completed + m.shed as usize,
+                60,
+                "policy {}",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_pool_bypasses_the_psp_for_hits() {
+        // Pool big enough that every request is a warm hit: PSP only sees
+        // the background refills (template hits), so utilization stays low
+        // and every latency is the invoke cost.
+        let mut config = FleetConfig::open_loop(ServingTier::WarmPool, 10.0, 30);
+        config.warm_target = 32;
+        let report = run(config);
+        let m = &report.metrics;
+        assert_eq!(m.warm_misses, 0);
+        let invoke_ms = 1.0; // warm invokes are sub-millisecond
+        assert!(m.p99_ms() < invoke_ms, "p99 {}", m.p99_ms());
+    }
+}

@@ -125,12 +125,16 @@ pub fn parse(image: &[u8]) -> Result<(Vec<u8>, Codec), ImageError> {
     }
     let setup_sects = image[SETUP_SECTS_OFFSET] as usize;
     let pm_start = 512 + setup_sects * 512;
-    let payload_offset =
-        u32::from_le_bytes(image[PAYLOAD_OFFSET_OFFSET..PAYLOAD_OFFSET_OFFSET + 4].try_into()
-            .expect("4 bytes")) as usize;
-    let payload_length =
-        u32::from_le_bytes(image[PAYLOAD_LENGTH_OFFSET..PAYLOAD_LENGTH_OFFSET + 4].try_into()
-            .expect("4 bytes")) as usize;
+    let payload_offset = u32::from_le_bytes(
+        image[PAYLOAD_OFFSET_OFFSET..PAYLOAD_OFFSET_OFFSET + 4]
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    let payload_length = u32::from_le_bytes(
+        image[PAYLOAD_LENGTH_OFFSET..PAYLOAD_LENGTH_OFFSET + 4]
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
     let codec = codec_from_tag(image[CODEC_TAG_OFFSET])
         .ok_or(ImageError::BadBzImage("unknown payload codec tag"))?;
     let start = pm_start + payload_offset;
@@ -214,6 +218,8 @@ mod tests {
         let mut bz = build(&vmlinux, Codec::Lz4);
         let n = bz.len();
         bz[n - 1000] ^= 0xff;
-        if let Ok(out) = unpack_vmlinux(&bz) { assert_ne!(out, vmlinux) }
+        if let Ok(out) = unpack_vmlinux(&bz) {
+            assert_ne!(out, vmlinux)
+        }
     }
 }

@@ -114,8 +114,7 @@ pub fn generate(profile: ContentProfile, len: usize, seed: &[u8]) -> Vec<u8> {
     let mut rng = Lcg(u64::from_le_bytes(digest[..8].try_into().expect("8 bytes")));
     let mut out = Vec::with_capacity(len);
     const STRIDE: usize = 1024;
-    let mut text_cursor = (u64::from_le_bytes(digest[8..16].try_into().expect("8 bytes"))
-        as usize)
+    let mut text_cursor = (u64::from_le_bytes(digest[8..16].try_into().expect("8 bytes")) as usize)
         % TEXT_DICTIONARY.len();
     // Precompute per-stride class counts.
     let zeros_in_stride = (STRIDE as f64 * profile.zeros) as usize;

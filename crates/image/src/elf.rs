@@ -220,7 +220,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = sample().to_bytes();
         bytes[0] = 0;
-        assert!(matches!(ElfImage::parse(&bytes), Err(ImageError::BadElf(_))));
+        assert!(matches!(
+            ElfImage::parse(&bytes),
+            Err(ImageError::BadElf(_))
+        ));
     }
 
     #[test]

@@ -108,7 +108,9 @@ mod tests {
         assert!(names.contains(&"lib/modules/sev-guest.ko"));
         let init = entries.iter().find(|e| e.name == "init").unwrap();
         assert_eq!(init.mode, 0o100755);
-        assert!(std::str::from_utf8(&init.data).unwrap().contains("sev-attest"));
+        assert!(std::str::from_utf8(&init.data)
+            .unwrap()
+            .contains("sev-attest"));
     }
 
     #[test]
@@ -146,8 +148,6 @@ mod tests {
         // material is the "sevf-dh-priv" domain tag — it must not appear.
         let archive = build_initrd(256 * 1024);
         let needle = b"sevf-dh-priv";
-        assert!(!archive
-            .windows(needle.len())
-            .any(|w| w == needle));
+        assert!(!archive.windows(needle.len()).any(|w| w == needle));
     }
 }

@@ -69,7 +69,10 @@ impl fmt::Display for MemError {
                 addr + len
             ),
             MemError::HostWriteDenied { page_addr } => {
-                write!(f, "RMP denied host write to guest-owned page {page_addr:#x}")
+                write!(
+                    f,
+                    "RMP denied host write to guest-owned page {page_addr:#x}"
+                )
             }
             MemError::VcException { page_addr, reason } => write!(
                 f,

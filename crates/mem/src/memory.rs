@@ -200,8 +200,7 @@ impl GuestMemory {
                 let page_addr = page * PAGE_SIZE;
                 let plain = self.page_plain(page);
                 let mut cipher_view = engine.encrypt(page_addr, &plain);
-                cipher_view[in_page..in_page + take]
-                    .copy_from_slice(&data[offset..offset + take]);
+                cipher_view[in_page..in_page + take].copy_from_slice(&data[offset..offset + take]);
                 let new_plain = engine.decrypt(page_addr, &cipher_view);
                 self.page_mut(page).copy_from_slice(&new_plain);
             } else {
@@ -349,7 +348,11 @@ impl GuestMemory {
     ///   remapped page under SNP.
     pub fn guest_write(&mut self, addr: u64, data: &[u8], encrypted: bool) -> Result<(), MemError> {
         self.guest_check(addr, data.len() as u64, encrypted)?;
-        self.raw_write(addr, data, if encrypted { Actor::Guest } else { Actor::Host });
+        self.raw_write(
+            addr,
+            data,
+            if encrypted { Actor::Guest } else { Actor::Host },
+        );
         Ok(())
     }
 
@@ -571,7 +574,10 @@ mod tests {
             Err(MemError::NotAssigned { .. })
         ));
         let mut sev = GuestMemory::new_sev(MB, [1u8; 16], SevGeneration::Sev);
-        assert_eq!(sev.pvalidate(0, PAGE_SIZE), Err(MemError::PvalidateUnsupported));
+        assert_eq!(
+            sev.pvalidate(0, PAGE_SIZE),
+            Err(MemError::PvalidateUnsupported)
+        );
     }
 
     #[test]
@@ -617,7 +623,8 @@ mod tests {
             .collect();
         mem.guest_write(PAGE_SIZE / 2, &data, true).unwrap();
         assert_eq!(
-            mem.guest_read(PAGE_SIZE / 2, data.len() as u64, true).unwrap(),
+            mem.guest_read(PAGE_SIZE / 2, data.len() as u64, true)
+                .unwrap(),
             data
         );
     }
@@ -625,8 +632,14 @@ mod tests {
     #[test]
     fn unaligned_rmp_ops_rejected() {
         let mut mem = snp_mem();
-        assert!(matches!(mem.rmp_assign(10, PAGE_SIZE), Err(MemError::Unaligned { .. })));
-        assert!(matches!(mem.remap_by_host(10), Err(MemError::Unaligned { .. })));
+        assert!(matches!(
+            mem.rmp_assign(10, PAGE_SIZE),
+            Err(MemError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            mem.remap_by_host(10),
+            Err(MemError::Unaligned { .. })
+        ));
         assert!(matches!(
             mem.pvalidate(10, PAGE_SIZE),
             Err(MemError::PvalidateUnsupported | MemError::Unaligned { .. })

@@ -1,50 +1,64 @@
 //! Property-based tests for the guest-memory model's invariants.
+//!
+//! Seeded XorShift64 case generation keeps the sweep deterministic without
+//! an external property-testing dependency.
 
-use proptest::prelude::*;
 use sevf_mem::{GuestMemory, MemError, PAGE_SIZE};
 use sevf_sim::cost::SevGeneration;
+use sevf_sim::rng::XorShift64;
 
 const MEM: u64 = 4 * 1024 * 1024;
+const CASES: u64 = 64;
 
 fn snp() -> GuestMemory {
     GuestMemory::new_sev(MEM, [9u8; 16], SevGeneration::SevSnp)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn bytes(rng: &mut XorShift64, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = min_len as u64 + rng.next_below((max_len - min_len) as u64 + 1);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
 
-    #[test]
-    fn plain_memory_write_read_roundtrip(
-        addr in 0u64..(MEM - 10_000),
-        data in proptest::collection::vec(any::<u8>(), 1..10_000),
-    ) {
+#[test]
+fn plain_memory_write_read_roundtrip() {
+    let mut rng = XorShift64::new(0x3E3_0001);
+    for _ in 0..CASES {
+        let addr = rng.next_below(MEM - 10_000);
+        let data = bytes(&mut rng, 1, 9_999);
         let mut mem = GuestMemory::new_plain(MEM);
         mem.host_write(addr, &data).unwrap();
-        prop_assert_eq!(mem.host_read(addr, data.len() as u64).unwrap(), data.clone());
-        prop_assert_eq!(mem.guest_read(addr, data.len() as u64, false).unwrap(), data);
+        assert_eq!(mem.host_read(addr, data.len() as u64).unwrap(), data);
+        assert_eq!(
+            mem.guest_read(addr, data.len() as u64, false).unwrap(),
+            data
+        );
     }
+}
 
-    #[test]
-    fn private_data_never_plaintext_to_host(
-        page in 0u64..(MEM / PAGE_SIZE - 2),
-        data in proptest::collection::vec(any::<u8>(), 16..4096),
-    ) {
+#[test]
+fn private_data_never_plaintext_to_host() {
+    let mut rng = XorShift64::new(0x3E3_0002);
+    for _ in 0..CASES {
+        let page = rng.next_below(MEM / PAGE_SIZE - 2);
+        let data = bytes(&mut rng, 16, 4095);
         let mut mem = snp();
         let addr = page * PAGE_SIZE;
         mem.rmp_assign(addr, 2 * PAGE_SIZE).unwrap();
         mem.pvalidate(addr, 2 * PAGE_SIZE).unwrap();
         mem.guest_write(addr, &data, true).unwrap();
         let host_view = mem.host_read(addr, data.len() as u64).unwrap();
-        prop_assert_ne!(&host_view, &data, "host saw plaintext");
+        assert_ne!(&host_view, &data, "host saw plaintext");
         // The guest always reads back exactly what it wrote.
-        prop_assert_eq!(mem.guest_read(addr, data.len() as u64, true).unwrap(), data);
+        assert_eq!(mem.guest_read(addr, data.len() as u64, true).unwrap(), data);
     }
+}
 
-    #[test]
-    fn host_writes_to_private_pages_always_denied(
-        page in 0u64..(MEM / PAGE_SIZE - 1),
-        data in proptest::collection::vec(any::<u8>(), 1..256),
-    ) {
+#[test]
+fn host_writes_to_private_pages_always_denied() {
+    let mut rng = XorShift64::new(0x3E3_0003);
+    for _ in 0..CASES {
+        let page = rng.next_below(MEM / PAGE_SIZE - 1);
+        let data = bytes(&mut rng, 1, 255);
         let mut mem = snp();
         let addr = page * PAGE_SIZE;
         mem.rmp_assign(addr, PAGE_SIZE).unwrap();
@@ -52,13 +66,15 @@ proptest! {
             mem.host_write(addr, &data),
             Err(MemError::HostWriteDenied { .. })
         );
-        prop_assert!(denied);
+        assert!(denied);
     }
+}
 
-    #[test]
-    fn unvalidated_private_access_always_faults(
-        page in 0u64..(MEM / PAGE_SIZE - 1),
-    ) {
+#[test]
+fn unvalidated_private_access_always_faults() {
+    let mut rng = XorShift64::new(0x3E3_0004);
+    for _ in 0..CASES {
+        let page = rng.next_below(MEM / PAGE_SIZE - 1);
         let mut mem = snp();
         let addr = page * PAGE_SIZE;
         mem.rmp_assign(addr, PAGE_SIZE).unwrap();
@@ -66,75 +82,88 @@ proptest! {
             mem.guest_write(addr, b"x", true),
             Err(MemError::VcException { .. })
         );
-        prop_assert!(write_faults);
+        assert!(write_faults);
         let read_faults = matches!(
             mem.guest_read(addr, 1, true),
             Err(MemError::VcException { .. })
         );
-        prop_assert!(read_faults);
+        assert!(read_faults);
     }
+}
 
-    #[test]
-    fn out_of_range_never_panics(
-        addr in any::<u64>(),
-        len in 0u64..100_000,
-    ) {
+#[test]
+fn out_of_range_never_panics() {
+    let mut rng = XorShift64::new(0x3E3_0005);
+    for _ in 0..CASES {
+        let addr = rng.next_u64();
+        let len = rng.next_below(100_000);
         let mem = GuestMemory::new_plain(MEM);
         let _ = mem.host_read(addr, len);
         let _ = mem.guest_read(addr, len, false);
     }
+}
 
-    #[test]
-    fn rmp_counts_match_operations(
-        pages in proptest::collection::btree_set(0u64..64, 1..32),
-    ) {
+#[test]
+fn rmp_counts_match_operations() {
+    let mut rng = XorShift64::new(0x3E3_0006);
+    for _ in 0..CASES {
+        let pages: std::collections::BTreeSet<u64> = (0..1 + rng.next_below(31))
+            .map(|_| rng.next_below(64))
+            .collect();
         let mut mem = snp();
         for &p in &pages {
             mem.rmp_assign(p * PAGE_SIZE, PAGE_SIZE).unwrap();
         }
-        prop_assert_eq!(mem.rmp().assigned_count(), pages.len());
+        assert_eq!(mem.rmp().assigned_count(), pages.len());
         for &p in &pages {
             mem.pvalidate(p * PAGE_SIZE, PAGE_SIZE).unwrap();
         }
-        prop_assert_eq!(mem.rmp().validated_count(), pages.len());
+        assert_eq!(mem.rmp().validated_count(), pages.len());
         // Double validation is always detected.
         for &p in &pages {
             let double = matches!(
                 mem.pvalidate(p * PAGE_SIZE, PAGE_SIZE),
                 Err(MemError::AlreadyValidated { .. })
             );
-            prop_assert!(double);
+            assert!(double);
         }
     }
+}
 
-    #[test]
-    fn pre_encrypt_returns_exactly_what_host_staged(
-        page in 1u64..(MEM / PAGE_SIZE - 2),
-        data in proptest::collection::vec(any::<u8>(), 1..4096),
-    ) {
+#[test]
+fn pre_encrypt_returns_exactly_what_host_staged() {
+    let mut rng = XorShift64::new(0x3E3_0007);
+    for _ in 0..CASES {
+        let page = 1 + rng.next_below(MEM / PAGE_SIZE - 3);
+        let data = bytes(&mut rng, 1, 4095);
         let mut mem = snp();
         let addr = page * PAGE_SIZE;
         mem.host_write(addr, &data).unwrap();
         let measured = mem.pre_encrypt(addr, data.len() as u64).unwrap();
-        prop_assert_eq!(&measured[..data.len()], &data[..]);
+        assert_eq!(&measured[..data.len()], &data[..]);
         // Padding is zeros.
-        prop_assert!(measured[data.len()..].iter().all(|&b| b == 0));
+        assert!(measured[data.len()..].iter().all(|&b| b == 0));
         // And the region is now private + validated.
-        prop_assert!(mem.is_assigned(addr));
-        prop_assert!(mem.is_validated(addr));
+        assert!(mem.is_assigned(addr));
+        assert!(mem.is_validated(addr));
     }
+}
 
-    #[test]
-    fn sev_host_corruption_scrambles_but_lands(
-        data in proptest::collection::vec(any::<u8>(), 32..256),
-        overwrite in proptest::collection::vec(any::<u8>(), 32..64),
-    ) {
+#[test]
+fn sev_host_corruption_scrambles_but_lands() {
+    let mut rng = XorShift64::new(0x3E3_0008);
+    for _ in 0..CASES {
         // Base SEV: host writes succeed and corrupt (integrity gap).
+        let data = bytes(&mut rng, 32, 255);
+        let overwrite = bytes(&mut rng, 32, 63);
         let mut mem = GuestMemory::new_sev(MEM, [1u8; 16], SevGeneration::Sev);
         mem.pre_encrypt(0, PAGE_SIZE).unwrap();
         mem.guest_write(0, &data, true).unwrap();
         mem.host_write(0, &overwrite).unwrap();
         let seen = mem.guest_read(0, overwrite.len() as u64, true).unwrap();
-        prop_assert_ne!(&seen, &overwrite, "host bytes must be scrambled by decryption");
+        assert_ne!(
+            &seen, &overwrite,
+            "host bytes must be scrambled by decryption"
+        );
     }
 }

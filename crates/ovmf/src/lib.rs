@@ -187,11 +187,13 @@ mod tests {
             kernel: KernelHashes::WholeImage(sha256(&bz)),
             initrd: sha256(&initrd),
         };
-        mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page()).unwrap();
+        mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page())
+            .unwrap();
         let ovmf = OvmfImage::build();
         mem.host_write(OVMF_BASE, ovmf.bytes()).unwrap();
         mem.pre_encrypt(HASH_PAGE_ADDR, PAGE_SIZE).unwrap();
-        mem.pre_encrypt(OVMF_BASE, ovmf.pre_encrypted_size()).unwrap();
+        mem.pre_encrypt(OVMF_BASE, ovmf.pre_encrypted_size())
+            .unwrap();
         for (base, len) in layout.private_ranges() {
             mem.rmp_assign(base, len).unwrap();
         }
@@ -202,7 +204,10 @@ mod tests {
     fn image_is_exactly_one_megabyte() {
         let ovmf = OvmfImage::build();
         assert_eq!(ovmf.bytes().len() as u64, OVMF_IMAGE_SIZE);
-        assert_eq!(ovmf.pre_encrypted_size(), OVMF_IMAGE_SIZE + OVMF_METADATA_SIZE);
+        assert_eq!(
+            ovmf.pre_encrypted_size(),
+            OVMF_IMAGE_SIZE + OVMF_METADATA_SIZE
+        );
         assert_eq!(OvmfImage::build(), ovmf, "deterministic build");
     }
 

@@ -95,7 +95,7 @@ impl Psp {
             guests: HashMap::new(),
             next_handle: 1,
             key_counter: 0,
-        total_busy: Nanos::ZERO,
+            total_busy: Nanos::ZERO,
         }
     }
 
@@ -171,7 +171,10 @@ impl Psp {
     ///
     /// [`PspError::NotLaunched`] if the template has not executed
     /// `LAUNCH_FINISH`, [`PspError::UnknownGuest`] for a bad handle.
-    pub fn launch_start_shared(&mut self, template: GuestHandle) -> Result<LaunchOutcome, PspError> {
+    pub fn launch_start_shared(
+        &mut self,
+        template: GuestHandle,
+    ) -> Result<LaunchOutcome, PspError> {
         let ctx = self.context(template)?;
         let (Some(measurement), key) = (ctx.measurement, ctx.memory_key) else {
             return Err(PspError::NotLaunched);
@@ -447,7 +450,10 @@ mod tests {
         assert!(psp.rmp_init(guest, &mem).unwrap().duration > Nanos::ZERO);
         let start = psp.launch_start(SevGeneration::Sev).unwrap();
         let mem2 = GuestMemory::new_sev(1 << 22, start.memory_key, SevGeneration::Sev);
-        assert_eq!(psp.rmp_init(start.guest, &mem2).unwrap().duration, Nanos::ZERO);
+        assert_eq!(
+            psp.rmp_init(start.guest, &mem2).unwrap().duration,
+            Nanos::ZERO
+        );
     }
 
     #[test]

@@ -42,8 +42,10 @@ mod error;
 mod launch;
 mod measurement;
 mod report;
+mod template;
 
 pub use error::PspError;
 pub use launch::{FinishOutcome, GuestHandle, LaunchOutcome, Psp, PspWork};
 pub use measurement::{measure_region, MeasurementChain, PageType};
 pub use report::{AmdRootRegistry, AttestationReport, ChipIdentity, GuestPolicy};
+pub use template::TemplateKey;

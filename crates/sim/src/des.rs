@@ -103,6 +103,80 @@ impl JobOutcome {
     }
 }
 
+/// One recorded occupancy of a resource slot during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The occupied resource.
+    pub resource: ResourceId,
+    /// Index of the job the segment belongs to.
+    pub job: usize,
+    /// Instant the segment started executing.
+    pub start: Nanos,
+    /// Instant the segment finishes.
+    pub end: Nanos,
+}
+
+/// Resource-occupancy record of one engine run: every executed
+/// resource-bound segment with its start/end instants, plus the makespan.
+/// Used for utilization accounting (fleet metrics) and for checking the
+/// engine's scheduling invariants.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    entries: Vec<TraceEntry>,
+    makespan: Nanos,
+}
+
+impl RunTrace {
+    /// All recorded occupancies, in execution-start order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Instant of the last job completion.
+    pub fn makespan(&self) -> Nanos {
+        self.makespan
+    }
+
+    /// Total busy time accumulated on `resource` across all its slots.
+    pub fn busy_time(&self, resource: ResourceId) -> Nanos {
+        self.entries
+            .iter()
+            .filter(|e| e.resource == resource)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Fraction of `capacity × makespan` the resource spent busy (0 when the
+    /// run is empty).
+    pub fn utilization(&self, resource: ResourceId, capacity: usize) -> f64 {
+        if self.makespan == Nanos::ZERO || capacity == 0 {
+            return 0.0;
+        }
+        self.busy_time(resource).as_nanos() as f64
+            / (self.makespan.as_nanos() as f64 * capacity as f64)
+    }
+
+    /// Maximum number of segments simultaneously executing on `resource`
+    /// (a capacity-`c` resource must never exceed `c`).
+    pub fn max_concurrency(&self, resource: ResourceId) -> usize {
+        let mut points: Vec<(Nanos, i64)> = Vec::new();
+        for e in self.entries.iter().filter(|e| e.resource == resource) {
+            points.push((e.start, 1));
+            points.push((e.end, -1));
+        }
+        // Ends sort before starts at the same instant: back-to-back segments
+        // on one slot do not count as overlapping.
+        points.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut current = 0i64;
+        let mut max = 0i64;
+        for (_, delta) in points {
+            current += delta;
+            max = max.max(current);
+        }
+        max.max(0) as usize
+    }
+}
+
 #[derive(Debug)]
 struct Resource {
     name: String,
@@ -165,6 +239,11 @@ impl DesEngine {
         &self.resources[id.0].name
     }
 
+    /// Capacity (parallel slots) of a resource.
+    pub fn capacity(&self, id: ResourceId) -> usize {
+        self.resources[id.0].capacity
+    }
+
     /// Runs a batch of jobs to completion and returns their outcomes in job
     /// order.
     ///
@@ -173,14 +252,44 @@ impl DesEngine {
     /// Panics if a segment references a resource not registered with this
     /// engine.
     pub fn run(&mut self, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        self.run_traced(jobs).0
+    }
+
+    /// Like [`DesEngine::run`], but also returns the resource-occupancy
+    /// trace for utilization accounting.
+    pub fn run_traced(&mut self, jobs: Vec<Job>) -> (Vec<JobOutcome>, RunTrace) {
+        self.run_dynamic(jobs, |_, _| {})
+    }
+
+    /// Runs jobs to completion with dynamic injection: every time a job
+    /// completes, `on_complete` is invoked with its outcome and may push
+    /// follow-up jobs into the provided vector. Injected jobs are assigned
+    /// the next indices in submission order and released no earlier than the
+    /// completion instant (earlier `release` values are clamped forward).
+    ///
+    /// This is what closed-loop load generation and admission control build
+    /// on: arrivals are zero-segment marker jobs whose completion hands
+    /// control to the caller at the arrival instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment references a resource not registered with this
+    /// engine.
+    pub fn run_dynamic(
+        &mut self,
+        jobs: Vec<Job>,
+        mut on_complete: impl FnMut(&JobOutcome, &mut Vec<Job>),
+    ) -> (Vec<JobOutcome>, RunTrace) {
         for r in &mut self.resources {
             r.busy = 0;
             r.waiting.clear();
         }
+        let mut jobs = jobs;
         let mut next_segment = vec![0usize; jobs.len()];
         let mut queued_since = vec![None::<Nanos>; jobs.len()];
         let mut queued_total = vec![Nanos::ZERO; jobs.len()];
         let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        let mut trace = RunTrace::default();
 
         // (time, sequence, job, kind); sequence keeps ordering deterministic.
         let mut calendar: BinaryHeap<Reverse<(Nanos, u64, usize, EventKind)>> = BinaryHeap::new();
@@ -191,62 +300,75 @@ impl DesEngine {
         }
 
         while let Some(Reverse((now, _, job_idx, kind))) = calendar.pop() {
-            match kind {
-                EventKind::Release => {
-                    self.start_next_segment(
-                        now,
-                        job_idx,
-                        &jobs,
-                        &mut next_segment,
-                        &mut queued_since,
-                        &mut calendar,
-                        &mut seq,
-                        &mut outcomes,
-                    );
-                }
-                EventKind::SegmentDone => {
-                    let seg_idx = next_segment[job_idx];
-                    let segment = &jobs[job_idx].segments[seg_idx];
-                    if let Some(rid) = segment.resource {
-                        let resource = &mut self.resources[rid.0];
-                        resource.busy -= 1;
-                        // Wake the longest-waiting job for this resource.
-                        if let Some(waiter) = resource.waiting.pop_front() {
-                            resource.busy += 1;
-                            if let Some(since) = queued_since[waiter].take() {
-                                queued_total[waiter] += now - since;
-                            }
-                            let dur = jobs[waiter].segments[next_segment[waiter]].duration;
-                            calendar.push(Reverse((now + dur, seq, waiter, EventKind::SegmentDone)));
-                            seq += 1;
+            if kind == EventKind::SegmentDone {
+                let seg_idx = next_segment[job_idx];
+                let segment = &jobs[job_idx].segments[seg_idx];
+                if let Some(rid) = segment.resource {
+                    let resource = &mut self.resources[rid.0];
+                    resource.busy -= 1;
+                    // Wake the longest-waiting job for this resource.
+                    if let Some(waiter) = resource.waiting.pop_front() {
+                        resource.busy += 1;
+                        if let Some(since) = queued_since[waiter].take() {
+                            queued_total[waiter] += now - since;
                         }
+                        let dur = jobs[waiter].segments[next_segment[waiter]].duration;
+                        trace.entries.push(TraceEntry {
+                            resource: rid,
+                            job: waiter,
+                            start: now,
+                            end: now + dur,
+                        });
+                        calendar.push(Reverse((now + dur, seq, waiter, EventKind::SegmentDone)));
+                        seq += 1;
                     }
-                    next_segment[job_idx] += 1;
-                    self.start_next_segment(
-                        now,
-                        job_idx,
-                        &jobs,
-                        &mut next_segment,
-                        &mut queued_since,
-                        &mut calendar,
-                        &mut seq,
-                        &mut outcomes,
-                    );
+                }
+                next_segment[job_idx] += 1;
+            }
+            let completed = self.start_next_segment(
+                now,
+                job_idx,
+                &jobs,
+                &mut next_segment,
+                &mut queued_since,
+                &queued_total,
+                &mut calendar,
+                &mut seq,
+                &mut outcomes,
+                &mut trace,
+            );
+            if completed {
+                if now > trace.makespan {
+                    trace.makespan = now;
+                }
+                let outcome = outcomes[job_idx].clone().expect("just completed");
+                let mut injected = Vec::new();
+                on_complete(&outcome, &mut injected);
+                for mut job in injected {
+                    if job.release < now {
+                        job.release = now;
+                    }
+                    let idx = jobs.len();
+                    calendar.push(Reverse((job.release, seq, idx, EventKind::Release)));
+                    seq += 1;
+                    jobs.push(job);
+                    next_segment.push(0);
+                    queued_since.push(None);
+                    queued_total.push(Nanos::ZERO);
+                    outcomes.push(None);
                 }
             }
         }
 
-        outcomes
+        let outcomes = outcomes
             .into_iter()
-            .enumerate()
-            .map(|(i, o)| {
-                let mut outcome = o.expect("all jobs completed");
-                outcome.queued = queued_total[i];
-                outcome
-            })
-            .collect()
+            .map(|o| o.expect("all jobs completed"))
+            .collect();
+        (outcomes, trace)
     }
 
+    /// Starts the job's next segment (or records its completion when none
+    /// remain). Returns `true` if the job just completed.
     #[allow(clippy::too_many_arguments)]
     fn start_next_segment(
         &mut self,
@@ -255,10 +377,12 @@ impl DesEngine {
         jobs: &[Job],
         next_segment: &mut [usize],
         queued_since: &mut [Option<Nanos>],
+        queued_total: &[Nanos],
         calendar: &mut BinaryHeap<Reverse<(Nanos, u64, usize, EventKind)>>,
         seq: &mut u64,
         outcomes: &mut [Option<JobOutcome>],
-    ) {
+        trace: &mut RunTrace,
+    ) -> bool {
         let seg_idx = next_segment[job_idx];
         let job = &jobs[job_idx];
         if seg_idx >= job.segments.len() {
@@ -266,9 +390,9 @@ impl DesEngine {
                 job: job_idx,
                 release: job.release,
                 finish: now,
-                queued: Nanos::ZERO,
+                queued: queued_total[job_idx],
             });
-            return;
+            return true;
         }
         let segment = &job.segments[seg_idx];
         match segment.resource {
@@ -288,6 +412,12 @@ impl DesEngine {
                     .expect("segment references unknown resource");
                 if resource.busy < resource.capacity {
                     resource.busy += 1;
+                    trace.entries.push(TraceEntry {
+                        resource: rid,
+                        job: job_idx,
+                        start: now,
+                        end: now + segment.duration,
+                    });
                     calendar.push(Reverse((
                         now + segment.duration,
                         *seq,
@@ -301,6 +431,7 @@ impl DesEngine {
                 }
             }
         }
+        false
     }
 }
 
@@ -414,6 +545,97 @@ mod tests {
         assert_eq!(outcomes[0].finish, Nanos::from_millis(10));
         assert_eq!(outcomes[1].finish, Nanos::from_millis(21));
         assert_eq!(outcomes[2].finish, Nanos::from_millis(33));
+    }
+
+    #[test]
+    fn trace_accounts_busy_time_and_overlap() {
+        let mut engine = DesEngine::new();
+        let psp = engine.add_resource("psp", 1);
+        let cpu = engine.add_resource("cpu", 4);
+        let jobs: Vec<Job> = (0..3)
+            .map(|_| {
+                Job::new(vec![
+                    Segment::on(cpu, Nanos::from_millis(5), "setup"),
+                    Segment::on(psp, Nanos::from_millis(10), "launch"),
+                ])
+            })
+            .collect();
+        let (outcomes, trace) = engine.run_traced(jobs);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(trace.busy_time(psp), Nanos::from_millis(30));
+        assert_eq!(trace.busy_time(cpu), Nanos::from_millis(15));
+        assert_eq!(trace.max_concurrency(psp), 1);
+        assert_eq!(trace.max_concurrency(cpu), 3);
+        // 3 setups overlap, then 3 serialized launches: makespan 5 + 30.
+        assert_eq!(trace.makespan(), Nanos::from_millis(35));
+        let util = trace.utilization(psp, 1);
+        assert!((util - 30.0 / 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_injection_chains_jobs() {
+        let mut engine = DesEngine::new();
+        let cpu = engine.add_resource("cpu", 1);
+        let seed = vec![Job::new(vec![Segment::on(
+            cpu,
+            Nanos::from_millis(10),
+            "first",
+        )])];
+        let mut chained = 0;
+        let (outcomes, trace) = engine.run_dynamic(seed, |outcome, inject| {
+            if chained < 2 {
+                chained += 1;
+                inject.push(Job::released_at(
+                    outcome.finish + Nanos::from_millis(1),
+                    vec![Segment::on(cpu, Nanos::from_millis(10), "next")],
+                ));
+            }
+        });
+        // first at [0,10], injected at [11,21] and [22,32].
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[1].finish, Nanos::from_millis(21));
+        assert_eq!(outcomes[2].finish, Nanos::from_millis(32));
+        assert_eq!(trace.makespan(), Nanos::from_millis(32));
+    }
+
+    #[test]
+    fn dynamic_injection_clamps_past_releases() {
+        let mut engine = DesEngine::new();
+        let cpu = engine.add_resource("cpu", 1);
+        let seed = vec![Job::new(vec![Segment::on(
+            cpu,
+            Nanos::from_millis(10),
+            "first",
+        )])];
+        let mut injected_once = false;
+        let (outcomes, _) = engine.run_dynamic(seed, |_, inject| {
+            if !injected_once {
+                injected_once = true;
+                // Asks for the past; runs at the completion instant instead.
+                inject.push(Job::released_at(
+                    Nanos::from_millis(1),
+                    vec![Segment::on(cpu, Nanos::from_millis(5), "late")],
+                ));
+            }
+        });
+        assert_eq!(outcomes[1].release, Nanos::from_millis(10));
+        assert_eq!(outcomes[1].finish, Nanos::from_millis(15));
+    }
+
+    #[test]
+    fn queued_time_lands_in_outcomes() {
+        let mut engine = DesEngine::new();
+        let psp = engine.add_resource("psp", 1);
+        let jobs: Vec<Job> = (0..3)
+            .map(|_| Job::new(vec![Segment::on(psp, Nanos::from_millis(10), "cmd")]))
+            .collect();
+        let (outcomes, _) = engine.run_traced(jobs);
+        assert_eq!(outcomes[0].queued, Nanos::ZERO);
+        assert_eq!(outcomes[1].queued, Nanos::from_millis(10));
+        assert_eq!(outcomes[2].queued, Nanos::from_millis(20));
+        for o in &outcomes {
+            assert_eq!(o.latency(), Nanos::from_millis(10) + o.queued);
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod time;
 pub mod timeline;
 
 pub use cost::CostModel;
-pub use des::{DesEngine, Job, JobOutcome, ResourceId, Segment};
+pub use des::{DesEngine, Job, JobOutcome, ResourceId, RunTrace, Segment, TraceEntry};
 pub use stats::Summary;
 pub use time::Nanos;
-pub use timeline::{EventChannel, PhaseKind, Span, Timeline};
+pub use timeline::{EventChannel, PhaseKind, ResourceClass, Span, Timeline};

@@ -103,7 +103,11 @@ impl AddAssign for Nanos {
 impl Sub for Nanos {
     type Output = Nanos;
     fn sub(self, rhs: Nanos) -> Nanos {
-        Nanos(self.0.checked_sub(rhs.0).expect("Nanos subtraction underflow"))
+        Nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Nanos subtraction underflow"),
+        )
     }
 }
 

@@ -83,6 +83,37 @@ pub enum EventChannel {
     VmmLog,
 }
 
+/// The class of host resource a span occupies while it runs.
+///
+/// The concurrency experiments (Fig. 12) and the fleet control plane replay
+/// timelines through the DES engine, where PSP-mediated work serializes on a
+/// single slot while CPU work spreads over the core pool and network waits
+/// overlap freely. Carrying the class *on the span* — set at the call site
+/// that knows what the work is — means the replay can never silently
+/// misclassify a span because someone reworded its label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResourceClass {
+    /// Runs on a host core (the default for boot work).
+    #[default]
+    HostCpu,
+    /// Serializes on the Platform Security Processor (SEV launch commands,
+    /// RMP initialization, report generation).
+    Psp,
+    /// A network/remote wait that overlaps freely across VMs.
+    Network,
+}
+
+impl ResourceClass {
+    /// Stable label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceClass::HostCpu => "cpu",
+            ResourceClass::Psp => "psp",
+            ResourceClass::Network => "network",
+        }
+    }
+}
+
 /// One contiguous stretch of work attributed to a phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Span {
@@ -94,6 +125,8 @@ pub struct Span {
     pub start: Nanos,
     /// Duration of the work.
     pub duration: Nanos,
+    /// Host resource the work occupies (defaults to [`ResourceClass::HostCpu`]).
+    pub class: ResourceClass,
 }
 
 impl Span {
@@ -145,13 +178,26 @@ impl Timeline {
         self.cursor
     }
 
-    /// Appends a span of `duration` starting at the cursor and advances it.
+    /// Appends a host-CPU span of `duration` starting at the cursor and
+    /// advances it.
     pub fn push(&mut self, phase: PhaseKind, label: impl Into<String>, duration: Nanos) {
+        self.push_on(phase, label, ResourceClass::HostCpu, duration);
+    }
+
+    /// Appends a span tagged with the resource class it occupies.
+    pub fn push_on(
+        &mut self,
+        phase: PhaseKind,
+        label: impl Into<String>,
+        class: ResourceClass,
+        duration: Nanos,
+    ) {
         self.spans.push(Span {
             phase,
             label: label.into(),
             start: self.cursor,
             duration,
+            class,
         });
         self.cursor += duration;
     }
@@ -225,7 +271,7 @@ impl Timeline {
         let mut out = Timeline::new();
         for span in &self.spans {
             if keep(span.phase) {
-                out.push(span.phase, span.label.clone(), span.duration);
+                out.push_on(span.phase, span.label.clone(), span.class, span.duration);
             }
         }
         out
@@ -305,9 +351,36 @@ mod tests {
     }
 
     #[test]
+    fn resource_class_defaults_and_survives_filtering() {
+        let mut tl = Timeline::new();
+        tl.push(PhaseKind::VmmSetup, "spawn", Nanos::from_millis(1));
+        tl.push_on(
+            PhaseKind::PreEncryption,
+            "SNP_LAUNCH_START",
+            ResourceClass::Psp,
+            Nanos::from_millis(2),
+        );
+        tl.push_on(
+            PhaseKind::Attestation,
+            "owner round trip",
+            ResourceClass::Network,
+            Nanos::from_millis(3),
+        );
+        assert_eq!(tl.spans()[0].class, ResourceClass::HostCpu);
+        assert_eq!(tl.spans()[1].class, ResourceClass::Psp);
+        let kept = tl.filtered(|p| p != PhaseKind::Attestation);
+        assert_eq!(kept.spans().len(), 2);
+        assert_eq!(kept.spans()[1].class, ResourceClass::Psp);
+    }
+
+    #[test]
     fn render_contains_phases() {
         let mut tl = Timeline::new();
-        tl.push(PhaseKind::BootVerification, "hash kernel", Nanos::from_millis(3));
+        tl.push(
+            PhaseKind::BootVerification,
+            "hash kernel",
+            Nanos::from_millis(3),
+        );
         let text = tl.render();
         assert!(text.contains("Boot Verification"));
         assert!(text.contains("hash kernel"));

@@ -225,7 +225,10 @@ mod tests {
             VerifierFeatures::kitchen_sink(),
         ] {
             let binary = VerifierBinary::build(features);
-            assert_eq!(VerifierBinary::sniff_features(binary.bytes()), Some(features));
+            assert_eq!(
+                VerifierBinary::sniff_features(binary.bytes()),
+                Some(features)
+            );
         }
         assert_eq!(VerifierBinary::sniff_features(b"junk"), None);
     }

@@ -60,7 +60,10 @@ impl fmt::Display for VerifierError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifierError::HashMismatch { component } => {
-                write!(f, "measured direct boot: {component} hash mismatch — refusing to boot")
+                write!(
+                    f,
+                    "measured direct boot: {component} hash mismatch — refusing to boot"
+                )
             }
             VerifierError::Memory(e) => write!(f, "memory fault: {e}"),
             VerifierError::Image(e) => write!(f, "bad kernel image: {e}"),

@@ -131,11 +131,8 @@ pub fn load_vmlinux_fw_cfg(
     let phdrs_len = (phnum * PHDR_SIZE) as u64;
     let phdrs = mem.guest_read(layout.kernel_staging + EHDR_SIZE as u64, phdrs_len, false)?;
     mem.guest_write(layout.kernel_dest + EHDR_SIZE as u64, &phdrs, true)?;
-    let phdrs_hash = sha256(&mem.guest_read(
-        layout.kernel_dest + EHDR_SIZE as u64,
-        phdrs_len,
-        true,
-    )?);
+    let phdrs_hash =
+        sha256(&mem.guest_read(layout.kernel_dest + EHDR_SIZE as u64, phdrs_len, true)?);
     steps.push(Step::new(
         "copy + hash program headers",
         cost.cpu_copy_to_encrypted(phdrs_len) + cost.cpu_sha256(phdrs_len),

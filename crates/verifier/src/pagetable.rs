@@ -58,7 +58,10 @@ pub fn build_identity_map(
     assert!(c_bit >= 32, "C-bit must be above the mapped address bits");
     let leafs = map_size.div_ceil(HUGE_PAGE);
     let pd_tables = leafs.div_ceil(512);
-    assert!(pd_tables <= 512, "mapping larger than 512 GiB not supported");
+    assert!(
+        pd_tables <= 512,
+        "mapping larger than 512 GiB not supported"
+    );
     let c = if encrypted { 1u64 << c_bit } else { 0 };
 
     // PML4: one entry pointing at the PDPT.
@@ -162,8 +165,7 @@ mod tests {
     #[test]
     fn one_gig_map_uses_4k_of_pd() {
         let mut mem = prepared_mem();
-        let stats =
-            build_identity_map(&mut mem, MB, 1024 * MB, C_BIT_POSITION, true).unwrap();
+        let stats = build_identity_map(&mut mem, MB, 1024 * MB, C_BIT_POSITION, true).unwrap();
         assert_eq!(stats.leaf_entries, 512);
         assert_eq!(stats.mapped_bytes, 1024 * MB);
         // Fig. 7: "4KB" of page tables — the PD with 512 leaf entries (the
@@ -176,7 +178,9 @@ mod tests {
         let mut mem = prepared_mem();
         build_identity_map(&mut mem, MB, 1024 * MB, C_BIT_POSITION, true).unwrap();
         for vaddr in [0u64, 0x1234, 2 * MB + 5, 100 * MB, 1024 * MB - 1] {
-            let t = walk(&mem, MB, vaddr, C_BIT_POSITION, true).unwrap().unwrap();
+            let t = walk(&mem, MB, vaddr, C_BIT_POSITION, true)
+                .unwrap()
+                .unwrap();
             assert_eq!(t.phys, vaddr, "identity map");
             assert!(t.encrypted, "C-bit must be set at {vaddr:#x}");
         }
@@ -186,10 +190,7 @@ mod tests {
     fn unmapped_address_walks_to_none() {
         let mut mem = prepared_mem();
         build_identity_map(&mut mem, MB, 16 * MB, C_BIT_POSITION, true).unwrap();
-        assert_eq!(
-            walk(&mem, MB, 32 * MB, C_BIT_POSITION, true).unwrap(),
-            None
-        );
+        assert_eq!(walk(&mem, MB, 32 * MB, C_BIT_POSITION, true).unwrap(), None);
         // A different PML4 slot entirely.
         assert_eq!(
             walk(&mem, MB, 1u64 << 40, C_BIT_POSITION, true).unwrap(),
@@ -201,7 +202,9 @@ mod tests {
     fn plain_guest_builds_unencrypted_tables() {
         let mut mem = GuestMemory::new_plain(64 * MB);
         build_identity_map(&mut mem, MB, 64 * MB, C_BIT_POSITION, false).unwrap();
-        let t = walk(&mem, MB, 12345, C_BIT_POSITION, false).unwrap().unwrap();
+        let t = walk(&mem, MB, 12345, C_BIT_POSITION, false)
+            .unwrap()
+            .unwrap();
         assert_eq!(t.phys, 12345);
         assert!(!t.encrypted);
     }
@@ -227,6 +230,9 @@ mod tests {
         build_identity_map(&mut mem, MB, 64 * MB, C_BIT_POSITION, true).unwrap();
         let host_view = mem.host_read(MB, 8).unwrap();
         let guest_view = mem.guest_read(MB, 8, true).unwrap();
-        assert_ne!(host_view, guest_view, "tables are implicitly encrypted (§4.2)");
+        assert_ne!(
+            host_view, guest_view,
+            "tables are implicitly encrypted (§4.2)"
+        );
     }
 }

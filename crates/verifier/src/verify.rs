@@ -165,11 +165,17 @@ pub fn run(
             },
             KernelKind::Vmlinux,
         ) => vec![*ehdr, *phdrs, *segments],
-        _ => return Err(VerifierError::BadHashPage("hash mode does not match loader")),
+        _ => {
+            return Err(VerifierError::BadHashPage(
+                "hash mode does not match loader",
+            ))
+        }
     };
     steps.extend(loaded.steps.iter().cloned());
     if loaded.computed_hashes != expected {
-        return Err(VerifierError::HashMismatch { component: "kernel" });
+        return Err(VerifierError::HashMismatch {
+            component: "kernel",
+        });
     }
     steps.push(Step::new("compare kernel hash", Nanos::from_micros(1)));
 
@@ -187,7 +193,9 @@ pub fn run(
         cost.cpu_sha256(layout.initrd_size),
     ));
     if initrd_digest != hash_page.initrd {
-        return Err(VerifierError::HashMismatch { component: "initrd" });
+        return Err(VerifierError::HashMismatch {
+            component: "initrd",
+        });
     }
     steps.push(Step::new("compare initrd hash", Nanos::from_micros(1)));
 
@@ -227,7 +235,8 @@ mod tests {
             kernel: kernel_hashes,
             initrd: sevf_crypto::sha256(initrd),
         };
-        mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page()).unwrap();
+        mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page())
+            .unwrap();
         let verifier = VerifierBinary::build(VerifierFeatures::severifast());
         mem.host_write(VERIFIER_ADDR, verifier.bytes()).unwrap();
         // Pre-encrypt the root of trust, then assign the private range.
@@ -266,7 +275,8 @@ mod tests {
         // Initrd really is in encrypted memory now.
         let initrd = sevf_image::initrd::build_initrd(64 * 1024);
         assert_eq!(
-            mem.guest_read(boot.initrd_addr, boot.initrd_len, true).unwrap(),
+            mem.guest_read(boot.initrd_addr, boot.initrd_len, true)
+                .unwrap(),
             *initrd
         );
     }
@@ -294,7 +304,9 @@ mod tests {
         .unwrap_err();
         assert!(matches!(
             err,
-            VerifierError::HashMismatch { component: "kernel" } | VerifierError::Image(_)
+            VerifierError::HashMismatch {
+                component: "kernel"
+            } | VerifierError::Image(_)
         ));
     }
 
@@ -310,7 +322,12 @@ mod tests {
             VerifierConfig::severifast(),
         )
         .unwrap_err();
-        assert_eq!(err, VerifierError::HashMismatch { component: "initrd" });
+        assert_eq!(
+            err,
+            VerifierError::HashMismatch {
+                component: "initrd"
+            }
+        );
     }
 
     #[test]
@@ -329,7 +346,10 @@ mod tests {
             VerifierConfig::severifast(),
         )
         .unwrap_err();
-        assert!(matches!(err, VerifierError::HashMismatch { .. } | VerifierError::Image(_)));
+        assert!(matches!(
+            err,
+            VerifierError::HashMismatch { .. } | VerifierError::Image(_)
+        ));
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Property-based tests: measured direct boot must catch *any* tampering.
+//!
+//! Seeded XorShift64 case generation keeps the sweep deterministic without
+//! an external property-testing dependency.
 
-use proptest::prelude::*;
 use sevf_codec::Codec;
 use sevf_crypto::sha256;
 use sevf_image::kernel::KernelConfig;
 use sevf_mem::GuestMemory;
 use sevf_sim::cost::SevGeneration;
+use sevf_sim::rng::XorShift64;
 use sevf_sim::CostModel;
 use sevf_verifier::binary::{VerifierBinary, VerifierFeatures};
 use sevf_verifier::hashes::{HashPage, KernelHashes};
@@ -14,6 +17,7 @@ use sevf_verifier::verify::{self, VerifierConfig};
 use sevf_verifier::VerifierError;
 
 const MB: u64 = 1024 * 1024;
+const CASES: u64 = 24;
 
 struct Staged {
     mem: GuestMemory,
@@ -34,7 +38,8 @@ fn stage_honest() -> Staged {
         kernel: KernelHashes::WholeImage(sha256(&bz)),
         initrd: sha256(&initrd),
     };
-    mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page()).unwrap();
+    mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page())
+        .unwrap();
     let verifier = VerifierBinary::build(VerifierFeatures::severifast());
     mem.host_write(VERIFIER_ADDR, verifier.bytes()).unwrap();
     mem.pre_encrypt(HASH_PAGE_ADDR, 4096).unwrap();
@@ -50,13 +55,13 @@ fn stage_honest() -> Staged {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn any_kernel_byte_flip_is_detected(offset_frac in 0.0f64..1.0, flip in 1u8..=255) {
+#[test]
+fn any_kernel_byte_flip_is_detected() {
+    let mut rng = XorShift64::new(0xE51F_0001);
+    for _ in 0..CASES {
         let mut staged = stage_honest();
-        let offset = (offset_frac * (staged.kernel_len - 1) as f64) as u64;
+        let offset = rng.next_below(staged.kernel_len as u64);
+        let flip = 1 + (rng.next_u64() % 255) as u8;
         let addr = staged.layout.kernel_staging + offset;
         let mut byte = staged.mem.host_read(addr, 1).unwrap();
         byte[0] ^= flip;
@@ -72,13 +77,17 @@ proptest! {
             err,
             VerifierError::HashMismatch { .. } | VerifierError::Image(_)
         );
-        prop_assert!(detected, "flip at {offset} escaped: {err:?}");
+        assert!(detected, "flip at {offset} escaped: {err:?}");
     }
+}
 
-    #[test]
-    fn any_initrd_byte_flip_is_detected(offset_frac in 0.0f64..1.0, flip in 1u8..=255) {
+#[test]
+fn any_initrd_byte_flip_is_detected() {
+    let mut rng = XorShift64::new(0xE51F_0002);
+    for _ in 0..CASES {
         let mut staged = stage_honest();
-        let offset = (offset_frac * (staged.initrd_len - 1) as f64) as u64;
+        let offset = rng.next_below(staged.initrd_len as u64);
+        let flip = 1 + (rng.next_u64() % 255) as u8;
         let addr = staged.layout.initrd_staging + offset;
         let mut byte = staged.mem.host_read(addr, 1).unwrap();
         byte[0] ^= flip;
@@ -90,14 +99,21 @@ proptest! {
             VerifierConfig::severifast(),
         )
         .unwrap_err();
-        prop_assert!(
-            matches!(err, VerifierError::HashMismatch { component: "initrd" }),
+        assert!(
+            matches!(
+                err,
+                VerifierError::HashMismatch {
+                    component: "initrd"
+                }
+            ),
             "flip at {offset} gave {err:?}"
         );
     }
+}
 
-    #[test]
-    fn honest_boot_always_succeeds_regardless_of_sweep_granularity(huge_pages in any::<bool>()) {
+#[test]
+fn honest_boot_always_succeeds_regardless_of_sweep_granularity() {
+    for huge_pages in [false, true] {
         let mut staged = stage_honest();
         let config = VerifierConfig {
             huge_pages,
@@ -110,6 +126,6 @@ proptest! {
             config,
         )
         .unwrap();
-        prop_assert!(boot.pvalidated_pages > 0);
+        assert!(boot.pvalidated_pages > 0);
     }
 }

@@ -129,7 +129,11 @@ impl BootParams {
 
     /// Total usable RAM per the e820 map.
     pub fn usable_ram(&self) -> u64 {
-        self.e820.iter().filter(|e| e.kind == 1).map(|e| e.len).sum()
+        self.e820
+            .iter()
+            .filter(|e| e.kind == 1)
+            .map(|e| e.len)
+            .sum()
     }
 }
 

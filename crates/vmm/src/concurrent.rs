@@ -8,52 +8,27 @@
 //! linearly with concurrency** — the slope is the per-launch PSP time —
 //! while non-SEV boots stay nearly flat.
 
-use sevf_sim::{DesEngine, Job, Nanos, PhaseKind, Segment, Summary};
+use sevf_sim::{DesEngine, Job, Nanos, ResourceClass, Segment, Summary};
 
 use crate::machine::HOST_CORES;
 use crate::report::BootReport;
 
-/// Classifies one timeline span onto a host resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SpanResource {
-    Psp,
-    Cpu,
-    NetworkDelay,
-}
-
-fn classify(phase: PhaseKind, label: &str) -> SpanResource {
-    // PSP-mediated work: the SEV launch command set and report generation
-    // (all labels produced by the boot path use these prefixes), plus the
-    // RMP/page-state initialization KVM drives through the PSP.
-    let psp = label.starts_with("SNP_")
-        || label.starts_with("LAUNCH_UPDATE")
-        || label.contains("RMP/page-state");
-    if psp {
-        return SpanResource::Psp;
-    }
-    // The attestation round trip (network + server) overlaps freely across
-    // VMs; only attestation-phase spans qualify, so an unrelated label can
-    // never be misclassified as a delay.
-    if phase == PhaseKind::Attestation && (label.contains("owner") || label.contains("network")) {
-        return SpanResource::NetworkDelay;
-    }
-    SpanResource::Cpu
-}
-
 /// Converts a boot report into a DES job.
-pub fn boot_job(
-    report: &BootReport,
-    cpu: sevf_sim::ResourceId,
-    psp: sevf_sim::ResourceId,
-) -> Job {
+///
+/// Each timeline span carries a typed [`ResourceClass`], set at the call
+/// site that produced the work: PSP launch commands go onto the single-slot
+/// PSP resource, CPU work onto the core pool, and network waits become pure
+/// delays. No label parsing is involved, so renaming a span cannot change
+/// its placement.
+pub fn boot_job(report: &BootReport, cpu: sevf_sim::ResourceId, psp: sevf_sim::ResourceId) -> Job {
     let segments = report
         .timeline
         .spans()
         .iter()
-        .map(|span| match classify(span.phase, &span.label) {
-            SpanResource::Psp => Segment::on(psp, span.duration, span.label.clone()),
-            SpanResource::Cpu => Segment::on(cpu, span.duration, span.label.clone()),
-            SpanResource::NetworkDelay => Segment::delay(span.duration, span.label.clone()),
+        .map(|span| match span.class {
+            ResourceClass::Psp => Segment::on(psp, span.duration, span.label.clone()),
+            ResourceClass::HostCpu => Segment::on(cpu, span.duration, span.label.clone()),
+            ResourceClass::Network => Segment::delay(span.duration, span.label.clone()),
         })
         .collect();
     Job::new(segments)
@@ -102,6 +77,7 @@ mod tests {
     use crate::config::{BootPolicy, VmConfig};
     use crate::machine::Machine;
     use crate::vmm::MicroVm;
+    use sevf_sim::PhaseKind;
 
     fn report(policy: BootPolicy) -> BootReport {
         let mut machine = Machine::new(3);
@@ -110,6 +86,21 @@ mod tests {
             vm.register_expected(&mut machine).unwrap();
         }
         vm.boot(&mut machine).unwrap()
+    }
+
+    #[test]
+    fn typed_psp_spans_sum_to_psp_busy() {
+        // Every nanosecond the PSP accounting saw must be tagged on a span,
+        // and nothing else may carry the tag (jitter is off in test_tiny).
+        let r = report(BootPolicy::Severifast);
+        let tagged: Nanos = r
+            .timeline
+            .spans()
+            .iter()
+            .filter(|s| s.class == ResourceClass::Psp)
+            .map(|s| s.duration)
+            .sum();
+        assert_eq!(tagged, r.psp_busy);
     }
 
     #[test]
@@ -129,7 +120,10 @@ mod tests {
         let d1 = p16.summary.mean - p1.summary.mean;
         let d2 = p32.summary.mean - p16.summary.mean;
         assert!(d1 > 0.0 && d2 > 0.0);
-        assert!((d2 / d1 - 16.0 / 15.0).abs() < 0.3, "not linear: {d1} then {d2}");
+        assert!(
+            (d2 / d1 - 16.0 / 15.0).abs() < 0.3,
+            "not linear: {d1} then {d2}"
+        );
         // The paper: "average startup time increases linearly with a slope
         // equal to the total time it takes to execute the SEV launch
         // commands" — each job's several PSP segments re-queue behind every

@@ -38,7 +38,9 @@ impl MemoryFootprint {
     /// Footprint of a VM under the given configuration.
     pub fn of(config: &VmConfig) -> Self {
         let (binary, runtime_overhead) = match config.policy {
-            BootPolicy::StockFirecracker => (FC_BINARY_BASE + SEV_BINARY_DELTA, VMM_RUNTIME_OVERHEAD),
+            BootPolicy::StockFirecracker => {
+                (FC_BINARY_BASE + SEV_BINARY_DELTA, VMM_RUNTIME_OVERHEAD)
+            }
             BootPolicy::Severifast | BootPolicy::SeverifastVmlinux => (
                 // Same binary as stock (§6.1: one binary serves both paths),
                 // plus the per-guest SEV overhead at runtime.

@@ -109,11 +109,17 @@ pub fn run_bootstrap_loader_kaslr(
     cost: &CostModel,
     slide: u64,
 ) -> Result<LoaderStage, GuestBootError> {
-    assert_eq!(slide % (2 * 1024 * 1024), 0, "KASLR slide must be 2 MiB aligned");
+    assert_eq!(
+        slide % (2 * 1024 * 1024),
+        0,
+        "KASLR slide must be 2 MiB aligned"
+    );
     let mut steps = Vec::new();
     let image = mem.guest_read(bzimage_addr, bzimage_len, true)?;
     let (payload, codec) = bzimage::parse(&image)?;
-    let vmlinux = codec.decompress(&payload).map_err(sevf_image::ImageError::from)?;
+    let vmlinux = codec
+        .decompress(&payload)
+        .map_err(sevf_image::ImageError::from)?;
     steps.push(Step::new(
         format!(
             "decompress {} payload ({} → {} B)",
@@ -193,8 +199,7 @@ pub fn run_kernel(
 
     // Early boot: paging, consoles, per-CPU. Validates boot_params.
     let bp_bytes = mem.guest_read(BOOT_PARAMS_ADDR, PAGE_SIZE, encrypted)?;
-    let boot_params =
-        BootParams::from_page(&bp_bytes).map_err(GuestBootError::BadStructure)?;
+    let boot_params = BootParams::from_page(&bp_bytes).map_err(GuestBootError::BadStructure)?;
     let cl_page = mem.guest_read(boot_params.cmdline_ptr, PAGE_SIZE, encrypted)?;
     let cl = cmdline::from_page(&cl_page);
     cmdline::validate(&cl).map_err(GuestBootError::BadStructure)?;
@@ -230,7 +235,12 @@ pub fn run_kernel(
                 .decompress(&staged)
                 .map_err(|_| GuestBootError::BadInitrd("initrd decompression failed"))?;
             steps.push(Step::new(
-                format!("decompress {} initrd ({} → {} B)", codec, staged.len(), unpacked.len()),
+                format!(
+                    "decompress {} initrd ({} → {} B)",
+                    codec,
+                    staged.len(),
+                    unpacked.len()
+                ),
                 cost.decompress(codec, unpacked.len() as u64)
                     .scale_f64(multiplier),
             ));
@@ -304,7 +314,6 @@ mod tests {
     use sevf_codec::Codec;
     use sevf_verifier::layout::GuestLayout;
 
-
     /// Builds a guest where the verifier has already placed everything
     /// (private memory populated directly for unit-testing the kernel).
     fn guest_after_verifier() -> (GuestMemory, u64, u64) {
@@ -321,11 +330,16 @@ mod tests {
         mem.guest_write(layout.kernel_dest, &bz, true).unwrap();
         mem.guest_write(layout.initrd_dest, &initrd, true).unwrap();
         let bp = BootParams::build(&config, &layout);
-        mem.guest_write(BOOT_PARAMS_ADDR, &bp.to_page(), true).unwrap();
+        mem.guest_write(BOOT_PARAMS_ADDR, &bp.to_page(), true)
+            .unwrap();
         mem.guest_write(MPTABLE_ADDR, &mptable::build(config.vcpus), true)
             .unwrap();
-        mem.guest_write(CMDLINE_ADDR, &cmdline::to_page(&cmdline::default_cmdline()), true)
-            .unwrap();
+        mem.guest_write(
+            CMDLINE_ADDR,
+            &cmdline::to_page(&cmdline::default_cmdline()),
+            true,
+        )
+        .unwrap();
         (mem, layout.kernel_dest, bz.len() as u64)
     }
 
@@ -358,8 +372,13 @@ mod tests {
         let cost = CostModel::calibrated();
         let (mut mem_a, bz_addr, bz_len) = guest_after_verifier();
         let loader = run_bootstrap_loader(&mut mem_a, bz_addr, bz_len, &cost).unwrap();
-        let snp = run_kernel(&mut mem_a, loader.vmlinux_entry, SevGeneration::SevSnp, &cost)
-            .unwrap();
+        let snp = run_kernel(
+            &mut mem_a,
+            loader.vmlinux_entry,
+            SevGeneration::SevSnp,
+            &cost,
+        )
+        .unwrap();
         let snp_total: Nanos = snp.steps.iter().map(|s| s.duration).sum();
         // §6.2: about 2.3× the baseline.
         let baseline = baseline_kernel_time(&snp.descriptor);
@@ -375,7 +394,8 @@ mod tests {
         let (mut mem, bz_addr, bz_len) = guest_after_verifier();
         let cost = CostModel::calibrated();
         let loader = run_bootstrap_loader(&mut mem, bz_addr, bz_len, &cost).unwrap();
-        mem.guest_write(BOOT_PARAMS_ADDR, &[0xffu8; 64], true).unwrap();
+        mem.guest_write(BOOT_PARAMS_ADDR, &[0xffu8; 64], true)
+            .unwrap();
         assert!(matches!(
             run_kernel(&mut mem, loader.vmlinux_entry, SevGeneration::SevSnp, &cost),
             Err(GuestBootError::BadStructure(_))
@@ -407,7 +427,8 @@ mod tests {
         let mut bp = BootParams::from_page(&bp_bytes).unwrap();
         mem.guest_write(bp.initrd_addr, &bogus, true).unwrap();
         bp.initrd_size = bogus.len() as u64;
-        mem.guest_write(BOOT_PARAMS_ADDR, &bp.to_page(), true).unwrap();
+        mem.guest_write(BOOT_PARAMS_ADDR, &bp.to_page(), true)
+            .unwrap();
         assert!(matches!(
             run_kernel(&mut mem, loader.vmlinux_entry, SevGeneration::SevSnp, &cost),
             Err(GuestBootError::BadInitrd(_))

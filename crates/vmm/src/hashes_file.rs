@@ -50,8 +50,7 @@ pub fn precomputed_hash_page(
                 "staged fw_cfg image lacks an ELF header",
             ));
         }
-        let phnum =
-            u16::from_le_bytes(kernel_image[56..58].try_into().expect("2 bytes")) as usize;
+        let phnum = u16::from_le_bytes(kernel_image[56..58].try_into().expect("2 bytes")) as usize;
         let phdrs_end = EHDR_SIZE + phnum * PHDR_SIZE;
         if phnum == 0 || phdrs_end > kernel_image.len() {
             return Err(sevf_image::ImageError::BadElf(
@@ -110,9 +109,7 @@ mod tests {
 
     #[test]
     fn vmlinux_mode_rejects_non_elf() {
-        assert!(
-            precomputed_hash_page(BootPolicy::SeverifastVmlinux, b"not an elf", b"i").is_err()
-        );
+        assert!(precomputed_hash_page(BootPolicy::SeverifastVmlinux, b"not an elf", b"i").is_err());
     }
 
     #[test]

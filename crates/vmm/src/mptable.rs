@@ -50,8 +50,8 @@ pub fn build(vcpus: u64) -> Vec<u8> {
     // Config table header: signature "PCMP".
     let header_start = out.len();
     out.extend_from_slice(b"PCMP");
-    let table_len = (MPC_HEADER_SIZE + FIXED_ENTRIES_SIZE) as u16
-        + (vcpus as u16) * CPU_ENTRY_SIZE as u16;
+    let table_len =
+        (MPC_HEADER_SIZE + FIXED_ENTRIES_SIZE) as u16 + (vcpus as u16) * CPU_ENTRY_SIZE as u16;
     out.extend_from_slice(&table_len.to_le_bytes());
     out.push(4); // spec revision
     out.push(0); // checksum (fixed below)
@@ -105,7 +105,9 @@ pub fn validate(bytes: &[u8]) -> Result<MptableInfo, &'static str> {
     if &bytes[..4] != b"_MP_" {
         return Err("missing _MP_ signature");
     }
-    let mpf_sum: u8 = bytes[..MPF_SIZE].iter().fold(0u8, |a, &b| a.wrapping_add(b));
+    let mpf_sum: u8 = bytes[..MPF_SIZE]
+        .iter()
+        .fold(0u8, |a, &b| a.wrapping_add(b));
     if mpf_sum != 0 {
         return Err("floating pointer checksum invalid");
     }

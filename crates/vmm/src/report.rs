@@ -88,7 +88,11 @@ mod tests {
         let mut tl = Timeline::new();
         tl.push(PhaseKind::VmmSetup, "spawn", Nanos::from_millis(5));
         tl.push(PhaseKind::PreEncryption, "launch", Nanos::from_millis(8));
-        tl.push(PhaseKind::BootVerification, "verify", Nanos::from_millis(20));
+        tl.push(
+            PhaseKind::BootVerification,
+            "verify",
+            Nanos::from_millis(20),
+        );
         tl.push(PhaseKind::LinuxBoot, "kernel", Nanos::from_millis(70));
         tl.push(PhaseKind::Attestation, "attest", Nanos::from_millis(200));
         let report = BootReport {

@@ -10,7 +10,7 @@ use sevf_ovmf::{OvmfImage, OVMF_BASE};
 use sevf_psp::PspError;
 use sevf_sim::cost::SevGeneration;
 use sevf_sim::rng::Jitter;
-use sevf_sim::{EventChannel, Nanos, PhaseKind, Timeline};
+use sevf_sim::{EventChannel, Nanos, PhaseKind, ResourceClass, Timeline};
 use sevf_verifier::binary::{VerifierBinary, VerifierFeatures};
 use sevf_verifier::layout::{
     GuestLayout, BOOT_PARAMS_ADDR, CMDLINE_ADDR, HASH_PAGE_ADDR, MPTABLE_ADDR, VERIFIER_ADDR,
@@ -204,7 +204,10 @@ impl MicroVm {
                 });
             }
             _ => {
-                let verifier = artifacts.verifier.as_ref().expect("sev policy has verifier");
+                let verifier = artifacts
+                    .verifier
+                    .as_ref()
+                    .expect("sev policy has verifier");
                 items.push(MeasuredItem {
                     gpa: VERIFIER_ADDR,
                     data: verifier.bytes().to_vec(),
@@ -265,7 +268,9 @@ impl MicroVm {
     ///
     /// [`VmmError::Config`] for non-SEV policies.
     pub fn register_expected(&self, machine: &mut Machine) -> Result<(), VmmError> {
-        machine.owner.expect_measurement(self.expected_measurement()?);
+        machine
+            .owner
+            .expect_measurement(self.expected_measurement()?);
         Ok(())
     }
 
@@ -314,7 +319,11 @@ impl MicroVm {
         } else {
             cost.fc_process_spawn
         };
-        tl.push(PhaseKind::VmmSetup, "VMM process spawn + config", jitter.apply(spawn));
+        tl.push(
+            PhaseKind::VmmSetup,
+            "VMM process spawn + config",
+            jitter.apply(spawn),
+        );
         tl.push(
             PhaseKind::VmmSetup,
             "KVM VM/vCPU setup",
@@ -333,7 +342,10 @@ impl MicroVm {
 
         // ---- SEV launch ----------------------------------------------------
         let template = if self.config.launch_mode == LaunchMode::SharedKeyTemplate {
-            machine.templates.get(&self.expected_measurement()?).copied()
+            machine
+                .templates
+                .get(&self.expected_measurement()?)
+                .copied()
         } else {
             None
         };
@@ -443,7 +455,11 @@ impl MicroVm {
         // ---- Linux boot ---------------------------------------------------------
         let stage = guest_kernel::run_kernel(&mut mem, entry, self.config.generation, &cost)?;
         for step in &stage.steps {
-            tl.push(PhaseKind::LinuxBoot, step.label.clone(), jitter.apply(step.duration));
+            tl.push(
+                PhaseKind::LinuxBoot,
+                step.label.clone(),
+                jitter.apply(step.duration),
+            );
         }
         tl.mark(EventChannel::DebugPort, "init");
 
@@ -452,14 +468,16 @@ impl MicroVm {
             let client = GuestAttestClient::new(&measurement);
             let (report, work) = machine.psp.guest_report(guest, client.report_data())?;
             psp_busy += work.duration;
-            tl.push(
+            tl.push_on(
                 PhaseKind::Attestation,
                 "SNP_GUEST_REQUEST (report into encrypted memory)",
+                ResourceClass::Psp,
                 jitter.apply(work.duration),
             );
-            tl.push(
+            tl.push_on(
                 PhaseKind::Attestation,
                 "send report; owner validates and wraps secret",
+                ResourceClass::Network,
                 jitter.apply(cost.attestation_network_rtt + cost.attestation_server_validate),
             );
             let wrapped = machine.owner.handle_report(&report)?;
@@ -507,20 +525,25 @@ impl MicroVm {
         let layout = &artifacts.layout;
         let start = machine.psp.launch_start(self.config.generation)?;
         *psp_busy += start.work.duration;
-        tl.push(
+        tl.push_on(
             PhaseKind::PreEncryption,
             "SNP_LAUNCH_START",
+            ResourceClass::Psp,
             jitter.apply(start.work.duration),
         );
         let guest = start.guest;
-        let mut mem =
-            GuestMemory::new_sev(self.config.mem_size, start.memory_key, self.config.generation);
+        let mut mem = GuestMemory::new_sev(
+            self.config.mem_size,
+            start.memory_key,
+            self.config.generation,
+        );
 
         let rmp = machine.psp.rmp_init(guest, &mem)?;
         *psp_busy += rmp.duration;
-        tl.push(
+        tl.push_on(
             PhaseKind::VmmSetup,
             "KVM RMP/page-state initialization",
+            ResourceClass::Psp,
             jitter.apply(rmp.duration),
         );
         tl.push(
@@ -547,13 +570,17 @@ impl MicroVm {
         let plan = self.plan_from_artifacts(artifacts)?;
         for item in &plan {
             mem.host_write(item.gpa, &item.data)?;
-            let work = machine
-                .psp
-                .launch_update_data(guest, &mut mem, item.gpa, item.data.len() as u64)?;
+            let work = machine.psp.launch_update_data(
+                guest,
+                &mut mem,
+                item.gpa,
+                item.data.len() as u64,
+            )?;
             *psp_busy += work.duration;
-            tl.push(
+            tl.push_on(
                 PhaseKind::PreEncryption,
                 format!("LAUNCH_UPDATE_DATA: {} ({} B)", item.label, item.data.len()),
+                ResourceClass::Psp,
                 jitter.apply(work.duration),
             );
         }
@@ -562,9 +589,10 @@ impl MicroVm {
                 .psp
                 .launch_update_vmsa(guest, self.config.vcpus, &[0u8; 4096])?;
             *psp_busy += work.duration;
-            tl.push(
+            tl.push_on(
                 PhaseKind::PreEncryption,
                 format!("LAUNCH_UPDATE_VMSA ({} vCPU)", self.config.vcpus),
+                ResourceClass::Psp,
                 jitter.apply(work.duration),
             );
         }
@@ -573,9 +601,10 @@ impl MicroVm {
         }
         let finish = machine.psp.launch_finish(guest)?;
         *psp_busy += finish.work.duration;
-        tl.push(
+        tl.push_on(
             PhaseKind::PreEncryption,
             "SNP_LAUNCH_FINISH",
+            ResourceClass::Psp,
             jitter.apply(finish.work.duration),
         );
         tl.mark(EventChannel::VmmLog, "launch-measurement-frozen");
@@ -600,13 +629,17 @@ impl MicroVm {
         let layout = &artifacts.layout;
         let start = machine.psp.launch_start_shared(template)?;
         *psp_busy += start.work.duration;
-        tl.push(
+        tl.push_on(
             PhaseKind::PreEncryption,
             "shared-key template launch (no per-VM measurement)",
+            ResourceClass::Psp,
             jitter.apply(start.work.duration),
         );
-        let mut mem =
-            GuestMemory::new_sev(self.config.mem_size, start.memory_key, self.config.generation);
+        let mut mem = GuestMemory::new_sev(
+            self.config.mem_size,
+            start.memory_key,
+            self.config.generation,
+        );
 
         // Stage the shared-window components exactly as a full launch does.
         mem.host_write(layout.kernel_staging, &artifacts.kernel_bytes)?;
@@ -645,7 +678,11 @@ impl MicroVm {
 
     /// Picks a 2 MiB-aligned KASLR slide that keeps the loaded kernel below
     /// the initrd destination; 0 when there is no room.
-    fn pick_slide(rng: &mut sevf_sim::rng::XorShift64, image: &sevf_image::kernel::KernelImage, layout: &GuestLayout) -> u64 {
+    fn pick_slide(
+        rng: &mut sevf_sim::rng::XorShift64,
+        image: &sevf_image::kernel::KernelImage,
+        layout: &GuestLayout,
+    ) -> u64 {
         const ALIGN: u64 = 2 * 1024 * 1024;
         let end = image
             .elf()
@@ -723,10 +760,18 @@ impl MicroVm {
         tl.mark(EventChannel::VmmLog, "direct-boot-entry");
 
         // 3. Enter at the (possibly slid) 64-bit entry point.
-        let stage =
-            guest_kernel::run_kernel(&mut mem, image.elf().entry + slide, SevGeneration::None, &cost)?;
+        let stage = guest_kernel::run_kernel(
+            &mut mem,
+            image.elf().entry + slide,
+            SevGeneration::None,
+            &cost,
+        )?;
         for step in &stage.steps {
-            tl.push(PhaseKind::LinuxBoot, step.label.clone(), jitter.apply(step.duration));
+            tl.push(
+                PhaseKind::LinuxBoot,
+                step.label.clone(),
+                jitter.apply(step.duration),
+            );
         }
         tl.mark(EventChannel::DebugPort, "init");
 
@@ -799,8 +844,7 @@ mod tests {
         let qemu = booted(BootPolicy::QemuOvmf);
         let sevf = booted(BootPolicy::Severifast);
         // Fig. 9: SEVeriFast cuts boot time by ~86-94%.
-        let reduction = 1.0
-            - sevf.boot_time().as_millis_f64() / qemu.boot_time().as_millis_f64();
+        let reduction = 1.0 - sevf.boot_time().as_millis_f64() / qemu.boot_time().as_millis_f64();
         assert!(reduction > 0.8, "reduction {reduction:.3}");
     }
 
@@ -818,7 +862,10 @@ mod tests {
         let vm = MicroVm::new(VmConfig::test_tiny(BootPolicy::Severifast)).unwrap();
         vm.register_expected(&mut m).unwrap();
         let report = vm.boot(&mut m).unwrap();
-        assert_eq!(report.measurement.unwrap(), vm.expected_measurement().unwrap());
+        assert_eq!(
+            report.measurement.unwrap(),
+            vm.expected_measurement().unwrap()
+        );
     }
 
     #[test]
@@ -860,7 +907,10 @@ mod tests {
         let b = vm2.boot(&mut m).unwrap();
         assert_ne!(a.boot_time(), b.boot_time());
         assert_eq!(a.outcome, b.outcome);
-        assert_eq!(a.measurement, b.measurement, "jitter must not affect crypto");
+        assert_eq!(
+            a.measurement, b.measurement,
+            "jitter must not affect crypto"
+        );
     }
 
     #[test]
@@ -874,10 +924,7 @@ mod tests {
             PhaseKind::LinuxBoot,
             PhaseKind::Attestation,
         ] {
-            assert!(
-                report.phase(phase) > Nanos::ZERO,
-                "missing phase {phase}"
-            );
+            assert!(report.phase(phase) > Nanos::ZERO, "missing phase {phase}");
         }
         // Instrumentation events reached the VMM through both channels.
         let events = report.timeline.events();
@@ -964,7 +1011,11 @@ mod tests {
 
         // Second boot: shared-key fast path.
         let warm = vm.boot(&mut m).unwrap();
-        assert_eq!(warm.outcome, BootOutcome::Running, "attestation still works");
+        assert_eq!(
+            warm.outcome,
+            BootOutcome::Running,
+            "attestation still works"
+        );
         assert_eq!(warm.measurement, cold.measurement);
         assert!(
             warm.psp_busy.as_millis_f64() < cold.psp_busy.as_millis_f64() / 5.0,

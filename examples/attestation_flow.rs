@@ -87,10 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 fn demonstrate_kernel_swap(machine: &mut Machine) -> Result<(), Box<dyn std::error::Error>> {
     use severifast::image::{initrd, kernel::KernelConfig};
     use severifast::mem::GuestMemory;
+    use severifast::verifier::binary::{VerifierBinary, VerifierFeatures};
     use severifast::verifier::hashes::{HashPage, KernelHashes};
     use severifast::verifier::layout::{GuestLayout, HASH_PAGE_ADDR, VERIFIER_ADDR};
     use severifast::verifier::verify::{self, VerifierConfig};
-    use severifast::verifier::binary::{VerifierBinary, VerifierFeatures};
 
     let good = KernelConfig::test_tiny().build();
     let good_bz = good.bzimage(Codec::Lz4);

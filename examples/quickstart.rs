@@ -40,23 +40,31 @@ fn main() -> Result<(), VmmError> {
 
     println!("\n--- summary ---");
     println!("outcome:           {:?}", report.outcome);
-    println!("boot time:         {} (to init, §6.1 definition)", report.boot_time());
-    println!("end-to-end:        {} (incl. attestation)", report.total_time());
+    println!(
+        "boot time:         {} (to init, §6.1 definition)",
+        report.boot_time()
+    );
+    println!(
+        "end-to-end:        {} (incl. attestation)",
+        report.total_time()
+    );
     println!("pre-encryption:    {}", report.pre_encryption());
     println!(
         "PSP busy:          {} (the serialized Fig. 12 portion)",
         report.psp_busy
     );
     if let Some(secret) = &report.provisioned_secret {
-        println!(
-            "provisioned:       {:?}",
-            String::from_utf8_lossy(secret)
-        );
+        println!("provisioned:       {:?}", String::from_utf8_lossy(secret));
     }
 
     println!("\n--- instrumentation events (§6.1 debug-port/GHCB channel) ---");
     for event in report.timeline.events() {
-        println!("  {:>12}  {:?}  {}", format!("{}", event.at), event.channel, event.tag);
+        println!(
+            "  {:>12}  {:?}  {}",
+            format!("{}", event.at),
+            event.channel,
+            event.tag
+        );
     }
     Ok(())
 }

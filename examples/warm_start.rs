@@ -26,11 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vm = MicroVm::new(config.clone())?;
     vm.register_expected(&mut machine)?;
     let (cold, mut alive_a) = vm.boot_keep_alive(&mut machine)?;
-    println!("cold boot:             {:>12}   (PSP busy {})", cold.boot_time(), cold.psp_busy);
+    println!(
+        "cold boot:             {:>12}   (PSP busy {})",
+        cold.boot_time(),
+        cold.psp_busy
+    );
 
     // ---------------------------------------------------------------- 2
     let warm = alive_a.invoke(&machine.cost);
-    println!("warm invocation:       {:>12}   (kept-alive guest)", warm.latency);
+    println!(
+        "warm invocation:       {:>12}   (kept-alive guest)",
+        warm.latency
+    );
     let (_, alive_b) = vm.boot_keep_alive(&mut machine)?;
     let rent = alive_a.resident_bytes() as f64 / (1024.0 * 1024.0);
     let dedup = dedupable_fraction(&[&alive_a, &alive_b])?;

@@ -26,7 +26,10 @@ fn all_policies_boot_all_kernels() {
         }
         let report = vm.boot(&mut m).unwrap();
         assert!(
-            matches!(report.outcome, BootOutcome::Running | BootOutcome::RunningUnattested),
+            matches!(
+                report.outcome,
+                BootOutcome::Running | BootOutcome::RunningUnattested
+            ),
             "{policy}"
         );
     }
@@ -126,7 +129,11 @@ fn any_config_change_changes_the_measurement() {
 
 #[test]
 fn sev_generations_boot_with_matching_owner_policy() {
-    for generation in [SevGeneration::Sev, SevGeneration::SevEs, SevGeneration::SevSnp] {
+    for generation in [
+        SevGeneration::Sev,
+        SevGeneration::SevEs,
+        SevGeneration::SevSnp,
+    ] {
         let mut m = machine();
         m.owner.set_required_generation(generation);
         let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
@@ -134,14 +141,23 @@ fn sev_generations_boot_with_matching_owner_policy() {
         let vm = MicroVm::new(config).unwrap();
         vm.register_expected(&mut m).unwrap();
         let report = vm.boot(&mut m).unwrap();
-        assert_eq!(report.outcome, BootOutcome::Running, "{}", generation.name());
+        assert_eq!(
+            report.outcome,
+            BootOutcome::Running,
+            "{}",
+            generation.name()
+        );
     }
 }
 
 #[test]
 fn snp_boot_is_slowest_generation() {
     let mut times = Vec::new();
-    for generation in [SevGeneration::Sev, SevGeneration::SevEs, SevGeneration::SevSnp] {
+    for generation in [
+        SevGeneration::Sev,
+        SevGeneration::SevEs,
+        SevGeneration::SevSnp,
+    ] {
         let mut m = machine();
         m.owner.set_required_generation(generation);
         let mut config = VmConfig::test_tiny(BootPolicy::Severifast);

@@ -28,7 +28,8 @@ fn staged_guest() -> (Machine, GuestMemory, GuestLayout, Vec<u8>) {
         kernel: KernelHashes::WholeImage(sha256(&bz)),
         initrd: sha256(&rd),
     };
-    mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page()).unwrap();
+    mem.host_write(HASH_PAGE_ADDR, &hash_page.to_page())
+        .unwrap();
     let verifier = VerifierBinary::build(VerifierFeatures::severifast());
     mem.host_write(VERIFIER_ADDR, verifier.bytes()).unwrap();
     machine
@@ -56,8 +57,13 @@ fn check_1_swapped_components_detected_by_verifier() {
     let mid = tampered.len() / 2;
     tampered[mid] ^= 0x40;
     mem.host_write(layout.kernel_staging, &tampered).unwrap();
-    let err = verify::run(&mut mem, &layout, &machine.cost, VerifierConfig::severifast())
-        .unwrap_err();
+    let err = verify::run(
+        &mut mem,
+        &layout,
+        &machine.cost,
+        VerifierConfig::severifast(),
+    )
+    .unwrap_err();
     assert!(matches!(
         err,
         VerifierError::HashMismatch { .. } | VerifierError::Image(_)
@@ -122,8 +128,13 @@ fn check_4_host_cannot_write_guest_pages_under_snp() {
 #[test]
 fn check_5_host_reads_only_ciphertext() {
     let (machine, mut mem, layout, bz) = staged_guest();
-    let boot = verify::run(&mut mem, &layout, &machine.cost, VerifierConfig::severifast())
-        .unwrap();
+    let boot = verify::run(
+        &mut mem,
+        &layout,
+        &machine.cost,
+        VerifierConfig::severifast(),
+    )
+    .unwrap();
     // The kernel now sits in encrypted memory; the host's view of it must
     // be ciphertext, and different from the plaintext it staged.
     let host_view = mem.host_read(layout.kernel_dest, 4096).unwrap();
@@ -138,9 +149,17 @@ fn check_5_host_reads_only_ciphertext() {
 fn remap_attack_faults_instead_of_reading_stale_data() {
     let (machine, mut mem, layout, _bz) = staged_guest();
     mem.remap_by_host(HASH_PAGE_ADDR).unwrap();
-    let err = verify::run(&mut mem, &layout, &machine.cost, VerifierConfig::severifast())
-        .unwrap_err();
-    assert!(matches!(err, VerifierError::Memory(MemError::VcException { .. })));
+    let err = verify::run(
+        &mut mem,
+        &layout,
+        &machine.cost,
+        VerifierConfig::severifast(),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        VerifierError::Memory(MemError::VcException { .. })
+    ));
 }
 
 #[test]
