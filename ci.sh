@@ -22,6 +22,12 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> deterministic replay: fleet_chaos --quick --json twice, byte-diffed"
+cargo run --release --quiet --example fleet_chaos -- --quick --json > /tmp/ci_chaos_a.json
+cargo run --release --quiet --example fleet_chaos -- --quick --json > /tmp/ci_chaos_b.json
+diff /tmp/ci_chaos_a.json /tmp/ci_chaos_b.json
+rm -f /tmp/ci_chaos_a.json /tmp/ci_chaos_b.json
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

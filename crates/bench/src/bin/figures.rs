@@ -10,6 +10,7 @@
 use severifast::experiments::{self as exp, ExperimentScale};
 use severifast::BootPolicy;
 use sevf_bench::{fmt_ms, mib, render_table, write_dumps, FigureDump, Json};
+use sevf_fleet::chaos as fleet_chaos;
 use sevf_fleet::experiment as fleet_exp;
 use sevf_sim::stats::cdf;
 
@@ -19,7 +20,7 @@ struct Args {
     out: Option<std::path::PathBuf>,
 }
 
-const USAGE: &str = "usage: figures [--all] [--fig <3|4|5|7|8|9|10|11|12|mem|warm|fw12|fleet|headline>]...\n       [--scale quick|full] [--out <dir>]";
+const USAGE: &str = "usage: figures [--all] [--fig <3|4|5|7|8|9|10|11|12|mem|warm|fw12|fleet|chaos|headline>]...\n       [--scale quick|full] [--out <dir>]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}\n{USAGE}");
@@ -36,7 +37,7 @@ fn parse_args() -> Args {
             "--all" => {
                 figures = [
                     "3", "4", "5", "7", "8", "9", "10", "11", "12", "mem", "warm", "fw12", "fleet",
-                    "headline",
+                    "chaos", "headline",
                 ]
                 .iter()
                 .map(|s| s.to_string())
@@ -89,6 +90,7 @@ fn main() {
             "warm" => warm_table(&args.scale),
             "fw12" => fw12(&args.scale),
             "fleet" => fleet_table(),
+            "chaos" => chaos_table(&args.scale),
             "headline" => headline(&args.scale),
             other => usage_error(&format!("unknown figure '{other}'")),
         };
@@ -661,6 +663,86 @@ fn fleet_table() -> FigureDump {
                                 ("psp_utilization", Json::from(r.psp_utilization)),
                                 ("cpu_utilization", Json::from(r.cpu_utilization)),
                                 ("max_queue_depth", Json::from(r.max_queue_depth)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn chaos_table(scale: &ExperimentScale) -> FigureDump {
+    // quick() halves the classes and loads; keyed off the same kernel_div
+    // knob the other quick-scale figures use.
+    let cfg = if scale.kernel_div > 1 {
+        fleet_chaos::ChaosConfig::quick()
+    } else {
+        fleet_chaos::ChaosConfig::paper_chaos()
+    };
+    let report = fleet_chaos::chaos_sweep(&cfg).expect("chaos sweep");
+    println!("\n=== Chaos: fleet availability under a seeded fault storm ===");
+    println!(
+        "({} PSP firmware resets + {} warm-guest crashes planned over the longest",
+        report.planned_resets, report.planned_crashes
+    );
+    println!(" run; naive and resilient arms replay the identical fault plan)\n");
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.name().into(),
+                format!("{:.0}", r.offered_rps),
+                r.completed.to_string(),
+                r.failed.to_string(),
+                r.timeouts.to_string(),
+                (r.shed + r.breaker_sheds).to_string(),
+                r.retries.to_string(),
+                format!("{:.1}", r.goodput_rps),
+                fmt_ms(r.p50_ms),
+                fmt_ms(r.p99_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "arm", "req/s", "done", "fail", "t/o", "shed", "retry", "goodput", "p50 ms",
+                "p99 ms"
+            ],
+            &table
+        )
+    );
+    FigureDump {
+        id: "chaos".into(),
+        caption: "Goodput under a PSP fault storm: no recovery vs retry + degradation".into(),
+        data: Json::obj([
+            ("planned_resets", Json::from(report.planned_resets)),
+            ("planned_crashes", Json::from(report.planned_crashes)),
+            (
+                "rows",
+                Json::Arr(
+                    report
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("arm", Json::from(r.arm.name())),
+                                ("offered_rps", Json::from(r.offered_rps)),
+                                ("completed", Json::from(r.completed)),
+                                ("goodput_rps", Json::from(r.goodput_rps)),
+                                ("shed", Json::from(r.shed)),
+                                ("breaker_sheds", Json::from(r.breaker_sheds)),
+                                ("timeouts", Json::from(r.timeouts)),
+                                ("failed", Json::from(r.failed)),
+                                ("retries", Json::from(r.retries)),
+                                ("faults", Json::from(r.faults)),
+                                ("degraded_dispatches", Json::from(r.degraded_dispatches)),
+                                ("p50_ms", Json::from(r.p50_ms)),
+                                ("p99_ms", Json::from(r.p99_ms)),
+                                ("time_degraded_ms", Json::from(r.time_degraded_ms)),
                             ])
                         })
                         .collect(),

@@ -224,6 +224,40 @@ mod tests {
     }
 
     #[test]
+    fn bound_zero_sheds_everything() {
+        let mut q = BoundedQueue::new(0);
+        assert!(!q.offer(pending(0, 1, 0)));
+        assert!(!q.offer(pending(1, 1, 0)));
+        assert_eq!(q.shed(), 2);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.max_depth(), 0);
+        assert!(q.pick(SchedPolicy::Fifo, |_| true).is_none());
+    }
+
+    #[test]
+    fn bound_one_holds_exactly_one_waiter() {
+        let mut q = BoundedQueue::new(1);
+        assert!(q.offer(pending(0, 1, 0)));
+        assert!(!q.offer(pending(1, 1, 0)), "second waiter sheds");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.shed(), 1);
+
+        // Draining the single slot re-opens it; every policy agrees on a
+        // one-element queue.
+        for policy in [
+            SchedPolicy::Fifo,
+            SchedPolicy::ShortestPspFirst,
+            SchedPolicy::TemplateAffinity,
+        ] {
+            let picked = q.pick(policy, |_| false).unwrap();
+            assert_eq!(picked.request, 0);
+            assert!(q.is_empty());
+            assert!(q.offer(pending(0, 1, 0)));
+        }
+        assert_eq!(q.max_depth(), 1);
+    }
+
+    #[test]
     fn empty_queue_picks_nothing() {
         let mut q = BoundedQueue::new(4);
         assert!(q.pick(SchedPolicy::Fifo, |_| true).is_none());

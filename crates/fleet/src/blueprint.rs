@@ -79,6 +79,35 @@ impl Blueprint {
         self.segments.iter().map(|(_, d)| *d).sum()
     }
 
+    /// Whether any segment is a network delay (attestation round trips) —
+    /// the launches attestation faults can strike.
+    pub fn has_network(&self) -> bool {
+        self.segments
+            .iter()
+            .any(|(class, _)| *class == ResourceClass::Network)
+    }
+
+    /// The prefix of this blueprint consuming `frac` of its service time —
+    /// the work a launch burns before a transient fault kills it. The last
+    /// segment is cut partially; `frac` is clamped to `[0, 1]`.
+    pub fn truncate_frac(&self, frac: f64) -> Blueprint {
+        let frac = frac.clamp(0.0, 1.0);
+        let mut budget = self.service_time().scale_f64(frac);
+        let mut segments = Vec::new();
+        for &(class, duration) in &self.segments {
+            if budget == Nanos::ZERO {
+                break;
+            }
+            let take = duration.min(budget);
+            segments.push((class, take));
+            budget = budget.saturating_sub(take);
+        }
+        Blueprint {
+            label: format!("{} (aborted)", self.label),
+            segments,
+        }
+    }
+
     /// Converts the blueprint into a DES job released at `release`.
     pub fn to_job(&self, release: Nanos, cpu: ResourceId, psp: ResourceId) -> Job {
         let segments = self
@@ -354,6 +383,21 @@ impl LaunchCache {
         self.live.insert(key, class);
     }
 
+    /// Drops one key (a fill launch that died before finalizing its
+    /// template must not leave the key looking live).
+    pub fn invalidate(&mut self, key: &TemplateKey) {
+        self.live.remove(key);
+    }
+
+    /// Drops every live template — a PSP firmware reset destroyed the
+    /// launch contexts they address, so each class must re-measure from
+    /// scratch (§6.2 under failure). Returns how many templates died.
+    pub fn invalidate_all(&mut self) -> usize {
+        let n = self.live.len();
+        self.live.clear();
+        n
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -437,6 +481,40 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 2);
         assert!(cache.contains(&key));
+    }
+
+    #[test]
+    fn truncate_frac_takes_a_prefix_of_the_work() {
+        let catalog = quick_catalog();
+        let bp = &catalog.class(0).cold;
+        let half = bp.truncate_frac(0.5);
+        let tol = Nanos::from_nanos(1);
+        assert!(half.service_time() <= bp.service_time().scale_f64(0.5) + tol);
+        assert!(half.service_time() + tol >= bp.service_time().scale_f64(0.5));
+        // Prefix property: segment classes match the original's in order.
+        for (a, b) in half.segments.iter().zip(&bp.segments) {
+            assert_eq!(a.0, b.0);
+        }
+        assert!(bp.truncate_frac(0.0).segments.is_empty());
+        assert_eq!(bp.truncate_frac(1.0).service_time(), bp.service_time());
+        assert_eq!(bp.truncate_frac(7.0).service_time(), bp.service_time());
+    }
+
+    #[test]
+    fn cache_invalidation_forces_refills() {
+        let mut cache = LaunchCache::new();
+        let a = TemplateKey::from_measurement([1u8; 48]);
+        let b = TemplateKey::from_measurement([2u8; 48]);
+        assert!(!cache.lookup_or_fill(a, 0));
+        assert!(!cache.lookup_or_fill(b, 1));
+        assert!(cache.lookup_or_fill(a, 0));
+
+        cache.invalidate(&a);
+        assert!(!cache.contains(&a));
+        assert!(cache.contains(&b));
+
+        assert_eq!(cache.invalidate_all(), 1);
+        assert!(!cache.lookup_or_fill(b, 1), "post-reset lookups re-fill");
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The chaos experiment: fleet availability under a seeded fault storm.
+//!
+//! One sweep serves the same seeded request stream at each offered load
+//! three times:
+//!
+//! * **fault-free** — no fault plan, no recovery: the PR-1 baseline.
+//! * **naive** — the fault storm with [`RecoveryConfig::none`]: every fault
+//!   is a permanently failed request, dispatches keep feeding the dead PSP
+//!   through reset outages, and the template cache's death goes unmanaged.
+//! * **resilient** — the same storm (byte-identical [`FaultPlan`]) with
+//!   retries, deadlines, circuit-breaker degradation, and PSP quiesce.
+//!
+//! The table the sweep feeds (`figures --table chaos`) shows the naive
+//! fleet's goodput collapsing under PSP-reset storms while the resilient
+//! fleet holds it, at a quantified p99 cost. Everything is derived from
+//! `(seed, config)` — two sweeps with the same config are identical.
+
+use sevf_sim::fault::{FaultConfig, FaultPlan};
+use sevf_sim::Nanos;
+
+use crate::admission::AdmissionConfig;
+use crate::blueprint::ClassSpec;
+use crate::recovery::RecoveryConfig;
+use crate::service::{FleetConfig, FleetService, ServingTier};
+use crate::workload::{Arrival, RequestMix};
+use crate::FleetError;
+
+const MB: u64 = 1024 * 1024;
+
+/// How a sweep arm reacts to the storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosArm {
+    /// No faults injected at all (the PR-1 baseline).
+    FaultFree,
+    /// Faults injected, no recovery: every fault permanently fails.
+    Naive,
+    /// Faults injected, full recovery: retry + deadline + breaker + quiesce.
+    Resilient,
+}
+
+impl ChaosArm {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosArm::FaultFree => "fault-free",
+            ChaosArm::Naive => "naive",
+            ChaosArm::Resilient => "resilient",
+        }
+    }
+}
+
+/// Knobs of one chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for catalog machines, arrivals, class sampling, fault plans,
+    /// and backoff jitter.
+    pub seed: u64,
+    /// Request classes to serve.
+    pub classes: Vec<ClassSpec>,
+    /// Mix over those classes; `None` = uniform.
+    pub mix: Option<RequestMix>,
+    /// Serving tier every arm runs at.
+    pub tier: ServingTier,
+    /// Requests per `(arm, load)` cell.
+    pub requests: usize,
+    /// Offered loads to sweep (req/s).
+    pub loads_rps: Vec<f64>,
+    /// Admission-controller knobs.
+    pub admission: AdmissionConfig,
+    /// Warm-pool target per class (warm-pool tier only).
+    pub warm_target: usize,
+    /// The storm to inject into the naive and resilient arms.
+    pub fault: FaultConfig,
+    /// Recovery policy of the resilient arm.
+    pub recovery: RecoveryConfig,
+    /// Fault-plan horizon as a multiple of the nominal run length
+    /// (`requests / load`); slack keeps the storm alive through the
+    /// fault-lengthened tail of the run.
+    pub horizon_slack: f64,
+}
+
+impl ChaosConfig {
+    /// The headline chaos sweep: template serving of the paper mix under
+    /// [`FaultConfig::storm`].
+    pub fn paper_chaos() -> Self {
+        ChaosConfig {
+            seed: 0x5EF0,
+            classes: ClassSpec::paper_classes(16, 256 * MB),
+            mix: Some(RequestMix::weighted(vec![
+                (0, 5),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (4, 2),
+            ])),
+            tier: ServingTier::Template,
+            requests: 300,
+            loads_rps: vec![10.0, 25.0, 40.0, 60.0],
+            admission: AdmissionConfig::default(),
+            warm_target: 24,
+            fault: FaultConfig::storm(),
+            recovery: RecoveryConfig::resilient(0x5EF0),
+            horizon_slack: 2.0,
+        }
+    }
+
+    /// A fast sweep over the tiny test classes (tests, `--quick` example).
+    pub fn quick() -> Self {
+        ChaosConfig {
+            seed: 0x5EF0,
+            classes: ClassSpec::quick_test_classes(),
+            mix: Some(RequestMix::weighted(vec![(0, 3), (1, 1)])),
+            tier: ServingTier::Template,
+            requests: 400,
+            loads_rps: vec![30.0, 120.0],
+            admission: AdmissionConfig {
+                queue_bound: 128,
+                max_inflight: 96,
+                ..AdmissionConfig::default()
+            },
+            warm_target: 64,
+            fault: FaultConfig::storm(),
+            recovery: RecoveryConfig::resilient(0x5EF0),
+            horizon_slack: 2.0,
+        }
+    }
+}
+
+/// One `(arm, offered load)` cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Recovery arm.
+    pub arm: ChaosArm,
+    /// Offered load (req/s).
+    pub offered_rps: f64,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Completed requests per second of makespan.
+    pub goodput_rps: f64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests shed past the bottom of the degradation ladder.
+    pub breaker_sheds: u64,
+    /// Requests shed on deadline.
+    pub timeouts: u64,
+    /// Requests permanently failed after exhausting retries.
+    pub failed: u64,
+    /// Retry launches dispatched.
+    pub retries: u64,
+    /// Injected-fault occurrences of every kind.
+    pub faults: u64,
+    /// Launches dispatched below the configured tier.
+    pub degraded_dispatches: u64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Virtual time spent inside PSP reset outages (ms).
+    pub time_degraded_ms: f64,
+}
+
+/// The sweep's result: the storm's shape plus one row per `(arm, load)`.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// PSP firmware resets the plan schedules at the *lowest* load's
+    /// horizon (the longest-running cell sees the most).
+    pub planned_resets: usize,
+    /// Warm-guest crashes at the lowest load's horizon.
+    pub planned_crashes: usize,
+    /// One row per `(arm, offered load)`, loads outermost.
+    pub rows: Vec<ChaosRow>,
+}
+
+/// Plan horizon for one load: nominal run length times the slack.
+fn horizon(requests: usize, load: f64, slack: f64) -> Nanos {
+    Nanos::from_nanos((requests as f64 / load * slack * 1e9) as u64)
+}
+
+/// Runs the full `(arm × load)` grid over one catalog.
+///
+/// # Errors
+///
+/// Returns [`FleetError::FaultPlan`] or [`FleetError::Recovery`] when the
+/// storm or recovery knobs are invalid, and propagates catalog-construction
+/// failures.
+pub fn chaos_sweep(cfg: &ChaosConfig) -> Result<ChaosReport, FleetError> {
+    cfg.fault.validate().map_err(FleetError::FaultPlan)?;
+    cfg.recovery.validate().map_err(FleetError::Recovery)?;
+    let catalog = crate::blueprint::Catalog::build(cfg.seed, &cfg.classes)?;
+
+    let mut rows = Vec::new();
+    let mut planned_resets = 0;
+    let mut planned_crashes = 0;
+    for (li, &load) in cfg.loads_rps.iter().enumerate() {
+        let plan = FaultPlan::generate(
+            cfg.seed,
+            cfg.fault.clone(),
+            horizon(cfg.requests, load, cfg.horizon_slack),
+        )
+        .map_err(FleetError::FaultPlan)?;
+        if li == 0 {
+            planned_resets = plan.resets().len();
+            planned_crashes = plan.warm_crashes().len();
+        }
+        let arms = [
+            (ChaosArm::FaultFree, None, RecoveryConfig::none()),
+            (ChaosArm::Naive, Some(plan.clone()), RecoveryConfig::none()),
+            (ChaosArm::Resilient, Some(plan), cfg.recovery),
+        ];
+        for (arm, fault, recovery) in arms {
+            let config = FleetConfig {
+                tier: cfg.tier,
+                arrival: Arrival::Open { rate_per_sec: load },
+                mix: cfg.mix.clone(),
+                requests: cfg.requests,
+                seed: cfg.seed,
+                admission: cfg.admission,
+                warm_target: cfg.warm_target,
+                fault,
+                recovery,
+            };
+            let report = FleetService::new(catalog.clone(), config).run();
+            let m = &report.metrics;
+            rows.push(ChaosRow {
+                arm,
+                offered_rps: load,
+                completed: m.completed,
+                goodput_rps: m.goodput_rps(),
+                shed: m.shed,
+                breaker_sheds: m.breaker_sheds,
+                timeouts: m.timeouts,
+                failed: m.failed,
+                retries: m.retries,
+                faults: m.faults.total(),
+                degraded_dispatches: m.degraded_dispatches,
+                p50_ms: m.p50_ms(),
+                p99_ms: m.p99_ms(),
+                time_degraded_ms: m.time_degraded.as_millis_f64(),
+            });
+        }
+    }
+    Ok(ChaosReport {
+        planned_resets,
+        planned_crashes,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(report: &ChaosReport, arm: ChaosArm, load: f64) -> &ChaosRow {
+        report
+            .rows
+            .iter()
+            .find(|r| r.arm == arm && r.offered_rps == load)
+            .expect("cell exists")
+    }
+
+    #[test]
+    fn resilient_goodput_strictly_beats_naive_at_every_load() {
+        let cfg = ChaosConfig::quick();
+        let report = chaos_sweep(&cfg).unwrap();
+        for &load in &cfg.loads_rps {
+            let naive = row(&report, ChaosArm::Naive, load);
+            let resilient = row(&report, ChaosArm::Resilient, load);
+            assert!(naive.failed > 0, "storm must hurt the naive arm at {load}");
+            assert!(
+                resilient.goodput_rps > naive.goodput_rps,
+                "at {load} req/s: resilient {:.1} vs naive {:.1}",
+                resilient.goodput_rps,
+                naive.goodput_rps
+            );
+            assert!(
+                resilient.completed > naive.completed,
+                "at {load} req/s: resilient {} vs naive {}",
+                resilient.completed,
+                naive.completed
+            );
+        }
+        assert!(report.planned_resets > 0);
+    }
+
+    #[test]
+    fn fault_free_arm_matches_the_serving_baseline() {
+        let cfg = ChaosConfig::quick();
+        let report = chaos_sweep(&cfg).unwrap();
+        for &load in &cfg.loads_rps {
+            let base = row(&report, ChaosArm::FaultFree, load);
+            assert_eq!(base.faults, 0);
+            assert_eq!(base.failed, 0);
+            assert_eq!(base.retries, 0);
+            assert_eq!(base.completed as u64 + base.shed, cfg.requests as u64);
+        }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let cfg = ChaosConfig::quick();
+        let a = chaos_sweep(&cfg).unwrap();
+        let b = chaos_sweep(&cfg).unwrap();
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.arm, y.arm);
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.failed, y.failed);
+            assert_eq!(x.timeouts, y.timeouts);
+            assert_eq!(x.retries, y.retries);
+            assert_eq!(x.faults, y.faults);
+            assert!((x.goodput_rps - y.goodput_rps).abs() < 1e-12);
+            assert!((x.p99_ms - y.p99_ms).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_knobs_surface_as_typed_errors() {
+        let mut cfg = ChaosConfig::quick();
+        cfg.fault.psp_transient_rate = 1.5;
+        assert!(matches!(chaos_sweep(&cfg), Err(FleetError::FaultPlan(_))));
+
+        let mut cfg = ChaosConfig::quick();
+        cfg.recovery.retry.max_attempts = 0;
+        assert!(matches!(chaos_sweep(&cfg), Err(FleetError::Recovery(_))));
+    }
+}

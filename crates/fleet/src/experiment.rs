@@ -171,6 +171,8 @@ pub fn serving_sweep(cfg: &SweepConfig) -> Result<SweepReport, FleetError> {
                 seed: cfg.seed,
                 admission: cfg.admission,
                 warm_target: cfg.warm_target,
+                fault: None,
+                recovery: crate::recovery::RecoveryConfig::none(),
             };
             let report = FleetService::new(catalog.clone(), config).run();
             let m = &report.metrics;

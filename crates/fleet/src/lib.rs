@@ -23,9 +23,15 @@
 //! * [`service`] — the control plane itself, driving
 //!   [`sevf_sim::DesEngine::run_dynamic`].
 //! * [`metrics`] — latency percentiles/histograms, queue depth over time,
-//!   PSP/CPU utilization, shed/hit/miss counters.
+//!   PSP/CPU utilization, shed/hit/miss counters, fault and availability
+//!   accounting.
+//! * [`recovery`] — retry backoff, per-request deadlines, per-class circuit
+//!   breakers driving the degradation ladder, and PSP quiesce across
+//!   firmware resets.
 //! * [`experiment`] — the serving sweep behind the `figures --table fleet`
 //!   output: cold vs template vs warm-pool serving at offered loads.
+//! * [`chaos`] — the fault-injection sweep behind `figures --table chaos`:
+//!   fault-free vs naive vs resilient fleets under a seeded fault storm.
 //!
 //! # Example
 //!
@@ -45,17 +51,21 @@
 
 pub mod admission;
 pub mod blueprint;
+pub mod chaos;
 pub mod experiment;
 pub mod metrics;
 pub mod pool;
+pub mod recovery;
 pub mod service;
 pub mod workload;
 
 pub use admission::{AdmissionConfig, BoundedQueue, SchedPolicy};
 pub use blueprint::{Blueprint, Catalog, ClassSpec, LaunchCache};
+pub use chaos::{chaos_sweep, ChaosConfig, ChaosReport, ChaosRow};
 pub use experiment::{serving_sweep, ServingRow, SweepConfig, SweepReport};
-pub use metrics::FleetMetrics;
+pub use metrics::{FaultCounters, FleetMetrics};
 pub use pool::WarmPool;
+pub use recovery::{BreakerConfig, CircuitBreaker, RecoveryConfig, RetryPolicy};
 pub use service::{FleetConfig, FleetReport, FleetService, ServingTier};
 pub use workload::{Arrival, RequestMix};
 
@@ -66,6 +76,10 @@ pub enum FleetError {
     Boot(sevf_vmm::VmmError),
     /// The catalog was built with no request classes.
     NoClasses,
+    /// A fault plan could not be generated from its config.
+    FaultPlan(&'static str),
+    /// A recovery configuration failed validation.
+    Recovery(&'static str),
 }
 
 impl std::fmt::Display for FleetError {
@@ -73,11 +87,20 @@ impl std::fmt::Display for FleetError {
         match self {
             FleetError::Boot(e) => write!(f, "blueprint boot failed: {e}"),
             FleetError::NoClasses => write!(f, "catalog needs at least one request class"),
+            FleetError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            FleetError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
         }
     }
 }
 
-impl std::error::Error for FleetError {}
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Boot(e) => Some(e),
+            FleetError::NoClasses | FleetError::FaultPlan(_) | FleetError::Recovery(_) => None,
+        }
+    }
+}
 
 impl From<sevf_vmm::VmmError> for FleetError {
     fn from(e: sevf_vmm::VmmError) -> Self {
@@ -89,7 +112,36 @@ impl From<sevf_vmm::VmmError> for FleetError {
 pub mod prelude {
     pub use crate::admission::{AdmissionConfig, SchedPolicy};
     pub use crate::blueprint::{Catalog, ClassSpec};
+    pub use crate::chaos::{chaos_sweep, ChaosConfig, ChaosReport, ChaosRow};
+    pub use crate::recovery::{BreakerConfig, RecoveryConfig, RetryPolicy};
     pub use crate::service::{FleetConfig, FleetReport, FleetService, ServingTier};
     pub use crate::workload::{Arrival, RequestMix};
     pub use crate::FleetError;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn boot_errors_chain_their_source() {
+        let inner = sevf_vmm::VmmError::Config("no kernel");
+        let outer = FleetError::from(inner);
+        let source = outer.source().expect("Boot must expose its cause");
+        assert!(source.to_string().contains("no kernel"));
+        assert!(outer.to_string().contains("blueprint boot failed"));
+    }
+
+    #[test]
+    fn leaf_errors_have_no_source_but_display() {
+        for (err, needle) in [
+            (FleetError::NoClasses, "request class"),
+            (FleetError::FaultPlan("bad rate"), "bad rate"),
+            (FleetError::Recovery("bad jitter"), "bad jitter"),
+        ] {
+            assert!(err.source().is_none());
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
 }

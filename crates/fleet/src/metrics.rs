@@ -7,7 +7,46 @@
 //! shed / cache-hit / warm-hit counters that explain *why* the latencies
 //! look the way they do.
 
+use sevf_sim::fault::FaultKind;
 use sevf_sim::{Nanos, Summary};
+
+/// Per-fault-kind occurrence counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transient PSP launch-command failures.
+    pub psp_transient: u64,
+    /// Launches lost to PSP firmware resets (poisoned in flight or
+    /// dispatched into a dead PSP).
+    pub psp_reset: u64,
+    /// Warm guests that crashed out of the pool.
+    pub warm_crash: u64,
+    /// Attestation round trips that hung until timeout.
+    pub attest_timeout: u64,
+    /// Attestation round trips that returned errors.
+    pub attest_error: u64,
+}
+
+impl FaultCounters {
+    /// Counts one occurrence of `kind`.
+    pub fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::PspTransient => self.psp_transient += 1,
+            FaultKind::PspReset => self.psp_reset += 1,
+            FaultKind::WarmCrash => self.warm_crash += 1,
+            FaultKind::AttestTimeout => self.attest_timeout += 1,
+            FaultKind::AttestError => self.attest_error += 1,
+        }
+    }
+
+    /// Total faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.psp_transient
+            + self.psp_reset
+            + self.warm_crash
+            + self.attest_timeout
+            + self.attest_error
+    }
+}
 
 /// Metrics collected over one [`crate::service::FleetService`] run.
 #[derive(Debug, Clone, Default)]
@@ -16,6 +55,28 @@ pub struct FleetMetrics {
     pub completed: usize,
     /// Requests shed by admission control.
     pub shed: u64,
+    /// Requests shed because the class's circuit breaker degraded past the
+    /// bottom of the tier ladder.
+    pub breaker_sheds: u64,
+    /// Requests shed because their deadline passed (at retry scheduling or
+    /// while waiting in the queue).
+    pub timeouts: u64,
+    /// Requests permanently failed after exhausting the retry budget.
+    pub failed: u64,
+    /// Retry launches dispatched (beyond each request's first attempt).
+    pub retries: u64,
+    /// Retry histogram: `retries_by_attempt[k]` counts retries scheduled
+    /// after failure number `k + 1`.
+    pub retries_by_attempt: Vec<u64>,
+    /// Injected-fault occurrences by kind.
+    pub faults: FaultCounters,
+    /// Launches dispatched below the configured tier (degraded ladder).
+    pub degraded_dispatches: u64,
+    /// Circuit-breaker trips across all classes.
+    pub breaker_trips: u64,
+    /// Virtual time the PSP spent inside firmware-reset outages (clipped to
+    /// the makespan).
+    pub time_degraded: Nanos,
     /// Template-cache hits (template and warm-pool tiers).
     pub cache_hits: u64,
     /// Template-cache misses (fills).
@@ -51,6 +112,33 @@ impl FleetMetrics {
     pub fn sample_queue_depth(&mut self, at: Nanos, depth: usize) {
         self.queue_depth.push((at, depth));
         self.max_queue_depth = self.max_queue_depth.max(depth);
+    }
+
+    /// Records a retry scheduled after failure number `failures` (1-based).
+    pub fn record_retry(&mut self, failures: u32) {
+        self.retries += 1;
+        let idx = failures.saturating_sub(1) as usize;
+        if self.retries_by_attempt.len() <= idx {
+            self.retries_by_attempt.resize(idx + 1, 0);
+        }
+        self.retries_by_attempt[idx] += 1;
+    }
+
+    /// Requests that left the system without completing: load sheds,
+    /// breaker sheds, deadline timeouts, and permanent failures.
+    pub fn lost(&self) -> u64 {
+        self.shed + self.breaker_sheds + self.timeouts + self.failed
+    }
+
+    /// Completed requests per second of makespan — the goodput the chaos
+    /// tables plot against offered load (0 when the run is empty).
+    pub fn goodput_rps(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
     }
 
     /// Latency summary; `None` when nothing completed.
@@ -150,6 +238,29 @@ impl FleetMetrics {
             self.max_queue_depth,
             self.makespan,
         ));
+        if self.faults.total() > 0 || self.lost() > self.shed {
+            let f = &self.faults;
+            out.push_str(&format!(
+                "faults {} (transient {}, reset {}, warm-crash {}, attest {}t/{}e)\n",
+                f.total(),
+                f.psp_transient,
+                f.psp_reset,
+                f.warm_crash,
+                f.attest_timeout,
+                f.attest_error,
+            ));
+            out.push_str(&format!(
+                "retries {}  failed {}  timeouts {}  breaker trips {} (shed {})  \
+                 degraded dispatches {}  time degraded {}\n",
+                self.retries,
+                self.failed,
+                self.timeouts,
+                self.breaker_trips,
+                self.breaker_sheds,
+                self.degraded_dispatches,
+                self.time_degraded,
+            ));
+        }
         out
     }
 }
@@ -189,6 +300,66 @@ mod tests {
         assert_eq!(hist.iter().map(|(_, c)| c).sum::<usize>(), 4);
         assert_eq!(hist[0], (10.0, 2));
         assert_eq!(hist.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn single_sample_percentiles_all_equal_it() {
+        let mut m = FleetMetrics::default();
+        m.record_latency(Nanos::from_millis(42));
+        assert!((m.mean_ms() - 42.0).abs() < 1e-9);
+        assert!((m.p50_ms() - 42.0).abs() < 1e-9);
+        assert!((m.p99_ms() - 42.0).abs() < 1e-9);
+        assert_eq!(m.histogram(10.0).iter().map(|(_, c)| c).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn all_equal_samples_have_flat_percentiles() {
+        let mut m = FleetMetrics::default();
+        for _ in 0..100 {
+            m.record_latency(Nanos::from_millis(7));
+        }
+        assert!((m.mean_ms() - 7.0).abs() < 1e-9);
+        assert!((m.p50_ms() - 7.0).abs() < 1e-9);
+        assert!((m.p99_ms() - 7.0).abs() < 1e-9);
+        let s = m.summary().unwrap();
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn retry_histogram_grows_per_attempt() {
+        let mut m = FleetMetrics::default();
+        m.record_retry(1);
+        m.record_retry(1);
+        m.record_retry(3);
+        assert_eq!(m.retries, 3);
+        assert_eq!(m.retries_by_attempt, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn fault_counters_and_lost_accounting() {
+        let mut m = FleetMetrics::default();
+        m.faults.record(FaultKind::PspTransient);
+        m.faults.record(FaultKind::PspReset);
+        m.faults.record(FaultKind::PspReset);
+        m.faults.record(FaultKind::AttestError);
+        assert_eq!(m.faults.total(), 4);
+        assert_eq!(m.faults.psp_reset, 2);
+
+        m.shed = 3;
+        m.breaker_sheds = 1;
+        m.timeouts = 2;
+        m.failed = 4;
+        assert_eq!(m.lost(), 10);
+        assert!(m.render().contains("faults 4"));
+    }
+
+    #[test]
+    fn goodput_is_completed_over_makespan() {
+        let mut m = FleetMetrics::default();
+        assert_eq!(m.goodput_rps(), 0.0, "empty run divides by nothing");
+        m.completed = 30;
+        m.makespan = Nanos::from_secs(2);
+        assert!((m.goodput_rps() - 15.0).abs() < 1e-9);
     }
 
     #[test]

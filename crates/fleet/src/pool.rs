@@ -26,6 +26,7 @@ pub struct WarmPool {
     hits: u64,
     misses: u64,
     evicted: u64,
+    crashed: u64,
 }
 
 impl WarmPool {
@@ -51,6 +52,7 @@ impl WarmPool {
             hits: 0,
             misses: 0,
             evicted: 0,
+            crashed: 0,
         }
     }
 
@@ -89,6 +91,31 @@ impl WarmPool {
         } else {
             self.evicted += 1;
         }
+    }
+
+    /// Records a refill that failed (e.g. its launch died in a PSP reset):
+    /// the in-flight count drops but no slot becomes ready.
+    pub fn refill_failed(&mut self, class: usize) {
+        let slot = &mut self.slots[class];
+        slot.refilling = slot.refilling.saturating_sub(1);
+    }
+
+    /// A warm guest of `class` crashes. Returns `true` (and counts it) when
+    /// a ready slot actually existed to die; an empty class absorbs nothing.
+    pub fn crash(&mut self, class: usize) -> bool {
+        let slot = &mut self.slots[class];
+        if slot.ready > 0 {
+            slot.ready -= 1;
+            self.crashed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Warm guests lost to crashes so far.
+    pub fn crashed(&self) -> u64 {
+        self.crashed
     }
 
     /// Ready slots for `class`.
@@ -184,6 +211,28 @@ mod tests {
         assert_eq!(p.ready(0), 1);
         assert_eq!(p.ready(1), 1);
         assert_eq!(p.evicted(), 2);
+    }
+
+    #[test]
+    fn crash_consumes_a_ready_slot_and_failed_refill_frees_the_lease() {
+        let mut p = pool();
+        assert!(p.crash(0));
+        assert_eq!(p.ready(0), 1);
+        assert_eq!(p.crashed(), 1);
+        assert!(p.wants_refill(0));
+
+        // A refill that dies must release its in-flight lease, or the class
+        // would believe a refill is forever on the way and never converge.
+        p.refill_started(0);
+        assert!(!p.wants_refill(0));
+        p.refill_failed(0);
+        assert!(p.wants_refill(0));
+        assert_eq!(p.ready(0), 1, "failed refill adds no slot");
+
+        // Draining the class: crashes on an empty class are no-ops.
+        assert!(p.crash(0));
+        assert!(!p.crash(0));
+        assert_eq!(p.crashed(), 2);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! service then routes each request — warm pool first (if serving that
 //! tier), then admission control — and injects the chosen launch blueprint
 //! as a follow-up job on the shared PSP/CPU resources. Everything is seeded
-//! and runs on the virtual clock, so a `(catalog, config)` pair fully
-//! determines the outcome.
+//! and runs on the virtual clock, so a `(catalog, config, fault plan)`
+//! triple fully determines the outcome.
 //!
 //! The three serving tiers mirror the paper's options:
 //!
@@ -18,15 +18,36 @@
 //! * [`ServingTier::WarmPool`] — requests take §7.1 keep-alive guests from
 //!   the pool (no launch at all); the pool refills in the background via
 //!   template launches, and misses fall through to the template path.
+//!
+//! # Fault injection and recovery
+//!
+//! With a [`FaultPlan`] configured, the substrate misbehaves: PSP firmware
+//! resets poison every in-flight PSP-using launch and destroy the template
+//! cache (each class must re-measure — the §6.2 trust caveat exercised
+//! under failure), launch commands fail transiently partway through their
+//! work, warm guests crash out of the pool, and attestation round trips
+//! hang or error. The [`RecoveryConfig`] decides what happens next: the
+//! naive fleet ([`RecoveryConfig::none`]) turns every fault into a
+//! permanently failed request, while the resilient fleet retries with
+//! backoff, sheds on deadline, degrades tripped classes down the tier
+//! ladder (warm → template → cold → shed), and quiesces PSP-needing
+//! dispatches across reset outages. Fault verdicts are drawn statelessly
+//! from the plan, so a fault-free run consumes exactly the same random
+//! stream as a run of the pre-fault control plane.
 
+use std::collections::BTreeSet;
+
+use sevf_psp::TemplateKey;
+use sevf_sim::fault::{AttestFault, FaultKind, FaultPlan};
 use sevf_sim::rng::XorShift64;
-use sevf_sim::{DesEngine, Job, JobOutcome, Nanos, ResourceId, RunTrace};
+use sevf_sim::{DesEngine, Job, JobOutcome, Nanos, ResourceClass, ResourceId, RunTrace};
 use sevf_vmm::machine::HOST_CORES;
 
 use crate::admission::{AdmissionConfig, BoundedQueue, Pending};
 use crate::blueprint::{Blueprint, Catalog, LaunchCache};
 use crate::metrics::FleetMetrics;
 use crate::pool::WarmPool;
+use crate::recovery::{CircuitBreaker, RecoveryConfig};
 use crate::workload::{open_arrivals, Arrival, RequestMix};
 
 /// Which reuse tier the fleet serves requests from.
@@ -49,6 +70,26 @@ impl ServingTier {
             ServingTier::WarmPool => "warm-pool",
         }
     }
+
+    /// Position on the degradation ladder (0 = most cached).
+    fn ladder_pos(self) -> usize {
+        match self {
+            ServingTier::WarmPool => 0,
+            ServingTier::Template => 1,
+            ServingTier::Cold => 2,
+        }
+    }
+
+    /// The tier `level` breaker trips below `self`, or `None` once the
+    /// ladder (warm → template → cold) is exhausted and the class sheds.
+    pub fn degraded(self, level: usize) -> Option<ServingTier> {
+        match self.ladder_pos() + level {
+            0 => Some(ServingTier::WarmPool),
+            1 => Some(ServingTier::Template),
+            2 => Some(ServingTier::Cold),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration of one serving run.
@@ -68,6 +109,10 @@ pub struct FleetConfig {
     pub admission: AdmissionConfig,
     /// Warm-pool target size per class (warm-pool tier only).
     pub warm_target: usize,
+    /// Injected faults; `None` = the fault-free control plane.
+    pub fault: Option<FaultPlan>,
+    /// How the fleet reacts to failures.
+    pub recovery: RecoveryConfig,
 }
 
 impl FleetConfig {
@@ -81,6 +126,8 @@ impl FleetConfig {
             seed: 0x5EF0,
             admission: AdmissionConfig::default(),
             warm_target: 8,
+            fault: None,
+            recovery: RecoveryConfig::none(),
         }
     }
 
@@ -94,6 +141,8 @@ impl FleetConfig {
             seed: 0x5EF0,
             admission: AdmissionConfig::default(),
             warm_target: 8,
+            fault: None,
+            recovery: RecoveryConfig::none(),
         }
     }
 }
@@ -113,15 +162,40 @@ pub struct FleetReport {
     pub trace: RunTrace,
 }
 
+/// Verdict decided for a launch when it was dispatched. A PSP reset can
+/// still override it at completion (poisoning strikes work already in
+/// flight).
+#[derive(Debug, Clone, Copy)]
+enum LaunchFate {
+    Ok,
+    Fault(FaultKind),
+}
+
 /// What an engine job index means to the control plane.
 #[derive(Debug, Clone, Copy)]
 enum JobKind {
     /// Arrival marker for a request (zero segments).
     Arrival { request: usize },
-    /// The launch (or warm invocation) serving a request.
-    Launch { request: usize },
+    /// The launch (or warm invocation) serving a request. `fill` carries
+    /// the template key this launch is filling (invalidated if it fails);
+    /// `psp` marks launches holding PSP work (poisoned by resets).
+    Launch {
+        request: usize,
+        class: usize,
+        fate: LaunchFate,
+        fill: Option<TemplateKey>,
+        psp: bool,
+    },
+    /// Backoff marker: when it completes, the request re-enters routing.
+    Retry { request: usize },
     /// Background warm-pool refill for a class.
-    Replenish { class: usize },
+    Replenish { class: usize, psp: bool },
+    /// A PSP firmware reset begins (in-flight state dies here).
+    ResetStart,
+    /// A PSP firmware reset outage ends (quiesced work may drain).
+    ResetEnd,
+    /// A warm guest crashes; `idx` indexes the plan's crash schedule.
+    WarmCrash { idx: usize },
 }
 
 /// The control plane: routes a request stream onto the host's resources.
@@ -142,9 +216,19 @@ struct State<'a> {
     meta: Vec<JobKind>,
     req_class: Vec<usize>,
     arrived: Vec<Nanos>,
+    attempts: Vec<u32>,
     queue: BoundedQueue,
     pool: WarmPool,
     cache: LaunchCache,
+    breakers: Option<Vec<CircuitBreaker>>,
+    /// Job indices of in-flight work holding PSP segments; a firmware reset
+    /// moves them all into `poisoned`.
+    psp_inflight: BTreeSet<usize>,
+    /// Job indices whose completion is a [`FaultKind::PspReset`] failure.
+    poisoned: BTreeSet<usize>,
+    /// Deterministic token stream for stateless fault draws: one token per
+    /// fault-eligible launch, in dispatch order.
+    launch_seq: u64,
     inflight: usize,
     issued: usize,
     metrics: FleetMetrics,
@@ -156,7 +240,8 @@ impl FleetService {
     /// # Panics
     ///
     /// Panics if the config's mix references a class outside the catalog,
-    /// or a closed loop has zero users.
+    /// a closed loop has zero users, or the recovery config is invalid
+    /// ([`RecoveryConfig::validate`]).
     pub fn new(catalog: Catalog, config: FleetConfig) -> Self {
         if let Some(mix) = &config.mix {
             assert!(
@@ -168,6 +253,9 @@ impl FleetService {
         }
         if let Arrival::Closed { users, .. } = config.arrival {
             assert!(users > 0, "closed loop needs at least one user");
+        }
+        if let Err(e) = config.recovery.validate() {
+            panic!("invalid recovery config: {e}");
         }
         FleetService { catalog, config }
     }
@@ -193,6 +281,7 @@ impl FleetService {
             meta: Vec::new(),
             req_class: Vec::new(),
             arrived: Vec::new(),
+            attempts: Vec::new(),
             queue: BoundedQueue::new(self.config.admission.queue_bound),
             pool: WarmPool::prewarmed(
                 self.catalog.len(),
@@ -208,6 +297,14 @@ impl FleetService {
                     .collect(),
             ),
             cache: LaunchCache::new(),
+            breakers: self
+                .config
+                .recovery
+                .breaker
+                .map(|b| vec![CircuitBreaker::new(b); self.catalog.len()]),
+            psp_inflight: BTreeSet::new(),
+            poisoned: BTreeSet::new(),
+            launch_seq: 0,
             inflight: 0,
             issued: 0,
             metrics: FleetMetrics::default(),
@@ -245,6 +342,22 @@ impl FleetService {
             }
         }
 
+        // Seed the fault schedule as marker jobs. Without a plan this adds
+        // nothing, so the fault-free path is byte-identical to the pre-fault
+        // control plane.
+        if let Some(plan) = &self.config.fault {
+            for window in plan.resets() {
+                seed_jobs.push(Job::released_at(window.start, vec![]));
+                state.meta.push(JobKind::ResetStart);
+                seed_jobs.push(Job::released_at(window.end, vec![]));
+                state.meta.push(JobKind::ResetEnd);
+            }
+            for idx in 0..plan.warm_crashes().len() {
+                seed_jobs.push(Job::released_at(plan.warm_crashes()[idx], vec![]));
+                state.meta.push(JobKind::WarmCrash { idx });
+            }
+        }
+
         let (_, trace) = engine.run_dynamic(seed_jobs, |outcome, inject| {
             state.on_event(outcome, inject);
         });
@@ -260,6 +373,16 @@ impl FleetService {
         metrics.psp_utilization = trace.utilization(psp, 1);
         metrics.cpu_utilization = trace.utilization(cpu, HOST_CORES);
         metrics.makespan = trace.makespan();
+        if let Some(breakers) = &state.breakers {
+            metrics.breaker_trips = breakers.iter().map(|b| b.trips()).sum();
+        }
+        if let Some(plan) = &self.config.fault {
+            metrics.time_degraded = plan
+                .resets()
+                .iter()
+                .map(|w| w.end.min(metrics.makespan).saturating_sub(w.start))
+                .sum();
+        }
 
         FleetReport {
             tier: self.config.tier,
@@ -271,14 +394,52 @@ impl FleetService {
     }
 }
 
-impl State<'_> {
+impl<'a> State<'a> {
     /// Allocates a request id, sampling its class.
     fn new_request(&mut self, arrival_hint: Nanos) -> usize {
         let request = self.req_class.len();
         self.req_class.push(self.mix.sample(&mut self.rng));
         self.arrived.push(arrival_hint);
+        self.attempts.push(0);
         self.issued += 1;
         request
+    }
+
+    /// The fault plan, if any (`&'a` so probing never borrows `self`).
+    fn plan(&self) -> Option<&'a FaultPlan> {
+        self.config.fault.as_ref()
+    }
+
+    /// Whether the PSP is inside a firmware-reset outage at `now`.
+    fn in_outage(&self, now: Nanos) -> bool {
+        self.plan().and_then(|p| p.in_outage(now)).is_some()
+    }
+
+    /// Whether PSP-needing dispatches are being held (resilient fleets
+    /// quiesce across the outage; naive fleets keep dispatching).
+    fn quiesce_hold(&self, now: Nanos) -> bool {
+        self.config.recovery.quiesce && self.in_outage(now)
+    }
+
+    /// Whether `request` has outlived its deadline at `now`.
+    fn past_deadline(&self, request: usize, now: Nanos) -> bool {
+        match self.config.recovery.deadline {
+            Some(d) => now > self.arrived[request] + d,
+            None => false,
+        }
+    }
+
+    /// Current degradation level of `class` at `now` (0 without a breaker).
+    /// Applies the breaker's time-based healing first, so a class tripped
+    /// off the ladder comes back once the cooldown elapses.
+    fn degrade_level(&mut self, class: usize, now: Nanos) -> usize {
+        match &mut self.breakers {
+            Some(breakers) => {
+                breakers[class].heal(now);
+                breakers[class].level()
+            }
+            None => 0,
+        }
     }
 
     fn on_event(&mut self, outcome: &JobOutcome, inject: &mut Vec<Job>) {
@@ -287,47 +448,149 @@ impl State<'_> {
                 self.arrived[request] = outcome.finish;
                 self.route(request, outcome.finish, inject);
             }
-            JobKind::Launch { request } => {
-                self.metrics
-                    .record_latency(outcome.finish - self.arrived[request]);
+            JobKind::Launch {
+                request,
+                class,
+                fate,
+                fill,
+                psp,
+            } => {
+                if psp {
+                    self.psp_inflight.remove(&outcome.job);
+                }
+                // A reset that struck while this launch was in flight
+                // overrides whatever verdict dispatch drew.
+                let fate = if self.poisoned.remove(&outcome.job) {
+                    LaunchFate::Fault(FaultKind::PspReset)
+                } else {
+                    fate
+                };
                 self.inflight = self.inflight.saturating_sub(1);
+                match fate {
+                    LaunchFate::Ok => {
+                        self.metrics
+                            .record_latency(outcome.finish - self.arrived[request]);
+                        if let Some(breakers) = &mut self.breakers {
+                            breakers[class].on_success(outcome.finish);
+                        }
+                        self.drain_queue(outcome.finish, inject);
+                        self.issue_next_closed(outcome.finish, inject);
+                    }
+                    LaunchFate::Fault(kind) => {
+                        self.metrics.faults.record(kind);
+                        if let Some(key) = fill {
+                            // The fill died before finalizing its template:
+                            // the key must not look live.
+                            self.cache.invalidate(&key);
+                        }
+                        if let Some(breakers) = &mut self.breakers {
+                            if breakers[class].on_failure(outcome.finish) {
+                                self.metrics.breaker_trips += 1;
+                            }
+                        }
+                        self.handle_failure(request, outcome.finish, inject);
+                        self.drain_queue(outcome.finish, inject);
+                    }
+                }
+            }
+            JobKind::Retry { request } => {
+                self.route(request, outcome.finish, inject);
+            }
+            JobKind::Replenish { class, psp } => {
+                if psp {
+                    self.psp_inflight.remove(&outcome.job);
+                }
+                if self.poisoned.remove(&outcome.job) {
+                    self.metrics.faults.record(FaultKind::PspReset);
+                    self.pool.refill_failed(class);
+                } else {
+                    self.pool.refill_done(class);
+                }
+            }
+            JobKind::ResetStart => self.on_reset_start(),
+            JobKind::ResetEnd => {
+                // The PSP is back (re-initialized): release quiesced work.
                 self.drain_queue(outcome.finish, inject);
-                self.issue_next_closed(outcome.finish, inject);
             }
-            JobKind::Replenish { class } => {
-                self.pool.refill_done(class);
-            }
+            JobKind::WarmCrash { idx } => self.on_warm_crash(idx, outcome.finish, inject),
         }
     }
 
-    /// Routes a fresh arrival: warm pool first (warm tier), else admission.
+    /// A PSP firmware reset begins: every in-flight PSP-using job is
+    /// poisoned (its completion becomes a failure), and the template cache
+    /// dies with the firmware — each class re-measures on next use (§6.2).
+    fn on_reset_start(&mut self) {
+        let doomed: Vec<usize> = self.psp_inflight.iter().copied().collect();
+        for job in doomed {
+            self.poisoned.insert(job);
+        }
+        self.psp_inflight.clear();
+        self.cache.invalidate_all();
+    }
+
+    /// A scheduled warm-guest crash: pick a class deterministically from the
+    /// crash index and kill one ready slot if that class has any.
+    fn on_warm_crash(&mut self, idx: usize, now: Nanos, inject: &mut Vec<Job>) {
+        let classes = self.catalog.len();
+        let class = ((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % classes;
+        if self.pool.crash(class) {
+            self.metrics.faults.record(FaultKind::WarmCrash);
+            self.start_refill(class, now, inject);
+        }
+    }
+
+    /// Starts a background refill for `class` if it is below target and the
+    /// refill's PSP work is currently serviceable (no refills are launched
+    /// into a reset outage — the PSP physically accepts nothing).
+    fn start_refill(&mut self, class: usize, now: Nanos, inject: &mut Vec<Job>) {
+        if self.config.tier != ServingTier::WarmPool || !self.pool.wants_refill(class) {
+            return;
+        }
+        let refill: &'a Blueprint = &self.catalog.class(class).template_hit;
+        let psp = refill.psp_work() > Nanos::ZERO;
+        if psp && self.in_outage(now) {
+            return;
+        }
+        self.pool.refill_started(class);
+        inject.push(refill.to_job(now, self.cpu, self.psp));
+        let job = self.meta.len();
+        self.meta.push(JobKind::Replenish { class, psp });
+        if psp {
+            self.psp_inflight.insert(job);
+        }
+    }
+
+    /// Routes a request (fresh arrival or retry): deadline first, then the
+    /// degradation ladder, then warm pool (warm tier), then admission.
     fn route(&mut self, request: usize, now: Nanos, inject: &mut Vec<Job>) {
         let class = self.req_class[request];
-        if self.config.tier == ServingTier::WarmPool && self.pool.try_take(class) {
+        if self.past_deadline(request, now) {
+            self.metrics.timeouts += 1;
+            self.issue_next_closed(now, inject);
+            return;
+        }
+        let level = self.degrade_level(class, now);
+        let Some(tier) = self.config.tier.degraded(level) else {
+            self.metrics.breaker_sheds += 1;
+            self.issue_next_closed(now, inject);
+            return;
+        };
+        if tier == ServingTier::WarmPool && self.pool.try_take(class) {
             // Warm hit: no launch, no admission — one vCPU kick. The freed
             // slot is refilled in the background by a template launch.
             let blueprint = self.catalog.class(class).warm_invoke.clone();
-            self.inject_launch(request, &blueprint, now, inject);
-            if self.pool.wants_refill(class) {
-                self.pool.refill_started(class);
-                let refill = self.catalog.class(class).template_hit.clone();
-                inject.push(refill.to_job(now, self.cpu, self.psp));
-                self.meta.push(JobKind::Replenish { class });
-            }
+            self.inject_launch(request, class, blueprint, None, tier, now, inject);
+            self.start_refill(class, now, inject);
             return;
         }
         self.admit(request, class, now, inject);
     }
 
-    /// Admission control: dispatch if a slot is free, queue if there is
-    /// room, shed otherwise.
-    fn admit(&mut self, request: usize, class: usize, now: Nanos, inject: &mut Vec<Job>) {
-        if self.inflight < self.config.admission.max_inflight {
-            self.dispatch(request, class, now, inject);
-            return;
-        }
+    /// Expected serialized PSP work of the launch `class` would replay at
+    /// `tier` right now (peeks at the cache without counting).
+    fn expected_psp(&self, class: usize, tier: ServingTier) -> Nanos {
         let cb = self.catalog.class(class);
-        let expected_psp = match self.config.tier {
+        match tier {
             ServingTier::Cold => cb.cold.psp_work(),
             ServingTier::Template | ServingTier::WarmPool => {
                 if self.cache.contains(&cb.key) {
@@ -336,12 +599,26 @@ impl State<'_> {
                     cb.template_fill.psp_work()
                 }
             }
-        };
+        }
+    }
+
+    /// Admission control: dispatch if a slot is free (and the PSP is not
+    /// quiesced), queue if there is room, shed otherwise.
+    fn admit(&mut self, request: usize, class: usize, now: Nanos, inject: &mut Vec<Job>) {
+        let level = self.degrade_level(class, now);
+        let tier = self.config.tier.degraded(level).unwrap_or(self.config.tier);
+        let expected_psp = self.expected_psp(class, tier);
+        let quiesced = expected_psp > Nanos::ZERO && self.quiesce_hold(now);
+        if !quiesced && self.inflight < self.config.admission.max_inflight {
+            self.dispatch(request, class, tier, now, inject);
+            return;
+        }
+        let key = self.catalog.class(class).key;
         let admitted = self.queue.offer(Pending {
             request,
             class,
             expected_psp,
-            key: cb.key,
+            key,
         });
         self.metrics.sample_queue_depth(now, self.queue.len());
         if !admitted {
@@ -350,36 +627,137 @@ impl State<'_> {
         }
     }
 
-    /// Picks the launch blueprint for a dispatch and injects it.
-    fn dispatch(&mut self, request: usize, class: usize, now: Nanos, inject: &mut Vec<Job>) {
-        self.inflight += 1;
-        let cb = self.catalog.class(class);
-        let blueprint = match self.config.tier {
-            ServingTier::Cold => cb.cold.clone(),
-            ServingTier::Template | ServingTier::WarmPool => {
-                if self.cache.lookup_or_fill(cb.key, class) {
-                    cb.template_hit.clone()
-                } else {
-                    cb.template_fill.clone()
-                }
-            }
-        };
-        self.inject_launch(request, &blueprint, now, inject);
-    }
-
-    fn inject_launch(
+    /// Picks the launch blueprint for a dispatch at `tier` and injects it.
+    fn dispatch(
         &mut self,
         request: usize,
-        blueprint: &Blueprint,
+        class: usize,
+        tier: ServingTier,
         now: Nanos,
         inject: &mut Vec<Job>,
     ) {
+        if tier != self.config.tier {
+            self.metrics.degraded_dispatches += 1;
+        }
+        let cb = self.catalog.class(class);
+        let (blueprint, fill) = match tier {
+            ServingTier::Cold => (cb.cold.clone(), None),
+            ServingTier::Template | ServingTier::WarmPool => {
+                if self.cache.lookup_or_fill(cb.key, class) {
+                    (cb.template_hit.clone(), None)
+                } else {
+                    (cb.template_fill.clone(), Some(cb.key))
+                }
+            }
+        };
+        self.inject_launch(request, class, blueprint, fill, tier, now, inject);
+    }
+
+    /// Applies the fault plan to a launch and injects it. Verdicts are
+    /// drawn statelessly per launch token, so the fault-free path consumes
+    /// no randomness at all.
+    #[allow(clippy::too_many_arguments)]
+    fn inject_launch(
+        &mut self,
+        request: usize,
+        class: usize,
+        blueprint: Blueprint,
+        fill: Option<TemplateKey>,
+        tier: ServingTier,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        let _ = tier;
+        let mut fate = LaunchFate::Ok;
+        let mut blueprint = blueprint;
+        if let Some(plan) = self.plan() {
+            let token = self.launch_seq;
+            self.launch_seq += 1;
+            let psp_work = blueprint.psp_work();
+            if psp_work > Nanos::ZERO && self.in_outage(now) {
+                // Dispatched into a dead PSP (only the naive fleet does
+                // this): the commands hang until the outage ends, then
+                // error out. No PSP occupancy — the firmware is rebooting.
+                let end = plan.in_outage(now).expect("checked in_outage");
+                fate = LaunchFate::Fault(FaultKind::PspReset);
+                blueprint = Blueprint {
+                    label: format!("{} (dead psp)", blueprint.label),
+                    segments: vec![(ResourceClass::Network, end.saturating_sub(now))],
+                };
+            } else if psp_work > Nanos::ZERO && plan.psp_transient(token) {
+                // Transient command failure partway through the launch.
+                fate = LaunchFate::Fault(FaultKind::PspTransient);
+                blueprint = blueprint.truncate_frac(plan.transient_progress(token));
+            } else if blueprint.has_network() {
+                match plan.attest_fault(token) {
+                    Some(AttestFault::Timeout) => {
+                        // The round trip hangs until the client-side timeout.
+                        fate = LaunchFate::Fault(FaultKind::AttestTimeout);
+                        blueprint
+                            .segments
+                            .push((ResourceClass::Network, plan.config().attest_timeout));
+                    }
+                    Some(AttestFault::Error) => {
+                        // Immediate error after the normal round trip.
+                        fate = LaunchFate::Fault(FaultKind::AttestError);
+                    }
+                    None => {}
+                }
+            }
+        }
+        self.inflight += 1;
+        let psp = blueprint.psp_work() > Nanos::ZERO;
         inject.push(blueprint.to_job(now, self.cpu, self.psp));
-        self.meta.push(JobKind::Launch { request });
+        let job = self.meta.len();
+        self.meta.push(JobKind::Launch {
+            request,
+            class,
+            fate,
+            fill,
+            psp,
+        });
+        if psp {
+            self.psp_inflight.insert(job);
+        }
+    }
+
+    /// A launch failed: retry with backoff if the budget and deadline
+    /// allow, else count the request permanently failed (or timed out).
+    fn handle_failure(&mut self, request: usize, now: Nanos, inject: &mut Vec<Job>) {
+        self.attempts[request] += 1;
+        let failures = self.attempts[request];
+        match self.config.recovery.retry.backoff(failures, request as u64) {
+            None => {
+                self.metrics.failed += 1;
+                self.issue_next_closed(now, inject);
+            }
+            Some(delay) => {
+                let mut at = now + delay;
+                // No point retrying into a known outage: the resilient
+                // fleet re-releases at the instant the PSP is back.
+                if self.config.recovery.quiesce {
+                    if let Some(end) = self.plan().and_then(|p| p.in_outage(at)) {
+                        at = end;
+                    }
+                }
+                if self.past_deadline(request, at) {
+                    self.metrics.timeouts += 1;
+                    self.issue_next_closed(now, inject);
+                    return;
+                }
+                self.metrics.record_retry(failures);
+                inject.push(Job::released_at(at, vec![]));
+                self.meta.push(JobKind::Retry { request });
+            }
+        }
     }
 
     /// Fills freed dispatch slots from the queue per the scheduling policy.
+    /// Held entirely while the resilient fleet quiesces an outage.
     fn drain_queue(&mut self, now: Nanos, inject: &mut Vec<Job>) {
+        if self.quiesce_hold(now) {
+            return;
+        }
         while self.inflight < self.config.admission.max_inflight {
             let cache = &self.cache;
             let Some(next) = self
@@ -389,7 +767,19 @@ impl State<'_> {
                 break;
             };
             self.metrics.sample_queue_depth(now, self.queue.len());
-            self.dispatch(next.request, next.class, now, inject);
+            if self.past_deadline(next.request, now) {
+                // Expired while waiting: a timeout shed, not a dispatch.
+                self.metrics.timeouts += 1;
+                self.issue_next_closed(now, inject);
+                continue;
+            }
+            let level = self.degrade_level(next.class, now);
+            let Some(tier) = self.config.tier.degraded(level) else {
+                self.metrics.breaker_sheds += 1;
+                self.issue_next_closed(now, inject);
+                continue;
+            };
+            self.dispatch(next.request, next.class, tier, now, inject);
         }
     }
 
@@ -415,6 +805,7 @@ mod tests {
     use super::*;
     use crate::admission::SchedPolicy;
     use crate::blueprint::ClassSpec;
+    use sevf_sim::fault::FaultConfig;
 
     fn quick_catalog() -> Catalog {
         Catalog::build(17, &ClassSpec::quick_test_classes()).unwrap()
@@ -422,6 +813,25 @@ mod tests {
 
     fn run(config: FleetConfig) -> FleetReport {
         FleetService::new(quick_catalog(), config).run()
+    }
+
+    /// issued == completed + shed + breaker sheds + timeouts + failed.
+    fn assert_conserved(report: &FleetReport, issued: usize) {
+        let m = &report.metrics;
+        assert_eq!(
+            m.completed + m.lost() as usize,
+            issued,
+            "completed {} shed {} breaker {} timeouts {} failed {}",
+            m.completed,
+            m.shed,
+            m.breaker_sheds,
+            m.timeouts,
+            m.failed
+        );
+    }
+
+    fn storm_plan(seed: u64) -> FaultPlan {
+        FaultPlan::generate(seed, FaultConfig::storm(), Nanos::from_secs(10)).unwrap()
     }
 
     #[test]
@@ -515,5 +925,154 @@ mod tests {
         assert_eq!(m.warm_misses, 0);
         let invoke_ms = 1.0; // warm invokes are sub-millisecond
         assert!(m.p99_ms() < invoke_ms, "p99 {}", m.p99_ms());
+    }
+
+    // ---- fault injection and recovery ----------------------------------
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        // The fault machinery must not perturb the fault-free stream: an
+        // empty plan (markers absent, rates zero) reproduces PR-1 exactly.
+        let base = run(FleetConfig::open_loop(ServingTier::Template, 60.0, 60));
+        let mut config = FleetConfig::open_loop(ServingTier::Template, 60.0, 60);
+        config.fault =
+            Some(FaultPlan::generate(9, FaultConfig::none(), Nanos::from_secs(30)).unwrap());
+        config.recovery = RecoveryConfig::resilient(9);
+        let with_plan = run(config);
+        assert_eq!(base.metrics.latencies, with_plan.metrics.latencies);
+        assert_eq!(base.metrics.makespan, with_plan.metrics.makespan);
+        assert_eq!(base.metrics.shed, with_plan.metrics.shed);
+        assert_eq!(with_plan.metrics.faults.total(), 0);
+    }
+
+    #[test]
+    fn chaos_runs_conserve_and_are_deterministic() {
+        for recovery in [RecoveryConfig::none(), RecoveryConfig::resilient(5)] {
+            let mut config = FleetConfig::open_loop(ServingTier::Template, 60.0, 120);
+            config.fault = Some(storm_plan(5));
+            config.recovery = recovery;
+            let a = run(config.clone());
+            let b = run(config);
+            assert_conserved(&a, 120);
+            assert_eq!(a.metrics.latencies, b.metrics.latencies);
+            assert_eq!(a.metrics.failed, b.metrics.failed);
+            assert_eq!(a.metrics.timeouts, b.metrics.timeouts);
+            assert_eq!(a.metrics.faults, b.metrics.faults);
+            assert_eq!(a.metrics.retries_by_attempt, b.metrics.retries_by_attempt);
+        }
+    }
+
+    #[test]
+    fn resilient_fleet_completes_more_than_naive_under_storm() {
+        let mut naive = FleetConfig::open_loop(ServingTier::Template, 60.0, 120);
+        naive.fault = Some(storm_plan(5));
+        naive.recovery = RecoveryConfig::none();
+        let naive_report = run(naive);
+
+        let mut resilient = FleetConfig::open_loop(ServingTier::Template, 60.0, 120);
+        resilient.fault = Some(storm_plan(5));
+        resilient.recovery = RecoveryConfig::resilient(5);
+        let resilient_report = run(resilient);
+
+        assert!(
+            naive_report.metrics.failed > 0,
+            "the storm must actually hurt the naive fleet"
+        );
+        assert!(
+            resilient_report.metrics.completed > naive_report.metrics.completed,
+            "resilient {} vs naive {}",
+            resilient_report.metrics.completed,
+            naive_report.metrics.completed
+        );
+        assert!(resilient_report.metrics.retries > 0);
+    }
+
+    #[test]
+    fn reset_forces_template_refills() {
+        // Resets only — each one kills the template cache, so the fill
+        // count exceeds the class count (re-measurement under failure).
+        let mut cfg = FaultConfig::none();
+        cfg.psp_reset_period = Some(Nanos::from_millis(300));
+        cfg.psp_reset_outage = Nanos::from_millis(50);
+        let plan = FaultPlan::generate(11, cfg, Nanos::from_secs(3)).unwrap();
+        let resets = plan.resets().len();
+        assert!(resets >= 2, "plan too tame: {resets} resets");
+
+        let mut config = FleetConfig::open_loop(ServingTier::Template, 100.0, 200);
+        config.fault = Some(plan);
+        config.recovery = RecoveryConfig::resilient(11);
+        let report = run(config);
+        assert!(
+            report.metrics.cache_misses > 2,
+            "expected re-fills after resets, saw {} misses",
+            report.metrics.cache_misses
+        );
+        assert!(report.metrics.faults.psp_reset > 0);
+        assert!(report.metrics.time_degraded > Nanos::ZERO);
+        assert_conserved(&report, 200);
+    }
+
+    #[test]
+    fn deadlines_turn_unserved_requests_into_timeouts() {
+        let mut config = FleetConfig::open_loop(ServingTier::Template, 60.0, 80);
+        config.fault = Some(storm_plan(7));
+        let mut recovery = RecoveryConfig::resilient(7);
+        recovery.deadline = Some(Nanos::from_millis(400));
+        config.recovery = recovery;
+        let report = run(config);
+        assert!(report.metrics.timeouts > 0, "tight deadline must fire");
+        assert_conserved(&report, 80);
+    }
+
+    #[test]
+    fn breaker_degrades_warm_tier_under_persistent_faults() {
+        let mut cfg = FaultConfig::none();
+        cfg.psp_transient_rate = 0.9; // template refills keep dying
+        let plan = FaultPlan::generate(13, cfg, Nanos::from_secs(30)).unwrap();
+        let mut config = FleetConfig::open_loop(ServingTier::WarmPool, 80.0, 150);
+        config.warm_target = 1; // drain the pool fast → launches → failures
+        config.fault = Some(plan);
+        config.recovery = RecoveryConfig::resilient(13);
+        let report = run(config);
+        assert!(
+            report.metrics.breaker_trips > 0,
+            "persistent transients must trip the breaker"
+        );
+        assert!(
+            report.metrics.degraded_dispatches > 0,
+            "tripped classes must serve degraded"
+        );
+        assert_conserved(&report, 150);
+    }
+
+    #[test]
+    fn warm_crashes_deplete_the_pool_and_count() {
+        let mut cfg = FaultConfig::none();
+        cfg.warm_crash_period = Some(Nanos::from_millis(20));
+        let plan = FaultPlan::generate(19, cfg, Nanos::from_secs(3)).unwrap();
+        assert!(!plan.warm_crashes().is_empty());
+        let mut config = FleetConfig::open_loop(ServingTier::WarmPool, 40.0, 60);
+        config.warm_target = 8;
+        config.fault = Some(plan);
+        config.recovery = RecoveryConfig::resilient(19);
+        let report = run(config);
+        assert!(report.metrics.faults.warm_crash > 0);
+        assert_conserved(&report, 60);
+    }
+
+    #[test]
+    fn degradation_ladder_bottoms_out_at_shed() {
+        assert_eq!(
+            ServingTier::WarmPool.degraded(0),
+            Some(ServingTier::WarmPool)
+        );
+        assert_eq!(
+            ServingTier::WarmPool.degraded(1),
+            Some(ServingTier::Template)
+        );
+        assert_eq!(ServingTier::WarmPool.degraded(2), Some(ServingTier::Cold));
+        assert_eq!(ServingTier::WarmPool.degraded(3), None);
+        assert_eq!(ServingTier::Cold.degraded(0), Some(ServingTier::Cold));
+        assert_eq!(ServingTier::Cold.degraded(1), None);
     }
 }

@@ -82,6 +82,7 @@ pub struct Psp {
     guests: HashMap<u64, GuestContext>,
     next_handle: u64,
     key_counter: u64,
+    firmware_epoch: u64,
     /// Total PSP-busy time issued so far (observability for experiments).
     pub total_busy: Nanos,
 }
@@ -95,6 +96,7 @@ impl Psp {
             guests: HashMap::new(),
             next_handle: 1,
             key_counter: 0,
+            firmware_epoch: 0,
             total_busy: Nanos::ZERO,
         }
     }
@@ -108,6 +110,26 @@ impl Psp {
     /// The cost model in force.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// How many firmware resets this PSP has been through. Guest handles
+    /// issued in an earlier epoch are dead.
+    pub fn firmware_epoch(&self) -> u64 {
+        self.firmware_epoch
+    }
+
+    /// Firmware reset: the PSP reboots and loses **all** volatile state —
+    /// every guest launch context (in-flight or finalized) is destroyed, so
+    /// old handles now fail with [`PspError::UnknownGuest`] and shared-key
+    /// template launches must re-measure from scratch (the §6.2 caveat
+    /// exercised under failure). Chip identity and endorsement keys live in
+    /// fuses and survive. The returned work models `SEV_PLATFORM_INIT` after
+    /// the reboot.
+    pub fn firmware_reset(&mut self) -> PspWork {
+        self.guests.clear();
+        self.firmware_epoch += 1;
+        let duration = self.cost.psp_firmware_reset + self.cost.psp_cmd_dispatch;
+        self.charge(duration)
     }
 
     fn charge(&mut self, duration: Nanos) -> PspWork {
@@ -454,6 +476,51 @@ mod tests {
             psp.rmp_init(start.guest, &mem2).unwrap().duration,
             Nanos::ZERO
         );
+    }
+
+    #[test]
+    fn firmware_reset_drops_contexts_and_bumps_epoch() {
+        let (mut psp, guest, mut mem) = setup();
+        psp.launch_finish(guest).unwrap();
+        assert_eq!(psp.firmware_epoch(), 0);
+
+        let work = psp.firmware_reset();
+        assert!(work.duration > Nanos::ZERO);
+        assert_eq!(psp.firmware_epoch(), 1);
+
+        // The finalized context is gone: reports and template launches from
+        // the stale handle fail with UnknownGuest.
+        assert!(matches!(
+            psp.guest_report(guest, [0u8; 64]),
+            Err(PspError::UnknownGuest { .. })
+        ));
+        assert!(matches!(
+            psp.launch_start_shared(guest),
+            Err(PspError::UnknownGuest { .. })
+        ));
+        assert!(matches!(
+            psp.launch_update_data(guest, &mut mem, 0, 4096),
+            Err(PspError::UnknownGuest { .. })
+        ));
+
+        // The PSP still works after re-init: a fresh launch succeeds.
+        let start = psp.launch_start(SevGeneration::SevSnp).unwrap();
+        psp.launch_finish(start.guest).unwrap();
+    }
+
+    #[test]
+    fn chip_identity_survives_firmware_reset() {
+        let (mut psp, guest, _mem) = setup();
+        psp.launch_finish(guest).unwrap();
+        let chip_before = psp.chip().clone();
+        psp.firmware_reset();
+
+        let start = psp.launch_start(SevGeneration::SevSnp).unwrap();
+        psp.launch_finish(start.guest).unwrap();
+        let (report, _) = psp.guest_report(start.guest, [3u8; 64]).unwrap();
+        let mut registry = AmdRootRegistry::new();
+        registry.register(chip_before);
+        assert!(registry.verify(&report), "fused identity must persist");
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct CostModel {
     pub psp_rmp_init_per_2mb: Nanos,
     /// `SNP_GUEST_REQUEST` attestation-report generation.
     pub psp_report: Nanos,
+    /// Firmware reset/recovery: `SEV_PLATFORM_INIT` after a PSP reboot.
+    /// Modeling assumption (no paper anchor): tens of milliseconds, the
+    /// order of `DOWNLOAD_FIRMWARE` + platform re-init on EPYC parts.
+    pub psp_firmware_reset: Nanos,
 
     // ---- Guest / host CPU ------------------------------------------------
     /// SHA-256 with x86 SHA extensions, ps/B. Anchor: §4.3 "hashing the
@@ -140,6 +144,7 @@ impl CostModel {
             psp_launch_finish: Nanos::from_micros(350),
             psp_rmp_init_per_2mb: Nanos::from_micros(200),
             psp_report: Nanos::from_millis(1),
+            psp_firmware_reset: Nanos::from_millis(50),
 
             cpu_sha256_ps_per_byte: 520,
             cpu_sha384_ps_per_byte: 667,

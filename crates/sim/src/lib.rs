@@ -15,6 +15,9 @@
 //! * [`des`] — a discrete-event engine with FIFO resources, used for the
 //!   Fig. 12 concurrency experiment where every launch serializes on the
 //!   single-core PSP.
+//! * [`fault`] — seed-deterministic fault schedules (PSP firmware resets,
+//!   transient command failures, warm-guest crashes, flaky attestation) for
+//!   the chaos experiments.
 //! * [`stats`] — means, standard deviations, percentiles, and CDFs for the
 //!   figures.
 //!
@@ -34,6 +37,7 @@
 
 pub mod cost;
 pub mod des;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -41,6 +45,7 @@ pub mod timeline;
 
 pub use cost::CostModel;
 pub use des::{DesEngine, Job, JobOutcome, ResourceId, RunTrace, Segment, TraceEntry};
+pub use fault::{AttestFault, FaultConfig, FaultKind, FaultPlan, ResetWindow};
 pub use stats::Summary;
 pub use time::Nanos;
 pub use timeline::{EventChannel, PhaseKind, ResourceClass, Span, Timeline};

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use sevf_psp::{AmdRootRegistry, GuestHandle, Psp};
+use sevf_psp::{AmdRootRegistry, GuestHandle, Psp, PspWork};
 use sevf_sim::rng::XorShift64;
 use sevf_sim::CostModel;
 
@@ -58,6 +58,17 @@ impl Machine {
             rng: XorShift64::new(machine_seed ^ 0x4b41_534c_5221),
         }
     }
+
+    /// PSP firmware reset at machine scope: the PSP reboots
+    /// ([`Psp::firmware_reset`]) and every cached shared-key template dies
+    /// with it — the handles in [`Machine::templates`] point at launch
+    /// contexts the reset just destroyed, so keeping them would hand out
+    /// dead handles. The next template-mode boot re-measures from scratch
+    /// and must reproduce the identical launch digest.
+    pub fn reset_psp(&mut self) -> PspWork {
+        self.templates.clear();
+        self.psp.firmware_reset()
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +94,42 @@ mod tests {
         let a = Machine::new(1);
         let b = Machine::new(2);
         assert_ne!(a.psp.chip().chip_id, b.psp.chip().chip_id);
+    }
+
+    #[test]
+    fn reset_invalidates_templates_and_refill_reproduces_digest() {
+        use crate::config::{BootPolicy, LaunchMode, VmConfig};
+        use crate::vmm::MicroVm;
+
+        let mut m = Machine::new(7);
+        let mut config = VmConfig::test_tiny(BootPolicy::Severifast);
+        config.launch_mode = LaunchMode::SharedKeyTemplate;
+        let vm = MicroVm::new(config).unwrap();
+        vm.register_expected(&mut m).unwrap();
+
+        // Fill the template, then take the cheap shared-key path once.
+        let fill = vm.boot(&mut m).unwrap();
+        let hit = vm.boot(&mut m).unwrap();
+        assert!(hit.psp_busy < fill.psp_busy);
+
+        // Firmware reset: the cached template is gone with the PSP state.
+        let epoch = m.psp.firmware_epoch();
+        m.reset_psp();
+        assert_eq!(m.psp.firmware_epoch(), epoch + 1);
+        assert!(m.templates.is_empty());
+
+        // The next boot re-measures from scratch: full fill-grade PSP work
+        // again, and the launch digest is bit-identical to the pre-reset one
+        // (§6.2: the measurement depends only on content, not on which
+        // firmware epoch measured it).
+        let refill = vm.boot(&mut m).unwrap();
+        assert_eq!(refill.measurement, fill.measurement);
+        assert!(
+            refill.psp_busy > hit.psp_busy.scale(5),
+            "refill {} should pay fill-grade PSP work, not hit-grade {}",
+            refill.psp_busy,
+            hit.psp_busy
+        );
+        assert_eq!(m.templates.len(), 1);
     }
 }

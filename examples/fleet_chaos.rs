@@ -1,0 +1,118 @@
+//! Fleet chaos: fault injection, retries, and graceful degradation.
+//!
+//! ```text
+//! cargo run --release --example fleet_chaos            # paper-scale sweep
+//! cargo run --release --example fleet_chaos -- --quick
+//! cargo run --release --example fleet_chaos -- --quick --json
+//! ```
+//!
+//! Serves the same seeded launch stream three times per offered load: once
+//! fault-free, then twice under an identical seeded fault storm — PSP
+//! firmware resets (which kill every in-flight launch *and* the shared-key
+//! template cache, forcing each class to re-measure, §6.2's trust caveat
+//! under failure), transient launch-command failures, warm-guest crashes,
+//! and attestation round trips that hang or error. The **naive** arm has no
+//! recovery: every fault permanently fails its request and dispatches keep
+//! feeding the dead PSP through outages. The **resilient** arm retries with
+//! seeded exponential backoff, sheds on deadline, degrades tripped classes
+//! down the tier ladder (warm → template → cold), and quiesces PSP work
+//! across reset outages.
+//!
+//! `--json` prints the full result as deterministic JSON: two runs with the
+//! same flags emit byte-identical output (the CI replay gate diffs them).
+
+use sevf_fleet::chaos::{chaos_sweep, ChaosConfig, ChaosReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let cfg = if quick {
+        ChaosConfig::quick()
+    } else {
+        ChaosConfig::paper_chaos()
+    };
+    let report = chaos_sweep(&cfg).expect("chaos sweep");
+
+    if json {
+        println!("{}", render_json(&report));
+        return;
+    }
+
+    println!("serving a launch stream while the substrate misbehaves\n");
+    println!(
+        "storm (seed {:#x}): {} PSP firmware resets and {} warm-guest crashes",
+        cfg.seed, report.planned_resets, report.planned_crashes
+    );
+    println!("planned over the longest run, plus per-command transient and");
+    println!("attestation faults. Both faulted arms replay the exact same plan.\n");
+    println!(
+        "{:<11} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:>8} {:>9} {:>9}",
+        "arm", "req/s", "done", "fail", "t/o", "shed", "retry", "goodput", "p50(ms)", "p99(ms)"
+    );
+    let mut last_load = None;
+    for row in &report.rows {
+        if last_load.is_some() && last_load != Some(row.offered_rps) {
+            println!();
+        }
+        last_load = Some(row.offered_rps);
+        println!(
+            "{:<11} {:>7.0} {:>6} {:>6} {:>6} {:>6} {:>7} {:>8.1} {:>9.1} {:>9.1}",
+            row.arm.name(),
+            row.offered_rps,
+            row.completed,
+            row.failed,
+            row.timeouts,
+            row.shed + row.breaker_sheds,
+            row.retries,
+            row.goodput_rps,
+            row.p50_ms,
+            row.p99_ms
+        );
+    }
+
+    println!();
+    println!("takeaway: with no recovery, every PSP reset burns the in-flight");
+    println!("launches and the template cache, and every transient is a dead");
+    println!("request — goodput collapses. Bounded retries with backoff, deadline");
+    println!("sheds, breaker-driven tier degradation, and quiescing the PSP across");
+    println!("outages hold goodput through the same storm; the bill is the p99,");
+    println!("which absorbs the backoff and re-measurement work.");
+}
+
+/// Hand-rolled JSON (the root package deliberately has no serialization
+/// dependency). Field order is fixed and floats print with full precision,
+/// so equal reports render byte-identically.
+fn render_json(report: &ChaosReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"planned_resets\": {},\n  \"planned_crashes\": {},\n  \"rows\": [\n",
+        report.planned_resets, report.planned_crashes
+    ));
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"offered_rps\": {}, \"completed\": {}, \
+             \"goodput_rps\": {}, \"shed\": {}, \"breaker_sheds\": {}, \
+             \"timeouts\": {}, \"failed\": {}, \"retries\": {}, \"faults\": {}, \
+             \"degraded_dispatches\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"time_degraded_ms\": {}}}{}\n",
+            r.arm.name(),
+            r.offered_rps,
+            r.completed,
+            r.goodput_rps,
+            r.shed,
+            r.breaker_sheds,
+            r.timeouts,
+            r.failed,
+            r.retries,
+            r.faults,
+            r.degraded_dispatches,
+            r.p50_ms,
+            r.p99_ms,
+            r.time_degraded_ms,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
