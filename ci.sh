@@ -28,6 +28,12 @@ cargo run --release --quiet --example fleet_chaos -- --quick --json > /tmp/ci_ch
 diff /tmp/ci_chaos_a.json /tmp/ci_chaos_b.json
 rm -f /tmp/ci_chaos_a.json /tmp/ci_chaos_b.json
 
+echo "==> deterministic replay: cluster_scaling --quick --json twice, byte-diffed"
+cargo run --release --quiet --example cluster_scaling -- --quick --json > /tmp/ci_cluster_a.json
+cargo run --release --quiet --example cluster_scaling -- --quick --json > /tmp/ci_cluster_b.json
+diff /tmp/ci_cluster_a.json /tmp/ci_cluster_b.json
+rm -f /tmp/ci_cluster_a.json /tmp/ci_cluster_b.json
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -1,18 +1,60 @@
 //! Regenerates every table and figure of the SEVeriFast paper.
 //!
 //! ```text
+//! cargo run --release -p sevf-bench --bin figures -- --list
 //! cargo run --release -p sevf-bench --bin figures -- --all
 //! cargo run --release -p sevf-bench --bin figures -- --fig 9 --scale quick
-//! cargo run --release -p sevf-bench --bin figures -- --table fleet
+//! cargo run --release -p sevf-bench --bin figures -- --table cluster
 //! cargo run --release -p sevf-bench --bin figures -- --all --out data/
 //! ```
 
 use severifast::experiments::{self as exp, ExperimentScale};
 use severifast::BootPolicy;
 use sevf_bench::{fmt_ms, mib, render_table, write_dumps, FigureDump, Json};
+use sevf_cluster::experiment as cluster_exp;
 use sevf_fleet::chaos as fleet_chaos;
 use sevf_fleet::experiment as fleet_exp;
 use sevf_sim::stats::cdf;
+
+/// Every figure/table id with a one-line description. This registry is the
+/// single source of truth: it drives `--list`, the `--all` ordering, and
+/// dispatch, so ids can never drift out of the usage text again.
+const FIGURES: &[(&str, &str)] = &[
+    ("3", "OVMF SEV-SNP boot phase breakdown"),
+    ("4", "pre-encryption time vs component size"),
+    ("5", "measured direct boot step costs per codec"),
+    ("7", "pre-encrypt or generate boot structures"),
+    ("8", "guest kernel configurations"),
+    ("9", "end-to-end boot CDFs including attestation"),
+    (
+        "10",
+        "pre-encryption and firmware/boot verification breakdown",
+    ),
+    ("11", "stock Firecracker vs SEVeriFast boot breakdown"),
+    ("12", "concurrent launches against the PSP bottleneck"),
+    ("mem", "memory footprint of SEV support (§6.3)"),
+    (
+        "warm",
+        "warm start: keep-alive rent and the dedup wall (§7.1)",
+    ),
+    (
+        "fw12",
+        "Fig. 12 with shared-key template launches (§6.2 future work)",
+    ),
+    (
+        "fleet",
+        "single-host serving: cold vs template vs warm pool",
+    ),
+    ("chaos", "fleet availability under a seeded fault storm"),
+    (
+        "cluster",
+        "multi-host scale-out, placement policies, and an outage drill",
+    ),
+    (
+        "headline",
+        "cold-start reduction over the QEMU/OVMF baseline",
+    ),
+];
 
 struct Args {
     figures: Vec<String>,
@@ -20,11 +62,18 @@ struct Args {
     out: Option<std::path::PathBuf>,
 }
 
-const USAGE: &str = "usage: figures [--all] [--fig <3|4|5|7|8|9|10|11|12|mem|warm|fw12|fleet|chaos|headline>]...\n       [--scale quick|full] [--out <dir>]";
+const USAGE: &str = "usage: figures [--all] [--list] [--fig <id>]... [--table <id>]...\n       [--scale quick|full] [--out <dir>]\nids: see --list";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}\n{USAGE}");
     std::process::exit(2);
+}
+
+fn print_list() {
+    let width = FIGURES.iter().map(|(id, _)| id.len()).max().unwrap_or(0);
+    for (id, description) in FIGURES {
+        println!("{id:width$}  {description}");
+    }
 }
 
 fn parse_args() -> Args {
@@ -34,14 +83,12 @@ fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--list" => {
+                print_list();
+                std::process::exit(0);
+            }
             "--all" => {
-                figures = [
-                    "3", "4", "5", "7", "8", "9", "10", "11", "12", "mem", "warm", "fw12", "fleet",
-                    "chaos", "headline",
-                ]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+                figures = FIGURES.iter().map(|(id, _)| id.to_string()).collect();
             }
             "--fig" | "--table" => match args.next() {
                 Some(fig) => figures.push(fig),
@@ -91,8 +138,9 @@ fn main() {
             "fw12" => fw12(&args.scale),
             "fleet" => fleet_table(),
             "chaos" => chaos_table(&args.scale),
+            "cluster" => cluster_table(&args.scale),
             "headline" => headline(&args.scale),
-            other => usage_error(&format!("unknown figure '{other}'")),
+            other => usage_error(&format!("unknown figure '{other}' (see --list)")),
         };
         dumps.push(dump);
     }
@@ -743,6 +791,100 @@ fn chaos_table(scale: &ExperimentScale) -> FigureDump {
                                 ("p50_ms", Json::from(r.p50_ms)),
                                 ("p99_ms", Json::from(r.p99_ms)),
                                 ("time_degraded_ms", Json::from(r.time_degraded_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn cluster_table(scale: &ExperimentScale) -> FigureDump {
+    let cfg = if scale.kernel_div > 1 {
+        cluster_exp::ClusterSweepConfig::quick()
+    } else {
+        cluster_exp::ClusterSweepConfig::paper_cluster()
+    };
+    let report = cluster_exp::cluster_sweep(&cfg).expect("cluster sweep");
+    for row in &report.rows {
+        assert!(
+            row.conserved,
+            "cluster conservation broke in {}/{}",
+            row.arm, row.label
+        );
+    }
+    println!("\n=== Cluster: sharded serving with PSP-aware placement ===");
+    println!(
+        "(each host's PSP caps cold SEV at ≈{:.0} req/s — the ceiling shards, it",
+        report.cold_ceiling_rps
+    );
+    println!(" never pools; template/warm tiers scale out, affinity placement");
+    println!(" measures each template once cluster-wide, goodput holds through a");
+    println!(" mid-stream host outage)\n");
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.into(),
+                r.label.clone(),
+                r.hosts.to_string(),
+                format!("{:.0}", r.offered_rps),
+                r.completed.to_string(),
+                format!("{:.1}", r.goodput_rps),
+                format!("{:.1}", r.per_host_goodput),
+                format!("{:.0}%", r.cache_hit_rate * 100.0),
+                r.failovers.to_string(),
+                format!("{:.2}", r.psp_skew),
+                fmt_ms(r.p50_ms),
+                fmt_ms(r.p99_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "arm", "cell", "hosts", "req/s", "done", "goodput", "per-host", "hit", "failover",
+                "skew", "p50 ms", "p99 ms"
+            ],
+            &table
+        )
+    );
+    FigureDump {
+        id: "cluster".into(),
+        caption: "Scale-out, placement policies, and outage failover across hosts".into(),
+        data: Json::obj([
+            ("cold_ceiling_rps", Json::from(report.cold_ceiling_rps)),
+            (
+                "rows",
+                Json::Arr(
+                    report
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("arm", Json::from(r.arm)),
+                                ("label", Json::from(r.label.clone())),
+                                ("hosts", Json::from(r.hosts)),
+                                ("offered_rps", Json::from(r.offered_rps)),
+                                ("completed", Json::from(r.completed)),
+                                ("goodput_rps", Json::from(r.goodput_rps)),
+                                ("per_host_goodput", Json::from(r.per_host_goodput)),
+                                ("shed", Json::from(r.shed)),
+                                ("unroutable", Json::from(r.unroutable)),
+                                ("timeouts", Json::from(r.timeouts)),
+                                ("failed", Json::from(r.failed)),
+                                ("retries", Json::from(r.retries)),
+                                ("failovers", Json::from(r.failovers)),
+                                ("rebalances", Json::from(r.rebalances)),
+                                ("faults", Json::from(r.faults)),
+                                ("cache_hit_rate", Json::from(r.cache_hit_rate)),
+                                ("cache_misses", Json::from(r.cache_misses)),
+                                ("psp_skew", Json::from(r.psp_skew)),
+                                ("p50_ms", Json::from(r.p50_ms)),
+                                ("p99_ms", Json::from(r.p99_ms)),
                             ])
                         })
                         .collect(),

@@ -1,0 +1,83 @@
+//! One cluster host: an independent PSP fault domain with its own serving
+//! state.
+//!
+//! Every host owns what a single-host fleet owns — a PSP resource
+//! (capacity 1, the Fig. 12 bottleneck), a CPU pool, a bounded admission
+//! queue, a §6.2 template cache, a §7.1 warm pool, per-class circuit
+//! breakers, and a [`FaultPlan`] derived for its fault domain — plus the
+//! bookkeeping the router needs (outstanding expected PSP work) and the
+//! bookkeeping whole-host outages need (every in-flight engine job on the
+//! machine, so all of it can be poisoned at once).
+
+use std::collections::BTreeSet;
+
+use sevf_fleet::admission::BoundedQueue;
+use sevf_fleet::blueprint::LaunchCache;
+use sevf_fleet::metrics::FleetMetrics;
+use sevf_fleet::pool::WarmPool;
+use sevf_fleet::recovery::CircuitBreaker;
+use sevf_sim::fault::FaultPlan;
+use sevf_sim::{Nanos, ResourceId};
+
+/// Serving state of one host on the shared DES clock.
+#[derive(Debug)]
+pub struct Host {
+    /// Host id (index into the cluster's host table).
+    pub id: usize,
+    /// The host's PSP resource (capacity 1).
+    pub psp: ResourceId,
+    /// The host's CPU pool.
+    pub cpu: ResourceId,
+    /// Whether the host is inside a whole-host outage window.
+    pub out: bool,
+    /// Whether the host has gracefully left the cluster.
+    pub departed: bool,
+    /// Bounded admission queue.
+    pub queue: BoundedQueue,
+    /// §7.1 warm pool.
+    pub pool: WarmPool,
+    /// §6.2 content-addressed template cache. Dies with the host: an outage
+    /// forces every class to re-measure wherever it lands next.
+    pub cache: LaunchCache,
+    /// Per-class circuit breakers (resilient recovery only).
+    pub breakers: Option<Vec<CircuitBreaker>>,
+    /// This host's fault domain, derived from the cluster seed.
+    pub plan: Option<FaultPlan>,
+    /// Engine job ids of in-flight work holding this host's PSP.
+    pub psp_inflight: BTreeSet<usize>,
+    /// Engine job ids of *all* in-flight launches/refills on this host.
+    pub host_inflight: BTreeSet<usize>,
+    /// Deterministic per-host token stream for stateless fault draws.
+    pub launch_seq: u64,
+    /// Launches currently dispatched (admission slot accounting).
+    pub inflight: usize,
+    /// Expected serialized PSP work admitted but not yet completed (queued
+    /// plus in flight) — the backlog signal JSQ placement samples.
+    pub committed_psp: Nanos,
+    /// Per-host metrics, rolled up cluster-wide at the end of the run.
+    pub metrics: FleetMetrics,
+}
+
+impl Host {
+    /// Whether the router may send this host traffic.
+    pub fn available(&self) -> bool {
+        !self.out && !self.departed
+    }
+
+    /// Whether this host's PSP is inside a firmware-reset outage at `now`.
+    pub fn in_psp_outage(&self, now: Nanos) -> bool {
+        self.plan.as_ref().and_then(|p| p.in_outage(now)).is_some()
+    }
+
+    /// Current degradation level of `class` at `now` (0 without breakers),
+    /// applying time-based healing first.
+    pub fn degrade_level(&mut self, class: usize, now: Nanos) -> usize {
+        match &mut self.breakers {
+            Some(breakers) => {
+                breakers[class].heal(now);
+                breakers[class].level()
+            }
+            None => 0,
+        }
+    }
+}

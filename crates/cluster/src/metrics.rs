@@ -1,0 +1,238 @@
+//! Cluster-level metric rollups over the per-host [`FleetMetrics`].
+//!
+//! Each host keeps its own counters and latency samples during the run; at
+//! the end they are merged into one [`ClusterMetrics`]: aggregate goodput,
+//! cluster-wide p50/p99 over the merged latency samples (computed with
+//! [`sevf_sim::stats::percentile`] — the tree's single percentile
+//! implementation), per-host PSP utilization skew, the cluster cache
+//! hit-rate, and the conservation invariant every run must satisfy:
+//!
+//! ```text
+//! completed + shed + breaker_sheds + timeouts + failed == issued
+//! ```
+
+use sevf_fleet::metrics::FleetMetrics;
+use sevf_sim::stats::percentile;
+use sevf_sim::Nanos;
+
+/// Per-host slice of the rollup, for skew tables and debugging.
+#[derive(Debug, Clone)]
+pub struct HostRollup {
+    /// Host id.
+    pub host: usize,
+    /// Requests this host served to completion.
+    pub completed: usize,
+    /// Requests this host's admission queue shed.
+    pub shed: u64,
+    /// Template-cache hits on this host.
+    pub cache_hits: u64,
+    /// Template-cache misses (fills / re-measurements) on this host.
+    pub cache_misses: u64,
+    /// Warm-pool hits on this host.
+    pub warm_hits: u64,
+    /// This host's PSP busy fraction over the cluster makespan.
+    pub psp_utilization: f64,
+    /// Injected-fault occurrences recorded on this host.
+    pub faults: u64,
+}
+
+/// The cluster-wide rollup of one run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// Requests issued to the cluster.
+    pub issued: usize,
+    /// Requests served to completion (any host).
+    pub completed: usize,
+    /// Requests shed: per-host admission-queue sheds plus arrivals that
+    /// found no live host at all ([`ClusterMetrics::unroutable`]).
+    pub shed: u64,
+    /// Of the sheds, arrivals the router could not place anywhere.
+    pub unroutable: u64,
+    /// Requests shed past the bottom of a host's degradation ladder.
+    pub breaker_sheds: u64,
+    /// Requests shed on deadline.
+    pub timeouts: u64,
+    /// Requests permanently failed after exhausting retries.
+    pub failed: u64,
+    /// Retry launches dispatched cluster-wide.
+    pub retries: u64,
+    /// Requests displaced off a dead or departing host and re-routed
+    /// (queued requests re-placed at the membership change, in-flight
+    /// requests whose launch the outage poisoned).
+    pub failovers: u64,
+    /// Warm-pool rebalance passes triggered by membership changes.
+    pub rebalances: u64,
+    /// Injected-fault occurrences across all hosts.
+    pub faults: u64,
+    /// Merged request latencies (ms), in completion order per host.
+    pub latencies_ms: Vec<f64>,
+    /// End of the last completion on the shared clock.
+    pub makespan: Nanos,
+    /// Per-host slices.
+    pub hosts: Vec<HostRollup>,
+}
+
+impl ClusterMetrics {
+    /// Folds one host's metrics into the rollup.
+    pub fn absorb_host(&mut self, host: usize, m: &FleetMetrics, psp_utilization: f64) {
+        self.completed += m.completed;
+        self.shed += m.shed;
+        self.breaker_sheds += m.breaker_sheds;
+        self.timeouts += m.timeouts;
+        self.failed += m.failed;
+        self.retries += m.retries;
+        self.faults += m.faults.total();
+        self.latencies_ms
+            .extend(m.latencies.iter().map(|n| n.as_millis_f64()));
+        self.hosts.push(HostRollup {
+            host,
+            completed: m.completed,
+            shed: m.shed,
+            cache_hits: m.cache_hits,
+            cache_misses: m.cache_misses,
+            warm_hits: m.warm_hits,
+            psp_utilization,
+            faults: m.faults.total(),
+        });
+    }
+
+    /// Completed requests per second of makespan, summed over hosts.
+    pub fn goodput_rps(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Cluster-wide median latency (ms); 0 with no completions.
+    pub fn p50_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            0.0
+        } else {
+            percentile(&self.latencies_ms, 50.0)
+        }
+    }
+
+    /// Cluster-wide 99th-percentile latency (ms); 0 with no completions.
+    pub fn p99_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            0.0
+        } else {
+            percentile(&self.latencies_ms, 99.0)
+        }
+    }
+
+    /// Cluster template-cache hit rate in `[0, 1]`; 0 with no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.hosts.iter().map(|h| h.cache_hits).sum();
+        let misses: u64 = self.hosts.iter().map(|h| h.cache_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Template fills (= measurements) across all hosts. Under affinity
+    /// placement this exceeding the class count is re-measurement: a class
+    /// measured again on a new owner host after a membership change (§6.2
+    /// across machines).
+    pub fn cache_misses(&self) -> u64 {
+        self.hosts.iter().map(|h| h.cache_misses).sum()
+    }
+
+    /// Spread between the busiest and idlest PSP (absolute utilization
+    /// difference); 0 for a single host.
+    pub fn psp_skew(&self) -> f64 {
+        let max = self
+            .hosts
+            .iter()
+            .map(|h| h.psp_utilization)
+            .fold(0.0, f64::max);
+        let min = self
+            .hosts
+            .iter()
+            .map(|h| h.psp_utilization)
+            .fold(f64::INFINITY, f64::min);
+        if self.hosts.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// Requests that left the system without completing.
+    pub fn lost(&self) -> u64 {
+        self.shed + self.breaker_sheds + self.timeouts + self.failed
+    }
+
+    /// The cluster conservation invariant: every issued request reaches
+    /// exactly one terminal state.
+    pub fn conserved(&self) -> bool {
+        self.completed as u64 + self.lost() == self.issued as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rollup_with(latencies_ms: &[f64]) -> ClusterMetrics {
+        ClusterMetrics {
+            issued: latencies_ms.len(),
+            completed: latencies_ms.len(),
+            latencies_ms: latencies_ms.to_vec(),
+            makespan: Nanos::from_secs(2),
+            ..ClusterMetrics::default()
+        }
+    }
+
+    #[test]
+    fn percentiles_come_from_the_shared_implementation() {
+        let m = rollup_with(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.p50_ms(), percentile(&[1.0, 2.0, 3.0, 4.0], 50.0));
+        assert_eq!(m.p99_ms(), percentile(&[1.0, 2.0, 3.0, 4.0], 99.0));
+        assert_eq!(m.goodput_rps(), 2.0);
+    }
+
+    #[test]
+    fn empty_rollup_reports_zeros() {
+        let m = ClusterMetrics::default();
+        assert_eq!(m.p50_ms(), 0.0);
+        assert_eq!(m.p99_ms(), 0.0);
+        assert_eq!(m.goodput_rps(), 0.0);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        assert_eq!(m.psp_skew(), 0.0);
+        assert!(m.conserved());
+    }
+
+    #[test]
+    fn absorb_host_merges_counters_and_skew() {
+        let mut m = ClusterMetrics::default();
+        let mut a = FleetMetrics {
+            completed: 3,
+            shed: 1,
+            cache_hits: 4,
+            cache_misses: 2,
+            ..FleetMetrics::default()
+        };
+        a.latencies.push(Nanos::from_millis(10));
+        let b = FleetMetrics {
+            completed: 2,
+            timeouts: 1,
+            ..FleetMetrics::default()
+        };
+        m.absorb_host(0, &a, 0.9);
+        m.absorb_host(1, &b, 0.3);
+        m.issued = 7;
+        assert_eq!(m.completed, 5);
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.timeouts, 1);
+        assert_eq!(m.latencies_ms.len(), 1);
+        assert!((m.psp_skew() - 0.6).abs() < 1e-12);
+        assert!((m.cache_hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+        assert!(m.conserved());
+    }
+}

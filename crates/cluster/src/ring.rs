@@ -1,0 +1,188 @@
+//! A seeded consistent-hash ring for template-affinity placement.
+//!
+//! Each host contributes `vnodes` virtual points on a 64-bit ring; a
+//! template key hashes to a point and is owned by the first host point at or
+//! after it (wrapping). Virtual nodes smooth the load: with enough of them,
+//! every host owns a near-equal arc of the key space, and adding or removing
+//! one host only remaps the keys on the arcs it gains or loses — every other
+//! key keeps its owner. That minimal-remap property is exactly what §6.2
+//! template reuse wants from placement: a membership change forces
+//! re-measurement only for the classes whose owner actually changed.
+//!
+//! Point positions are a pure function of `(seed, host, replica)`, so two
+//! rings built with the same seed agree on every owner regardless of
+//! insertion order — placement is replayable across runs and across
+//! processes.
+
+use std::collections::BTreeSet;
+
+use sevf_psp::TemplateKey;
+
+/// splitmix64 finalizer: the ring's only source of dispersion.
+fn mix64(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Ring position of virtual point `replica` of `host` under `seed`.
+fn point(seed: u64, host: usize, replica: usize) -> u64 {
+    mix64(mix64(seed ^ (host as u64).wrapping_mul(0xA24B_AED4_963E_E407)) ^ replica as u64)
+}
+
+/// Ring position of a template key under `seed`: the 48 measurement bytes
+/// folded through the finalizer in 8-byte words.
+fn key_point(seed: u64, key: &TemplateKey) -> u64 {
+    let bytes = key.as_bytes();
+    let mut acc = mix64(seed ^ 0x7E3B_1A5C_9D2F_4E61);
+    for chunk in bytes.chunks_exact(8) {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        acc = mix64(acc ^ word);
+    }
+    acc
+}
+
+/// The consistent-hash ring: seeded, deterministic, minimal-remap.
+///
+/// # Example
+///
+/// ```
+/// use sevf_cluster::ring::HashRing;
+/// use sevf_psp::TemplateKey;
+///
+/// let mut ring = HashRing::new(7, 64);
+/// ring.insert(0);
+/// ring.insert(1);
+/// let key = TemplateKey::from_measurement([42u8; 48]);
+/// let owner = ring.owner(&key).unwrap();
+/// assert!(owner < 2);
+/// // Removing the other host never remaps this key.
+/// ring.remove(1 - owner);
+/// assert_eq!(ring.owner(&key), Some(owner));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: usize,
+    /// Sorted `(position, host)` points; ties break toward the lower host id
+    /// so the owner is insertion-order independent.
+    points: Vec<(u64, usize)>,
+    hosts: BTreeSet<usize>,
+}
+
+impl HashRing {
+    /// An empty ring. `vnodes` is the virtual points each host contributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero (a host with no points owns nothing).
+    pub fn new(seed: u64, vnodes: usize) -> Self {
+        assert!(vnodes > 0, "a host needs at least one virtual node");
+        HashRing {
+            seed,
+            vnodes,
+            points: Vec::new(),
+            hosts: BTreeSet::new(),
+        }
+    }
+
+    /// Adds `host`'s virtual points. Returns `false` if it was already in.
+    pub fn insert(&mut self, host: usize) -> bool {
+        if !self.hosts.insert(host) {
+            return false;
+        }
+        for replica in 0..self.vnodes {
+            let p = (point(self.seed, host, replica), host);
+            let idx = self.points.partition_point(|q| *q < p);
+            self.points.insert(idx, p);
+        }
+        true
+    }
+
+    /// Removes `host`'s virtual points. Returns `false` if it was not in.
+    pub fn remove(&mut self, host: usize) -> bool {
+        if !self.hosts.remove(&host) {
+            return false;
+        }
+        self.points.retain(|&(_, h)| h != host);
+        true
+    }
+
+    /// Whether `host` is currently on the ring.
+    pub fn contains(&self, host: usize) -> bool {
+        self.hosts.contains(&host)
+    }
+
+    /// Hosts currently on the ring.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the ring has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// The host owning `key`, or `None` on an empty ring.
+    pub fn owner(&self, key: &TemplateKey) -> Option<usize> {
+        self.owner_of_point(key_point(self.seed, key))
+    }
+
+    /// The host owning raw ring position `h` (first point at or after it,
+    /// wrapping to the lowest point).
+    fn owner_of_point(&self, h: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, host) = self.points[idx % self.points.len()];
+        Some(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> TemplateKey {
+        let mut m = [0u8; 48];
+        m[..8].copy_from_slice(&i.to_le_bytes());
+        m[8] = 0xA5;
+        TemplateKey::from_measurement(m)
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(1, 8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(&key(0)), None);
+    }
+
+    #[test]
+    fn insert_and_remove_are_idempotent() {
+        let mut ring = HashRing::new(1, 8);
+        assert!(ring.insert(3));
+        assert!(!ring.insert(3));
+        assert_eq!(ring.len(), 1);
+        assert!(ring.contains(3));
+        assert!(ring.remove(3));
+        assert!(!ring.remove(3));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn single_host_owns_everything() {
+        let mut ring = HashRing::new(9, 4);
+        ring.insert(5);
+        for i in 0..100 {
+            assert_eq!(ring.owner(&key(i)), Some(5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual node")]
+    fn zero_vnodes_panics() {
+        let _ = HashRing::new(0, 0);
+    }
+}

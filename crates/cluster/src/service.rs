@@ -1,0 +1,1073 @@
+//! The cluster control plane: N hosts, one router, one virtual clock.
+//!
+//! [`ClusterService`] generalizes the single-host fleet to a sharded
+//! deployment: every host owns an independent PSP (capacity 1 — the Fig. 12
+//! bottleneck does not pool across machines), CPU pool, bounded admission
+//! queue, §6.2 template cache, §7.1 warm pool, and a [`FaultPlan`] fault
+//! domain derived from the cluster seed via
+//! [`FaultPlan::generate_for_domain`]. In front of them a [`Router`] places
+//! each arrival by [`PlacementPolicy`]; per-host serving then reuses the
+//! fleet machinery — the same admission control, degradation ladder, warm
+//! pools, and the shared [`sevf_fleet::apply_launch_faults`] hook, so one
+//! host of a cluster misbehaves exactly like the single-host fleet does.
+//!
+//! What is genuinely cluster-shaped:
+//!
+//! * **Whole-host outages** — scheduled ([`ClusterConfig::outages`]) or
+//!   drawn from each host's fault domain
+//!   ([`sevf_sim::fault::FaultConfig::host_outage_period`]). The host's
+//!   in-flight launches are poisoned ([`FaultKind::HostOutage`]), its warm
+//!   pool crashes, its template cache dies, and its queued requests **fail
+//!   over**: they re-enter the router and land on surviving hosts. Under
+//!   template-affinity placement the dead host's classes get a new ring
+//!   owner, which must re-measure them — the §6.2 trust argument exercised
+//!   *across machines*.
+//! * **Membership** — hosts can gracefully leave and rejoin
+//!   ([`ClusterConfig::events`]); departures drain their queue through the
+//!   router without poisoning in-flight work.
+//! * **Warm rebalancing** — on any membership change (outage, recovery,
+//!   leave, join) the cluster-wide warm budget is re-spread over the live
+//!   hosts ([`ClusterConfig::rebalance`]). SEV guests are keyed to their
+//!   host's PSP and cannot migrate, so rebalancing re-provisions slots via
+//!   template launches on the new hosts rather than moving guests.
+//!
+//! Everything is a pure function of `(catalog, config)`: same seed, same
+//! byte-identical report.
+
+use std::collections::BTreeSet;
+
+use sevf_fleet::admission::{Pending, SchedPolicy};
+use sevf_fleet::blueprint::{Blueprint, Catalog, LaunchCache};
+use sevf_fleet::metrics::FleetMetrics;
+use sevf_fleet::pool::WarmPool;
+use sevf_fleet::recovery::{CircuitBreaker, RecoveryConfig};
+use sevf_fleet::service::{apply_launch_faults, ServingTier};
+use sevf_fleet::workload::{open_arrivals, Arrival, RequestMix};
+use sevf_fleet::{AdmissionConfig, BoundedQueue};
+use sevf_psp::TemplateKey;
+use sevf_sim::fault::{FaultConfig, FaultKind, FaultPlan};
+use sevf_sim::rng::XorShift64;
+use sevf_sim::{DesEngine, Job, JobOutcome, Nanos, RunTrace};
+use sevf_vmm::machine::HOST_CORES;
+
+use crate::host::Host;
+use crate::metrics::ClusterMetrics;
+use crate::placement::{PlacementPolicy, Router};
+use crate::ClusterError;
+
+/// A scheduled whole-host outage (deterministic drills; random per-domain
+/// outages come from the fault config instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostOutage {
+    /// Host that dies.
+    pub host: usize,
+    /// Instant the host drops off the cluster.
+    pub start: Nanos,
+    /// Instant the host is back (empty cache, empty pool).
+    pub end: Nanos,
+}
+
+/// What a scheduled membership event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostEventKind {
+    /// Graceful departure: queue drains through the router, in-flight work
+    /// finishes, no poisoning.
+    Leave,
+    /// (Re)join: the host becomes routable again.
+    Join,
+}
+
+/// One scheduled membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostEvent {
+    /// When it happens on the virtual clock.
+    pub at: Nanos,
+    /// Which host.
+    pub host: usize,
+    /// Leave or join.
+    pub kind: HostEventKind,
+}
+
+/// Configuration of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of hosts (fault domains / PSPs).
+    pub hosts: usize,
+    /// Serving tier every host runs at.
+    pub tier: ServingTier,
+    /// Arrival process offered to the whole cluster.
+    pub arrival: Arrival,
+    /// Request mix over catalog classes; `None` = uniform.
+    pub mix: Option<RequestMix>,
+    /// Total requests to serve.
+    pub requests: usize,
+    /// Seed for arrivals, class sampling, placement sampling, and the
+    /// per-host fault domains.
+    pub seed: u64,
+    /// Per-host admission-controller knobs.
+    pub admission: AdmissionConfig,
+    /// Warm-pool target per class *per host*; the cluster-wide warm budget
+    /// is `warm_target * hosts` and is what rebalancing re-spreads.
+    pub warm_target: usize,
+    /// Placement policy of the router.
+    pub placement: PlacementPolicy,
+    /// Virtual nodes per host on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Per-host fault model; each host replays its own domain-derived plan.
+    pub fault: Option<FaultConfig>,
+    /// Horizon the per-host fault schedules cover.
+    pub fault_horizon: Nanos,
+    /// Scheduled whole-host outages (on top of any fault-domain outages).
+    pub outages: Vec<HostOutage>,
+    /// Scheduled graceful membership changes.
+    pub events: Vec<HostEvent>,
+    /// Re-spread the warm budget over live hosts on membership changes.
+    pub rebalance: bool,
+    /// How requests recover from failures (shared by all hosts).
+    pub recovery: RecoveryConfig,
+}
+
+impl ClusterConfig {
+    /// An open-loop cluster at `rate_per_sec` aggregate offered load.
+    pub fn open_loop(hosts: usize, tier: ServingTier, rate_per_sec: f64, requests: usize) -> Self {
+        ClusterConfig {
+            hosts,
+            tier,
+            arrival: Arrival::Open { rate_per_sec },
+            mix: None,
+            requests,
+            seed: 0xC1_05_7E,
+            admission: AdmissionConfig::default(),
+            warm_target: 8,
+            placement: PlacementPolicy::JsqPsp,
+            vnodes: 64,
+            fault: None,
+            fault_horizon: Nanos::ZERO,
+            outages: Vec::new(),
+            events: Vec::new(),
+            rebalance: true,
+            recovery: RecoveryConfig::none(),
+        }
+    }
+
+    /// Checks host indices, arrival shape, vnodes, fault, and recovery
+    /// knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self, catalog_classes: usize) -> Result<(), ClusterError> {
+        if self.hosts == 0 {
+            return Err(ClusterError::Config("cluster needs at least one host"));
+        }
+        if self.vnodes == 0 {
+            return Err(ClusterError::Config("ring needs at least one virtual node"));
+        }
+        if let Some(mix) = &self.mix {
+            if mix.max_class() >= catalog_classes {
+                return Err(ClusterError::Config(
+                    "mix references a class outside the catalog",
+                ));
+            }
+        }
+        if let Arrival::Closed { users, .. } = self.arrival {
+            if users == 0 {
+                return Err(ClusterError::Config("closed loop needs at least one user"));
+            }
+        }
+        for outage in &self.outages {
+            if outage.host >= self.hosts {
+                return Err(ClusterError::Config(
+                    "scheduled outage names an unknown host",
+                ));
+            }
+            if outage.start >= outage.end {
+                return Err(ClusterError::Config(
+                    "scheduled outage must end after it starts",
+                ));
+            }
+        }
+        for event in &self.events {
+            if event.host >= self.hosts {
+                return Err(ClusterError::Config(
+                    "membership event names an unknown host",
+                ));
+            }
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate().map_err(ClusterError::FaultPlan)?;
+            if self.fault_horizon == Nanos::ZERO && !fault.is_none() {
+                return Err(ClusterError::Config(
+                    "fault config needs a positive fault_horizon",
+                ));
+            }
+        }
+        self.recovery.validate().map_err(ClusterError::Recovery)?;
+        Ok(())
+    }
+}
+
+/// Outcome of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Tier that served.
+    pub tier: ServingTier,
+    /// Placement policy that routed.
+    pub placement: PlacementPolicy,
+    /// Host count.
+    pub hosts: usize,
+    /// Aggregate offered load (open loops only).
+    pub offered_rps: Option<f64>,
+    /// The cluster-wide rollup.
+    pub metrics: ClusterMetrics,
+    /// Resource-occupancy trace (per-host PSP/CPU ids interleaved).
+    pub trace: RunTrace,
+}
+
+/// Verdict decided for a launch at dispatch; poisoning (PSP reset or host
+/// outage) can still override it at completion.
+#[derive(Debug, Clone, Copy)]
+enum LaunchFate {
+    Ok,
+    Fault(FaultKind),
+}
+
+/// What an engine job index means to the cluster control plane.
+#[derive(Debug, Clone, Copy)]
+enum JobKind {
+    /// Arrival marker for a request.
+    Arrival { request: usize },
+    /// A launch (or warm invocation) serving `request` on `host`. `psp_ns`
+    /// is the serialized PSP work this job holds on the host's backlog.
+    Launch {
+        request: usize,
+        class: usize,
+        host: usize,
+        fate: LaunchFate,
+        fill: Option<TemplateKey>,
+        psp: bool,
+        psp_ns: Nanos,
+    },
+    /// Backoff marker: completion re-enters routing (fresh placement — this
+    /// is how failed-over requests land on a surviving host).
+    Retry { request: usize },
+    /// Background warm-pool refill on `host`.
+    Replenish {
+        class: usize,
+        host: usize,
+        psp: bool,
+        psp_ns: Nanos,
+    },
+    /// `host`'s PSP firmware reset begins.
+    PspResetStart { host: usize },
+    /// `host`'s PSP firmware reset outage ends.
+    PspResetEnd { host: usize },
+    /// A warm guest on `host` crashes (`idx` indexes the host's schedule).
+    WarmCrash { host: usize, idx: usize },
+    /// `host` drops off the cluster (outage) or departs (graceful).
+    HostDown { host: usize, departure: bool },
+    /// `host` comes back from an outage or rejoins after departing.
+    HostUp { host: usize, departure: bool },
+}
+
+/// The cluster control plane.
+#[derive(Debug)]
+pub struct ClusterService {
+    catalog: Catalog,
+    config: ClusterConfig,
+}
+
+/// Mutable serving state threaded through the DES completion hook.
+struct State<'a> {
+    catalog: &'a Catalog,
+    config: &'a ClusterConfig,
+    hosts: Vec<Host>,
+    router: Router,
+    mix: RequestMix,
+    rng: XorShift64,
+    meta: Vec<JobKind>,
+    req_class: Vec<usize>,
+    arrived: Vec<Nanos>,
+    attempts: Vec<u32>,
+    /// Jobs whose host died under them; completion is a
+    /// [`FaultKind::HostOutage`] failure.
+    poisoned_host: BTreeSet<usize>,
+    /// Jobs whose host's PSP reset under them; completion is a
+    /// [`FaultKind::PspReset`] failure.
+    poisoned_reset: BTreeSet<usize>,
+    issued: usize,
+    // Cluster-level terminal counters (per-host metrics keep what is
+    // naturally host-scoped: completions, latencies, caches, faults).
+    timeouts: u64,
+    failed: u64,
+    breaker_sheds: u64,
+    retries: u64,
+    unroutable: u64,
+    failovers: u64,
+    rebalances: u64,
+}
+
+impl ClusterService {
+    /// Builds a cluster over a measured catalog (shared by all hosts: the
+    /// same class measures to the same template key everywhere, which is
+    /// what lets affinity placement pick an owner).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Config`], [`ClusterError::FaultPlan`], or
+    /// [`ClusterError::Recovery`] for invalid knobs.
+    pub fn new(catalog: Catalog, config: ClusterConfig) -> Result<Self, ClusterError> {
+        config.validate(catalog.len())?;
+        Ok(ClusterService { catalog, config })
+    }
+
+    /// Serves the configured request stream to completion.
+    pub fn run(self) -> ClusterReport {
+        let mut engine = DesEngine::new();
+        let mut hosts = Vec::with_capacity(self.config.hosts);
+        for id in 0..self.config.hosts {
+            let psp = engine.add_resource(format!("psp{id}"), 1);
+            let cpu = engine.add_resource(format!("cpus{id}"), HOST_CORES);
+            let plan = self.config.fault.as_ref().map(|f| {
+                FaultPlan::generate_for_domain(
+                    self.config.seed,
+                    id as u64,
+                    f.clone(),
+                    self.config.fault_horizon,
+                )
+                .expect("fault config validated in new()")
+            });
+            let warm = if self.config.tier == ServingTier::WarmPool {
+                self.config.warm_target
+            } else {
+                0
+            };
+            let mut cache = LaunchCache::new();
+            if self.config.tier == ServingTier::WarmPool {
+                // The pool's resident guests were launched from the
+                // templates, so each host starts with them live.
+                for (idx, class) in self.catalog.classes().iter().enumerate() {
+                    cache.prefill(class.key, idx);
+                }
+            }
+            hosts.push(Host {
+                id,
+                psp,
+                cpu,
+                out: false,
+                departed: false,
+                queue: BoundedQueue::new(self.config.admission.queue_bound),
+                pool: WarmPool::prewarmed(
+                    self.catalog.len(),
+                    warm,
+                    self.catalog
+                        .classes()
+                        .iter()
+                        .map(|c| c.resident_bytes)
+                        .collect(),
+                ),
+                cache,
+                breakers: self
+                    .config
+                    .recovery
+                    .breaker
+                    .map(|b| vec![CircuitBreaker::new(b); self.catalog.len()]),
+                plan,
+                psp_inflight: BTreeSet::new(),
+                host_inflight: BTreeSet::new(),
+                launch_seq: 0,
+                inflight: 0,
+                committed_psp: Nanos::ZERO,
+                metrics: FleetMetrics::default(),
+            });
+        }
+
+        let mut state = State {
+            catalog: &self.catalog,
+            config: &self.config,
+            hosts,
+            router: Router::new(
+                self.config.placement,
+                self.config.seed,
+                self.config.hosts,
+                self.config.vnodes,
+            ),
+            mix: self
+                .config
+                .mix
+                .clone()
+                .unwrap_or_else(|| RequestMix::uniform(self.catalog.len())),
+            rng: XorShift64::new(self.config.seed ^ 0x5EF0_F1EE7),
+            meta: Vec::new(),
+            req_class: Vec::new(),
+            arrived: Vec::new(),
+            attempts: Vec::new(),
+            poisoned_host: BTreeSet::new(),
+            poisoned_reset: BTreeSet::new(),
+            issued: 0,
+            timeouts: 0,
+            failed: 0,
+            breaker_sheds: 0,
+            retries: 0,
+            unroutable: 0,
+            failovers: 0,
+            rebalances: 0,
+        };
+
+        // Arrivals: open loops pre-draw every instant, closed loops start
+        // one marker per user and chain the rest on completions.
+        let mut seed_jobs = Vec::new();
+        match self.config.arrival {
+            Arrival::Open { rate_per_sec } => {
+                let times = open_arrivals(rate_per_sec, self.config.requests, &mut state.rng);
+                for at in times {
+                    let request = state.new_request(at);
+                    seed_jobs.push(Job::released_at(at, vec![]));
+                    state.meta.push(JobKind::Arrival { request });
+                }
+            }
+            Arrival::Closed { users, .. } => {
+                for i in 0..users.min(self.config.requests) {
+                    let at = Nanos::from_micros(i as u64);
+                    let request = state.new_request(at);
+                    seed_jobs.push(Job::released_at(at, vec![]));
+                    state.meta.push(JobKind::Arrival { request });
+                }
+            }
+        }
+
+        // Per-host fault schedules: each host's domain plan contributes its
+        // own resets, warm crashes, and whole-host outage windows.
+        for host in 0..state.hosts.len() {
+            let Some(plan) = state.hosts[host].plan.clone() else {
+                continue;
+            };
+            for window in plan.resets() {
+                seed_jobs.push(Job::released_at(window.start, vec![]));
+                state.meta.push(JobKind::PspResetStart { host });
+                seed_jobs.push(Job::released_at(window.end, vec![]));
+                state.meta.push(JobKind::PspResetEnd { host });
+            }
+            for idx in 0..plan.warm_crashes().len() {
+                seed_jobs.push(Job::released_at(plan.warm_crashes()[idx], vec![]));
+                state.meta.push(JobKind::WarmCrash { host, idx });
+            }
+            for window in plan.host_outages() {
+                seed_jobs.push(Job::released_at(window.start, vec![]));
+                state.meta.push(JobKind::HostDown {
+                    host,
+                    departure: false,
+                });
+                seed_jobs.push(Job::released_at(window.end, vec![]));
+                state.meta.push(JobKind::HostUp {
+                    host,
+                    departure: false,
+                });
+            }
+        }
+
+        // Scheduled outages and membership events.
+        for outage in &self.config.outages {
+            seed_jobs.push(Job::released_at(outage.start, vec![]));
+            state.meta.push(JobKind::HostDown {
+                host: outage.host,
+                departure: false,
+            });
+            seed_jobs.push(Job::released_at(outage.end, vec![]));
+            state.meta.push(JobKind::HostUp {
+                host: outage.host,
+                departure: false,
+            });
+        }
+        for event in &self.config.events {
+            seed_jobs.push(Job::released_at(event.at, vec![]));
+            state.meta.push(match event.kind {
+                HostEventKind::Leave => JobKind::HostDown {
+                    host: event.host,
+                    departure: true,
+                },
+                HostEventKind::Join => JobKind::HostUp {
+                    host: event.host,
+                    departure: true,
+                },
+            });
+        }
+
+        let (_, trace) = engine.run_dynamic(seed_jobs, |outcome, inject| {
+            state.on_event(outcome, inject);
+        });
+
+        let mut metrics = ClusterMetrics {
+            issued: state.issued,
+            makespan: trace.makespan(),
+            ..ClusterMetrics::default()
+        };
+        for host in &mut state.hosts {
+            host.metrics.shed = host.queue.shed();
+            host.metrics.max_queue_depth = host.queue.max_depth();
+            host.metrics.cache_hits = host.cache.hits();
+            host.metrics.cache_misses = host.cache.misses();
+            host.metrics.warm_hits = host.pool.hits();
+            host.metrics.warm_misses = host.pool.misses();
+            host.metrics.evicted = host.pool.evicted();
+            host.metrics.psp_utilization = trace.utilization(host.psp, 1);
+            host.metrics.cpu_utilization = trace.utilization(host.cpu, HOST_CORES);
+            host.metrics.makespan = trace.makespan();
+            if let Some(breakers) = &host.breakers {
+                host.metrics.breaker_trips = breakers.iter().map(|b| b.trips()).sum();
+            }
+            let util = host.metrics.psp_utilization;
+            metrics.absorb_host(host.id, &host.metrics, util);
+        }
+        metrics.shed += state.unroutable;
+        metrics.unroutable = state.unroutable;
+        metrics.timeouts += state.timeouts;
+        metrics.failed += state.failed;
+        metrics.breaker_sheds += state.breaker_sheds;
+        metrics.retries += state.retries;
+        metrics.failovers = state.failovers;
+        metrics.rebalances = state.rebalances;
+
+        ClusterReport {
+            tier: self.config.tier,
+            placement: self.config.placement,
+            hosts: self.config.hosts,
+            offered_rps: self.config.arrival.offered_rps(),
+            metrics,
+            trace,
+        }
+    }
+}
+
+impl<'a> State<'a> {
+    /// Allocates a request id, sampling its class.
+    fn new_request(&mut self, arrival_hint: Nanos) -> usize {
+        let request = self.req_class.len();
+        self.req_class.push(self.mix.sample(&mut self.rng));
+        self.arrived.push(arrival_hint);
+        self.attempts.push(0);
+        self.issued += 1;
+        request
+    }
+
+    /// Whether `request` has outlived its deadline at `now`.
+    fn past_deadline(&self, request: usize, now: Nanos) -> bool {
+        match self.config.recovery.deadline {
+            Some(d) => now > self.arrived[request] + d,
+            None => false,
+        }
+    }
+
+    /// Whether `host` is holding PSP-needing dispatches across a firmware
+    /// reset (resilient recovery quiesces; naive keeps dispatching).
+    fn quiesce_hold(&self, host: usize, now: Nanos) -> bool {
+        self.config.recovery.quiesce && self.hosts[host].in_psp_outage(now)
+    }
+
+    fn on_event(&mut self, outcome: &JobOutcome, inject: &mut Vec<Job>) {
+        match self.meta[outcome.job] {
+            JobKind::Arrival { request } => {
+                self.arrived[request] = outcome.finish;
+                self.route(request, outcome.finish, inject);
+            }
+            JobKind::Launch {
+                request,
+                class,
+                host,
+                fate,
+                fill,
+                psp,
+                psp_ns,
+            } => self.on_launch_done(
+                outcome, request, class, host, fate, fill, psp, psp_ns, inject,
+            ),
+            JobKind::Retry { request } => {
+                self.route(request, outcome.finish, inject);
+            }
+            JobKind::Replenish {
+                class,
+                host,
+                psp,
+                psp_ns,
+            } => {
+                let poisoned_host = self.poisoned_host.remove(&outcome.job);
+                let poisoned_reset = self.poisoned_reset.remove(&outcome.job);
+                let h = &mut self.hosts[host];
+                if psp {
+                    h.psp_inflight.remove(&outcome.job);
+                }
+                h.host_inflight.remove(&outcome.job);
+                h.committed_psp = h.committed_psp.saturating_sub(psp_ns);
+                if poisoned_host {
+                    h.metrics.faults.record(FaultKind::HostOutage);
+                    h.pool.refill_failed(class);
+                } else if poisoned_reset {
+                    h.metrics.faults.record(FaultKind::PspReset);
+                    h.pool.refill_failed(class);
+                } else {
+                    h.pool.refill_done(class);
+                }
+            }
+            JobKind::PspResetStart { host } => {
+                // The host's firmware reset: poison its in-flight PSP work
+                // and kill its template cache (§6.2 under failure).
+                let doomed: Vec<usize> = self.hosts[host].psp_inflight.iter().copied().collect();
+                for job in doomed {
+                    self.poisoned_reset.insert(job);
+                }
+                self.hosts[host].psp_inflight.clear();
+                self.hosts[host].cache.invalidate_all();
+            }
+            JobKind::PspResetEnd { host } => {
+                self.drain_queue(host, outcome.finish, inject);
+            }
+            JobKind::WarmCrash { host, idx } => {
+                let classes = self.catalog.len();
+                let class =
+                    ((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % classes;
+                if self.hosts[host].pool.crash(class) {
+                    self.hosts[host].metrics.faults.record(FaultKind::WarmCrash);
+                    self.start_refill(host, class, outcome.finish, inject);
+                }
+            }
+            JobKind::HostDown { host, departure } => {
+                self.on_host_down(host, departure, outcome.finish, inject);
+            }
+            JobKind::HostUp { host, departure } => {
+                self.on_host_up(host, departure, outcome.finish, inject);
+            }
+        }
+    }
+
+    /// A launch finished: settle poisoning, then success or failure.
+    #[allow(clippy::too_many_arguments)]
+    fn on_launch_done(
+        &mut self,
+        outcome: &JobOutcome,
+        request: usize,
+        class: usize,
+        host: usize,
+        fate: LaunchFate,
+        fill: Option<TemplateKey>,
+        psp: bool,
+        psp_ns: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        let poisoned_host = self.poisoned_host.remove(&outcome.job);
+        let poisoned_reset = self.poisoned_reset.remove(&outcome.job);
+        {
+            let h = &mut self.hosts[host];
+            if psp {
+                h.psp_inflight.remove(&outcome.job);
+            }
+            h.host_inflight.remove(&outcome.job);
+            h.committed_psp = h.committed_psp.saturating_sub(psp_ns);
+            h.inflight = h.inflight.saturating_sub(1);
+        }
+        let fate = if poisoned_host {
+            // The host died under this launch; the request fails over to a
+            // surviving host through the retry path.
+            self.failovers += 1;
+            LaunchFate::Fault(FaultKind::HostOutage)
+        } else if poisoned_reset {
+            LaunchFate::Fault(FaultKind::PspReset)
+        } else {
+            fate
+        };
+        match fate {
+            LaunchFate::Ok => {
+                self.hosts[host]
+                    .metrics
+                    .record_latency(outcome.finish - self.arrived[request]);
+                if let Some(breakers) = &mut self.hosts[host].breakers {
+                    breakers[class].on_success(outcome.finish);
+                }
+                self.drain_queue(host, outcome.finish, inject);
+                self.issue_next_closed(outcome.finish, inject);
+            }
+            LaunchFate::Fault(kind) => {
+                self.hosts[host].metrics.faults.record(kind);
+                if let Some(key) = fill {
+                    // The fill died before finalizing its template.
+                    self.hosts[host].cache.invalidate(&key);
+                }
+                if let Some(breakers) = &mut self.hosts[host].breakers {
+                    if breakers[class].on_failure(outcome.finish) {
+                        self.hosts[host].metrics.breaker_trips += 1;
+                    }
+                }
+                self.handle_failure(request, outcome.finish, inject);
+                self.drain_queue(host, outcome.finish, inject);
+            }
+        }
+    }
+
+    /// A host drops out. An outage poisons its in-flight work and destroys
+    /// its warm pool and template cache; a graceful departure lets in-flight
+    /// work finish. Either way its queued requests fail over through the
+    /// router, and the warm budget re-spreads over the survivors.
+    fn on_host_down(&mut self, host: usize, departure: bool, now: Nanos, inject: &mut Vec<Job>) {
+        if departure {
+            self.hosts[host].departed = true;
+        } else {
+            self.hosts[host].out = true;
+        }
+        self.router.host_left(host);
+        if !departure {
+            let doomed: Vec<usize> = self.hosts[host].host_inflight.iter().copied().collect();
+            for job in doomed {
+                self.poisoned_host.insert(job);
+            }
+            self.hosts[host].host_inflight.clear();
+            self.hosts[host].psp_inflight.clear();
+            for class in 0..self.catalog.len() {
+                while self.hosts[host].pool.crash(class) {}
+            }
+            self.hosts[host].cache.invalidate_all();
+        }
+        // Fail over the queue: every waiter re-enters the router and lands
+        // on a surviving host (or sheds there).
+        while let Some(next) = self.hosts[host].queue.pick(SchedPolicy::Fifo, |_| false) {
+            self.hosts[host].committed_psp = self.hosts[host]
+                .committed_psp
+                .saturating_sub(next.expected_psp);
+            self.failovers += 1;
+            self.route(next.request, now, inject);
+        }
+        if self.config.rebalance {
+            self.rebalance_pools(now, inject);
+        }
+    }
+
+    /// A host comes back (outage over) or rejoins (after a departure). An
+    /// outage survivor returns with a cold cache and an empty pool — its
+    /// classes re-measure on next use.
+    fn on_host_up(&mut self, host: usize, departure: bool, now: Nanos, inject: &mut Vec<Job>) {
+        if departure {
+            self.hosts[host].departed = false;
+        } else {
+            self.hosts[host].out = false;
+        }
+        if !self.hosts[host].available() {
+            return;
+        }
+        self.router.host_joined(host);
+        if self.config.rebalance {
+            self.rebalance_pools(now, inject);
+        } else {
+            self.kick_refills(host, now, inject);
+        }
+        self.drain_queue(host, now, inject);
+    }
+
+    /// Re-spreads the cluster-wide warm budget (`warm_target * hosts` per
+    /// class) over the live hosts. SEV guests cannot migrate off their PSP,
+    /// so shrunk targets evict and grown targets re-provision via template
+    /// launches on the new owners.
+    fn rebalance_pools(&mut self, now: Nanos, inject: &mut Vec<Job>) {
+        if self.config.tier != ServingTier::WarmPool {
+            return;
+        }
+        let budget = self.config.warm_target * self.config.hosts;
+        let live = self.hosts.iter().filter(|h| h.available()).count();
+        let per_host = if live == 0 { 0 } else { budget.div_ceil(live) };
+        for host in 0..self.hosts.len() {
+            let target = if self.hosts[host].available() {
+                per_host
+            } else {
+                0
+            };
+            self.hosts[host].pool.set_target(target);
+        }
+        self.rebalances += 1;
+        for host in 0..self.hosts.len() {
+            if self.hosts[host].available() {
+                self.kick_refills(host, now, inject);
+            }
+        }
+    }
+
+    /// Starts refills for every class below target on `host`.
+    fn kick_refills(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        for class in 0..self.catalog.len() {
+            self.start_refill(host, class, now, inject);
+        }
+    }
+
+    /// Routes a request (fresh arrival, retry, or failover): deadline
+    /// first, then placement over the live hosts, then the host's ladder,
+    /// warm pool, and admission control.
+    fn route(&mut self, request: usize, now: Nanos, inject: &mut Vec<Job>) {
+        let class = self.req_class[request];
+        if self.past_deadline(request, now) {
+            self.timeouts += 1;
+            self.issue_next_closed(now, inject);
+            return;
+        }
+        let live: Vec<usize> = self
+            .hosts
+            .iter()
+            .filter(|h| h.available())
+            .map(|h| h.id)
+            .collect();
+        let key = self.catalog.class(class).key;
+        let hosts = &self.hosts;
+        let placed = self.router.place(&key, &live, |h| hosts[h].committed_psp);
+        let Some(host) = placed else {
+            // Nowhere to run: shed fast (clients of a fully-dark cluster
+            // get an immediate error, not an unbounded queue).
+            self.unroutable += 1;
+            self.issue_next_closed(now, inject);
+            return;
+        };
+        self.assign(request, class, host, now, inject);
+    }
+
+    /// Serves `request` on `host`: degradation ladder, warm pool, admission.
+    fn assign(
+        &mut self,
+        request: usize,
+        class: usize,
+        host: usize,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        let level = self.hosts[host].degrade_level(class, now);
+        let Some(tier) = self.config.tier.degraded(level) else {
+            self.breaker_sheds += 1;
+            self.issue_next_closed(now, inject);
+            return;
+        };
+        if tier == ServingTier::WarmPool && self.hosts[host].pool.try_take(class) {
+            let blueprint = self.catalog.class(class).warm_invoke.clone();
+            self.inject_launch(request, class, host, blueprint, None, now, inject);
+            self.start_refill(host, class, now, inject);
+            return;
+        }
+        self.admit(request, class, host, now, inject);
+    }
+
+    /// Expected serialized PSP work of `class` on `host` at `tier` (peeks
+    /// at the host's cache without counting).
+    fn expected_psp(&self, host: usize, class: usize, tier: ServingTier) -> Nanos {
+        let cb = self.catalog.class(class);
+        match tier {
+            ServingTier::Cold => cb.cold.psp_work(),
+            ServingTier::Template | ServingTier::WarmPool => {
+                if self.hosts[host].cache.contains(&cb.key) {
+                    cb.template_hit.psp_work()
+                } else {
+                    cb.template_fill.psp_work()
+                }
+            }
+        }
+    }
+
+    /// Per-host admission control: dispatch if a slot is free (and the
+    /// host's PSP is not quiesced), queue if there is room, shed otherwise.
+    fn admit(
+        &mut self,
+        request: usize,
+        class: usize,
+        host: usize,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        let level = self.hosts[host].degrade_level(class, now);
+        let tier = self.config.tier.degraded(level).unwrap_or(self.config.tier);
+        let expected_psp = self.expected_psp(host, class, tier);
+        let quiesced = expected_psp > Nanos::ZERO && self.quiesce_hold(host, now);
+        if !quiesced && self.hosts[host].inflight < self.config.admission.max_inflight {
+            self.dispatch(request, class, host, tier, now, inject);
+            return;
+        }
+        let key = self.catalog.class(class).key;
+        let admitted = self.hosts[host].queue.offer(Pending {
+            request,
+            class,
+            expected_psp,
+            key,
+        });
+        let depth = self.hosts[host].queue.len();
+        self.hosts[host].metrics.sample_queue_depth(now, depth);
+        if admitted {
+            self.hosts[host].committed_psp += expected_psp;
+        } else {
+            self.issue_next_closed(now, inject);
+        }
+    }
+
+    /// Picks the launch blueprint for a dispatch at `tier` on `host`.
+    fn dispatch(
+        &mut self,
+        request: usize,
+        class: usize,
+        host: usize,
+        tier: ServingTier,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        if tier != self.config.tier {
+            self.hosts[host].metrics.degraded_dispatches += 1;
+        }
+        let cb = self.catalog.class(class);
+        let (blueprint, fill) = match tier {
+            ServingTier::Cold => (cb.cold.clone(), None),
+            ServingTier::Template | ServingTier::WarmPool => {
+                if self.hosts[host].cache.lookup_or_fill(cb.key, class) {
+                    (cb.template_hit.clone(), None)
+                } else {
+                    (cb.template_fill.clone(), Some(cb.key))
+                }
+            }
+        };
+        self.inject_launch(request, class, host, blueprint, fill, now, inject);
+    }
+
+    /// Applies the host's fault domain to the launch (via the shared
+    /// [`apply_launch_faults`] hook) and injects it on the host's resources.
+    #[allow(clippy::too_many_arguments)]
+    fn inject_launch(
+        &mut self,
+        request: usize,
+        class: usize,
+        host: usize,
+        blueprint: Blueprint,
+        fill: Option<TemplateKey>,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        let mut fate = LaunchFate::Ok;
+        let mut blueprint = blueprint;
+        if let Some(plan) = &self.hosts[host].plan {
+            let token = self.hosts[host].launch_seq;
+            let (faulted, kind) = apply_launch_faults(blueprint, plan, token, now);
+            blueprint = faulted;
+            if let Some(kind) = kind {
+                fate = LaunchFate::Fault(kind);
+            }
+            self.hosts[host].launch_seq += 1;
+        }
+        let psp_ns = blueprint.psp_work();
+        let psp = psp_ns > Nanos::ZERO;
+        let h = &mut self.hosts[host];
+        h.inflight += 1;
+        h.committed_psp += psp_ns;
+        inject.push(blueprint.to_job(now, h.cpu, h.psp));
+        let job = self.meta.len();
+        self.meta.push(JobKind::Launch {
+            request,
+            class,
+            host,
+            fate,
+            fill,
+            psp,
+            psp_ns,
+        });
+        if psp {
+            self.hosts[host].psp_inflight.insert(job);
+        }
+        self.hosts[host].host_inflight.insert(job);
+    }
+
+    /// A launch failed: retry with backoff (fresh placement on completion)
+    /// if the budget and deadline allow, else count the request failed.
+    fn handle_failure(&mut self, request: usize, now: Nanos, inject: &mut Vec<Job>) {
+        self.attempts[request] += 1;
+        let failures = self.attempts[request];
+        match self.config.recovery.retry.backoff(failures, request as u64) {
+            None => {
+                self.failed += 1;
+                self.issue_next_closed(now, inject);
+            }
+            Some(delay) => {
+                let at = now + delay;
+                if self.past_deadline(request, at) {
+                    self.timeouts += 1;
+                    self.issue_next_closed(now, inject);
+                    return;
+                }
+                self.retries += 1;
+                inject.push(Job::released_at(at, vec![]));
+                self.meta.push(JobKind::Retry { request });
+            }
+        }
+    }
+
+    /// Fills freed dispatch slots on `host` from its queue.
+    fn drain_queue(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        if !self.hosts[host].available() || self.quiesce_hold(host, now) {
+            return;
+        }
+        while self.hosts[host].inflight < self.config.admission.max_inflight {
+            let policy = self.config.admission.policy;
+            let h = &mut self.hosts[host];
+            let Host { queue, cache, .. } = &mut *h;
+            let Some(next) = queue.pick(policy, |key| cache.contains(key)) else {
+                break;
+            };
+            h.committed_psp = h.committed_psp.saturating_sub(next.expected_psp);
+            let depth = h.queue.len();
+            h.metrics.sample_queue_depth(now, depth);
+            if self.past_deadline(next.request, now) {
+                self.timeouts += 1;
+                self.issue_next_closed(now, inject);
+                continue;
+            }
+            let level = self.hosts[host].degrade_level(next.class, now);
+            let Some(tier) = self.config.tier.degraded(level) else {
+                self.breaker_sheds += 1;
+                self.issue_next_closed(now, inject);
+                continue;
+            };
+            self.dispatch(next.request, next.class, host, tier, now, inject);
+        }
+    }
+
+    /// Starts a background refill for `class` on `host` if it is below
+    /// target and the host can currently launch (live, PSP accepting).
+    fn start_refill(&mut self, host: usize, class: usize, now: Nanos, inject: &mut Vec<Job>) {
+        if self.config.tier != ServingTier::WarmPool
+            || !self.hosts[host].available()
+            || !self.hosts[host].pool.wants_refill(class)
+        {
+            return;
+        }
+        let refill = self.catalog.class(class).template_hit.clone();
+        let psp_ns = refill.psp_work();
+        let psp = psp_ns > Nanos::ZERO;
+        if psp && self.hosts[host].in_psp_outage(now) {
+            return;
+        }
+        let h = &mut self.hosts[host];
+        h.pool.refill_started(class);
+        h.committed_psp += psp_ns;
+        inject.push(refill.to_job(now, h.cpu, h.psp));
+        let job = self.meta.len();
+        self.meta.push(JobKind::Replenish {
+            class,
+            host,
+            psp,
+            psp_ns,
+        });
+        if psp {
+            self.hosts[host].psp_inflight.insert(job);
+        }
+        self.hosts[host].host_inflight.insert(job);
+    }
+
+    /// Closed loops: a completion (or shed) sends the client into think
+    /// time, after which it issues the next request.
+    fn issue_next_closed(&mut self, now: Nanos, inject: &mut Vec<Job>) {
+        let Arrival::Closed { think, .. } = self.config.arrival else {
+            return;
+        };
+        if self.issued >= self.config.requests {
+            return;
+        }
+        let at = now + think;
+        let request = self.new_request(at);
+        inject.push(Job::released_at(at, vec![]));
+        self.meta.push(JobKind::Arrival { request });
+    }
+}

@@ -1,0 +1,247 @@
+//! Integration tests for the cluster control plane: conservation,
+//! determinism, scale-out, failover, and rebalancing.
+
+use sevf_cluster::prelude::*;
+use sevf_fleet::blueprint::{Catalog, ClassSpec};
+use sevf_fleet::recovery::RecoveryConfig;
+use sevf_fleet::workload::RequestMix;
+use sevf_sim::fault::FaultConfig;
+use sevf_sim::Nanos;
+
+fn catalog() -> Catalog {
+    Catalog::build(0x5EF0, &ClassSpec::quick_test_classes()).unwrap()
+}
+
+fn base(hosts: usize, tier: ServingTier) -> ClusterConfig {
+    ClusterConfig {
+        mix: Some(RequestMix::weighted(vec![(0, 3), (1, 1)])),
+        ..ClusterConfig::open_loop(hosts, tier, 120.0, 240)
+    }
+}
+
+fn run(config: ClusterConfig) -> ClusterReport {
+    ClusterService::new(catalog(), config).unwrap().run()
+}
+
+#[test]
+fn every_tier_and_policy_conserves_requests() {
+    for tier in [
+        ServingTier::Cold,
+        ServingTier::Template,
+        ServingTier::WarmPool,
+    ] {
+        for placement in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::JsqPsp,
+            PlacementPolicy::TemplateAffinity,
+        ] {
+            let config = ClusterConfig {
+                placement,
+                ..base(3, tier)
+            };
+            let report = run(config);
+            assert!(
+                report.metrics.conserved(),
+                "conservation broke for {}/{}: {} issued, {} completed, {} lost",
+                tier.name(),
+                placement.name(),
+                report.metrics.issued,
+                report.metrics.completed,
+                report.metrics.lost()
+            );
+            assert!(report.metrics.completed > 0);
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_are_byte_identical() {
+    let config = ClusterConfig {
+        placement: PlacementPolicy::JsqPsp,
+        ..base(4, ServingTier::WarmPool)
+    };
+    let a = run(config.clone());
+    let b = run(config);
+    assert_eq!(a.metrics.completed, b.metrics.completed);
+    assert_eq!(a.metrics.latencies_ms, b.metrics.latencies_ms);
+    assert_eq!(a.metrics.failovers, b.metrics.failovers);
+    assert_eq!(a.metrics.makespan, b.metrics.makespan);
+    for (x, y) in a.metrics.hosts.iter().zip(&b.metrics.hosts) {
+        assert_eq!(x.completed, y.completed);
+        assert_eq!(x.psp_utilization, y.psp_utilization);
+    }
+}
+
+#[test]
+fn template_tier_scales_out_where_cold_cannot() {
+    // Same per-host offered load at 1 and 4 hosts: template goodput should
+    // roughly quadruple; cold per-host goodput stays pinned at the PSP
+    // ceiling at both sizes.
+    let small = run(ClusterConfig {
+        mix: None,
+        ..ClusterConfig::open_loop(1, ServingTier::Template, 80.0, 160)
+    });
+    let large = run(ClusterConfig {
+        mix: None,
+        ..ClusterConfig::open_loop(4, ServingTier::Template, 320.0, 640)
+    });
+    assert!(
+        large.metrics.goodput_rps() > small.metrics.goodput_rps() * 2.5,
+        "template goodput did not scale: {} -> {}",
+        small.metrics.goodput_rps(),
+        large.metrics.goodput_rps()
+    );
+    assert!(small.metrics.conserved() && large.metrics.conserved());
+}
+
+#[test]
+fn scheduled_outage_fails_over_and_recovers() {
+    // Kill the host that owns the heavy class, mid-stream. The ring is a
+    // pure function of (seed, vnodes), so the victim the router would pick
+    // can be computed up front.
+    let cat = catalog();
+    let template = base(3, ServingTier::Template);
+    let mut ring = sevf_cluster::HashRing::new(template.seed, template.vnodes);
+    for h in 0..template.hosts {
+        ring.insert(h);
+    }
+    let victim = ring.owner(&cat.classes()[0].key).unwrap();
+    let config = ClusterConfig {
+        placement: PlacementPolicy::TemplateAffinity,
+        admission: sevf_fleet::AdmissionConfig {
+            max_inflight: 2,
+            ..sevf_fleet::AdmissionConfig::default()
+        },
+        outages: vec![HostOutage {
+            host: victim,
+            start: Nanos::from_millis(500),
+            end: Nanos::from_millis(1200),
+        }],
+        recovery: RecoveryConfig::resilient(7),
+        ..template
+    };
+    let report = ClusterService::new(cat, config).unwrap().run();
+    assert!(report.metrics.conserved());
+    assert!(report.metrics.failovers > 0, "outage displaced nothing");
+    // The survivors re-measured the dead host's templates: more fills
+    // cluster-wide than there are classes.
+    assert!(report.metrics.cache_misses() > 2);
+    assert!(report.metrics.completed > 0);
+}
+
+#[test]
+fn warm_budget_rebalances_across_membership_changes() {
+    let config = ClusterConfig {
+        placement: PlacementPolicy::JsqPsp,
+        warm_target: 4,
+        outages: vec![HostOutage {
+            host: 1,
+            start: Nanos::from_millis(400),
+            end: Nanos::from_millis(900),
+        }],
+        recovery: RecoveryConfig::resilient(9),
+        ..base(3, ServingTier::WarmPool)
+    };
+    let report = run(config);
+    assert!(report.metrics.conserved());
+    // One pass when the host drops (survivors absorb its share), one when
+    // it returns (targets spread back out).
+    assert!(
+        report.metrics.rebalances >= 2,
+        "expected rebalance passes on both membership edges, got {}",
+        report.metrics.rebalances
+    );
+}
+
+#[test]
+fn graceful_leave_drains_without_poisoning() {
+    let config = ClusterConfig {
+        events: vec![HostEvent {
+            at: Nanos::from_millis(300),
+            host: 2,
+            kind: HostEventKind::Leave,
+        }],
+        ..base(3, ServingTier::Template)
+    };
+    let report = run(config);
+    assert!(report.metrics.conserved());
+    // A departure never records outage faults: in-flight work finishes.
+    assert_eq!(
+        report.metrics.hosts[2].faults, 0,
+        "graceful leave poisoned in-flight work"
+    );
+    assert!(report.metrics.completed > 0);
+}
+
+#[test]
+fn per_host_fault_domains_stay_decorrelated() {
+    let mut fault = FaultConfig::storm();
+    fault.host_outage_period = Some(Nanos::from_secs(1));
+    fault.host_outage_length = Nanos::from_millis(200);
+    let config = ClusterConfig {
+        fault: Some(fault),
+        fault_horizon: Nanos::from_secs(4),
+        recovery: RecoveryConfig::resilient(3),
+        ..base(3, ServingTier::Template)
+    };
+    let report = run(config);
+    assert!(report.metrics.conserved());
+    // Domain-derived plans differ per host, so fault counts should not be
+    // identical across all three hosts (same plan everywhere would be).
+    let counts: Vec<u64> = report.metrics.hosts.iter().map(|h| h.faults).collect();
+    assert!(
+        !(counts[0] == counts[1] && counts[1] == counts[2] && counts[0] > 0)
+            || report.metrics.faults == 0,
+        "all hosts recorded identical fault counts: {counts:?}"
+    );
+    assert!(report.metrics.faults > 0, "storm injected nothing");
+}
+
+#[test]
+fn dark_cluster_sheds_unroutable_arrivals() {
+    // Every host leaves before traffic ends; the router must shed what it
+    // cannot place, and the invariant still holds.
+    let config = ClusterConfig {
+        events: vec![
+            HostEvent {
+                at: Nanos::from_millis(100),
+                host: 0,
+                kind: HostEventKind::Leave,
+            },
+            HostEvent {
+                at: Nanos::from_millis(100),
+                host: 1,
+                kind: HostEventKind::Leave,
+            },
+        ],
+        ..base(2, ServingTier::Template)
+    };
+    let report = run(config);
+    assert!(report.metrics.conserved());
+    assert!(report.metrics.unroutable > 0, "dark cluster shed nothing");
+}
+
+#[test]
+fn invalid_configs_are_rejected_with_chained_errors() {
+    use std::error::Error;
+    let bad = ClusterConfig {
+        hosts: 0,
+        ..base(1, ServingTier::Template)
+    };
+    let err = ClusterService::new(catalog(), bad).unwrap_err();
+    assert!(matches!(err, ClusterError::Config(_)));
+    assert!(err.to_string().contains("at least one host"));
+
+    let out_of_range = ClusterConfig {
+        outages: vec![HostOutage {
+            host: 9,
+            start: Nanos::from_millis(1),
+            end: Nanos::from_millis(2),
+        }],
+        ..base(2, ServingTier::Template)
+    };
+    assert!(ClusterService::new(catalog(), out_of_range).is_err());
+
+    let from_fleet = ClusterError::from(sevf_fleet::FleetError::NoClasses);
+    assert!(from_fleet.source().is_some());
+}

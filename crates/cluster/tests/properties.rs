@@ -1,0 +1,114 @@
+//! Seeded property tests for the consistent-hash ring.
+//!
+//! Randomized inputs, fixed seeds: every run checks the same cases, so a
+//! failure is a reproducible counterexample, not a flake.
+
+use sevf_cluster::ring::HashRing;
+use sevf_psp::TemplateKey;
+use sevf_sim::rng::XorShift64;
+
+/// A deterministic stream of pseudo-random template keys.
+fn keys(seed: u64, n: usize) -> Vec<TemplateKey> {
+    let mut rng = XorShift64::new(seed);
+    (0..n)
+        .map(|_| {
+            let mut m = [0u8; 48];
+            for chunk in m.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+            }
+            TemplateKey::from_measurement(m)
+        })
+        .collect()
+}
+
+fn ring_with(seed: u64, vnodes: usize, hosts: &[usize]) -> HashRing {
+    let mut ring = HashRing::new(seed, vnodes);
+    for &h in hosts {
+        ring.insert(h);
+    }
+    ring
+}
+
+#[test]
+fn load_is_balanced_within_bounds() {
+    // 8 hosts x 64 vnodes over 4000 keys: every host's share must sit
+    // within [mean/3, 3*mean]. Loose enough to be seed-stable, tight
+    // enough to catch a broken point function collapsing arcs.
+    let hosts: Vec<usize> = (0..8).collect();
+    let ring = ring_with(0x0BA1_A4CE, 64, &hosts);
+    let keys = keys(0x5EED, 4000);
+    let mut counts = vec![0usize; hosts.len()];
+    for key in &keys {
+        counts[ring.owner(key).unwrap()] += 1;
+    }
+    let mean = keys.len() / hosts.len();
+    for (host, &count) in counts.iter().enumerate() {
+        assert!(
+            count >= mean / 3 && count <= mean * 3,
+            "host {host} owns {count} of {} keys (mean {mean})",
+            keys.len()
+        );
+    }
+}
+
+#[test]
+fn leave_remaps_only_the_departed_hosts_keys() {
+    let hosts: Vec<usize> = (0..6).collect();
+    let mut ring = ring_with(0xD00F, 64, &hosts);
+    let keys = keys(0xFACE, 2000);
+    let before: Vec<usize> = keys.iter().map(|k| ring.owner(k).unwrap()).collect();
+    let departed = 2;
+    ring.remove(departed);
+    for (key, &owner) in keys.iter().zip(&before) {
+        let after = ring.owner(key).unwrap();
+        if owner == departed {
+            assert_ne!(after, departed);
+        } else {
+            assert_eq!(
+                after, owner,
+                "leave remapped a key the departed host never owned"
+            );
+        }
+    }
+}
+
+#[test]
+fn join_steals_keys_only_for_the_new_host() {
+    let hosts: Vec<usize> = (0..5).collect();
+    let mut ring = ring_with(0xCAFE, 64, &hosts);
+    let keys = keys(0xBEEF, 2000);
+    let before: Vec<usize> = keys.iter().map(|k| ring.owner(k).unwrap()).collect();
+    let joined = 7;
+    ring.insert(joined);
+    let mut stolen = 0;
+    for (key, &owner) in keys.iter().zip(&before) {
+        let after = ring.owner(key).unwrap();
+        if after != owner {
+            assert_eq!(
+                after, joined,
+                "join moved a key to a host that did not join"
+            );
+            stolen += 1;
+        }
+    }
+    // The new host must take a nontrivial arc (roughly 1/6 of the space).
+    assert!(stolen > 0, "join stole nothing");
+    assert!(stolen < keys.len() / 2, "join stole over half the keys");
+}
+
+#[test]
+fn placement_is_deterministic_and_insertion_order_independent() {
+    let keys = keys(0x0DD5, 500);
+    let forward = ring_with(0xA11CE, 32, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    let shuffled = ring_with(0xA11CE, 32, &[5, 2, 7, 0, 3, 6, 1, 4]);
+    for key in &keys {
+        assert_eq!(forward.owner(key), shuffled.owner(key));
+    }
+    // Remove-and-reinsert is also a no-op for ownership.
+    let mut cycled = ring_with(0xA11CE, 32, &[0, 1, 2, 3, 4, 5, 6, 7]);
+    cycled.remove(3);
+    cycled.insert(3);
+    for key in &keys {
+        assert_eq!(forward.owner(key), cycled.owner(key));
+    }
+}

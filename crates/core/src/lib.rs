@@ -45,6 +45,7 @@
 //! | [`attest`] | guest owner, expected-measurement tool, secret channel |
 //! | [`vmm`] | the Firecracker-like monitor and boot policies |
 //! | [`fleet`] | serverless fleet control plane: load gen, admission, launch cache, warm pools |
+//! | [`cluster`] | sharded multi-host serving: placement router, host outage failover, rebalancing |
 //! | [`experiments`] | drivers that regenerate every paper figure/table |
 
 #![forbid(unsafe_code)]
@@ -84,6 +85,9 @@ pub use sevf_vmm as vmm;
 
 /// Re-export: the serverless fleet control plane.
 pub use sevf_fleet as fleet;
+
+/// Re-export: sharded multi-host serving with PSP-aware placement.
+pub use sevf_cluster as cluster;
 
 pub use sevf_codec::Codec;
 pub use sevf_image::kernel::KernelConfig;

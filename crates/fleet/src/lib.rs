@@ -66,7 +66,7 @@ pub use experiment::{serving_sweep, ServingRow, SweepConfig, SweepReport};
 pub use metrics::{FaultCounters, FleetMetrics};
 pub use pool::WarmPool;
 pub use recovery::{BreakerConfig, CircuitBreaker, RecoveryConfig, RetryPolicy};
-pub use service::{FleetConfig, FleetReport, FleetService, ServingTier};
+pub use service::{apply_launch_faults, FleetConfig, FleetReport, FleetService, ServingTier};
 pub use workload::{Arrival, RequestMix};
 
 /// Errors from building fleet components.

@@ -24,6 +24,9 @@ pub struct FaultCounters {
     pub attest_timeout: u64,
     /// Attestation round trips that returned errors.
     pub attest_error: u64,
+    /// Launches lost to whole-host outages (cluster fault domain died with
+    /// the request in flight on it).
+    pub host_outage: u64,
 }
 
 impl FaultCounters {
@@ -35,6 +38,7 @@ impl FaultCounters {
             FaultKind::WarmCrash => self.warm_crash += 1,
             FaultKind::AttestTimeout => self.attest_timeout += 1,
             FaultKind::AttestError => self.attest_error += 1,
+            FaultKind::HostOutage => self.host_outage += 1,
         }
     }
 
@@ -45,6 +49,7 @@ impl FaultCounters {
             + self.warm_crash
             + self.attest_timeout
             + self.attest_error
+            + self.host_outage
     }
 }
 

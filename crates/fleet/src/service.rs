@@ -673,36 +673,10 @@ impl<'a> State<'a> {
         if let Some(plan) = self.plan() {
             let token = self.launch_seq;
             self.launch_seq += 1;
-            let psp_work = blueprint.psp_work();
-            if psp_work > Nanos::ZERO && self.in_outage(now) {
-                // Dispatched into a dead PSP (only the naive fleet does
-                // this): the commands hang until the outage ends, then
-                // error out. No PSP occupancy — the firmware is rebooting.
-                let end = plan.in_outage(now).expect("checked in_outage");
-                fate = LaunchFate::Fault(FaultKind::PspReset);
-                blueprint = Blueprint {
-                    label: format!("{} (dead psp)", blueprint.label),
-                    segments: vec![(ResourceClass::Network, end.saturating_sub(now))],
-                };
-            } else if psp_work > Nanos::ZERO && plan.psp_transient(token) {
-                // Transient command failure partway through the launch.
-                fate = LaunchFate::Fault(FaultKind::PspTransient);
-                blueprint = blueprint.truncate_frac(plan.transient_progress(token));
-            } else if blueprint.has_network() {
-                match plan.attest_fault(token) {
-                    Some(AttestFault::Timeout) => {
-                        // The round trip hangs until the client-side timeout.
-                        fate = LaunchFate::Fault(FaultKind::AttestTimeout);
-                        blueprint
-                            .segments
-                            .push((ResourceClass::Network, plan.config().attest_timeout));
-                    }
-                    Some(AttestFault::Error) => {
-                        // Immediate error after the normal round trip.
-                        fate = LaunchFate::Fault(FaultKind::AttestError);
-                    }
-                    None => {}
-                }
+            let (faulted, kind) = apply_launch_faults(blueprint, plan, token, now);
+            blueprint = faulted;
+            if let Some(kind) = kind {
+                fate = LaunchFate::Fault(kind);
             }
         }
         self.inflight += 1;
@@ -798,6 +772,59 @@ impl<'a> State<'a> {
         inject.push(Job::released_at(at, vec![]));
         self.meta.push(JobKind::Arrival { request });
     }
+}
+
+/// Applies `plan`'s per-launch fault model to a dispatch at `now`, returning
+/// the (possibly rewritten) blueprint and the fault that struck, if any.
+///
+/// This is the single fault-application path shared by [`FleetService`] and
+/// the multi-host cluster layered on it (`sevf-cluster`), so both inject
+/// byte-identical faulted work for the same `(plan, token, now)`:
+///
+/// * PSP-needing work dispatched inside a firmware-reset outage hangs on the
+///   network until the outage ends, then errors ([`FaultKind::PspReset`]) —
+///   no PSP occupancy, the firmware is rebooting.
+/// * Otherwise a stateless per-`token` draw may fail the launch transiently
+///   partway through its work ([`FaultKind::PspTransient`]).
+/// * Launches with an attestation round trip may hang until the client-side
+///   timeout or error immediately ([`FaultKind::AttestTimeout`] /
+///   [`FaultKind::AttestError`]).
+///
+/// Verdicts are stateless per token, so a fault-free plan consumes no
+/// randomness and leaves the blueprint untouched.
+pub fn apply_launch_faults(
+    blueprint: Blueprint,
+    plan: &FaultPlan,
+    token: u64,
+    now: Nanos,
+) -> (Blueprint, Option<FaultKind>) {
+    let psp_work = blueprint.psp_work();
+    if psp_work > Nanos::ZERO {
+        if let Some(end) = plan.in_outage(now) {
+            let dead = Blueprint {
+                label: format!("{} (dead psp)", blueprint.label),
+                segments: vec![(ResourceClass::Network, end.saturating_sub(now))],
+            };
+            return (dead, Some(FaultKind::PspReset));
+        }
+        if plan.psp_transient(token) {
+            let truncated = blueprint.truncate_frac(plan.transient_progress(token));
+            return (truncated, Some(FaultKind::PspTransient));
+        }
+    }
+    if blueprint.has_network() {
+        match plan.attest_fault(token) {
+            Some(AttestFault::Timeout) => {
+                let mut hung = blueprint;
+                hung.segments
+                    .push((ResourceClass::Network, plan.config().attest_timeout));
+                return (hung, Some(FaultKind::AttestTimeout));
+            }
+            Some(AttestFault::Error) => return (blueprint, Some(FaultKind::AttestError)),
+            None => {}
+        }
+    }
+    (blueprint, None)
 }
 
 #[cfg(test)]

@@ -38,6 +38,9 @@ pub enum FaultKind {
     AttestTimeout,
     /// An attestation round trip returned an error immediately.
     AttestError,
+    /// Whole-host outage: the machine (PSP, CPUs, warm pool, templates)
+    /// drops off the cluster; everything in flight on it is lost.
+    HostOutage,
 }
 
 impl FaultKind {
@@ -49,6 +52,7 @@ impl FaultKind {
             FaultKind::WarmCrash => "warm-crash",
             FaultKind::AttestTimeout => "attest-timeout",
             FaultKind::AttestError => "attest-error",
+            FaultKind::HostOutage => "host-outage",
         }
     }
 }
@@ -81,6 +85,12 @@ pub struct FaultConfig {
     pub attest_error_rate: f64,
     /// Client-side attestation timeout (how long a hang costs).
     pub attest_timeout: Nanos,
+    /// Mean gap between whole-host outages (`None` = never). Only meaningful
+    /// when a plan models one fault domain of a multi-host cluster: the host
+    /// vanishes for the window — PSP, CPUs, warm pool, and templates all die.
+    pub host_outage_period: Option<Nanos>,
+    /// Outage length per whole-host outage.
+    pub host_outage_length: Nanos,
 }
 
 impl FaultConfig {
@@ -94,6 +104,8 @@ impl FaultConfig {
             attest_timeout_rate: 0.0,
             attest_error_rate: 0.0,
             attest_timeout: Nanos::from_secs(1),
+            host_outage_period: None,
+            host_outage_length: Nanos::ZERO,
         }
     }
 
@@ -110,6 +122,8 @@ impl FaultConfig {
             attest_timeout_rate: 0.02,
             attest_error_rate: 0.03,
             attest_timeout: Nanos::from_secs(1),
+            host_outage_period: None,
+            host_outage_length: Nanos::ZERO,
         }
     }
 
@@ -140,6 +154,14 @@ impl FaultConfig {
         if self.warm_crash_period == Some(Nanos::ZERO) {
             return Err("warm_crash_period must be positive");
         }
+        if let Some(period) = self.host_outage_period {
+            if period == Nanos::ZERO {
+                return Err("host_outage_period must be positive");
+            }
+            if self.host_outage_length == Nanos::ZERO {
+                return Err("host_outage_length must be positive when host outages are on");
+            }
+        }
         Ok(())
     }
 
@@ -150,6 +172,7 @@ impl FaultConfig {
             && self.warm_crash_period.is_none()
             && self.attest_timeout_rate == 0.0
             && self.attest_error_rate == 0.0
+            && self.host_outage_period.is_none()
     }
 }
 
@@ -178,6 +201,10 @@ const DOM_ATTEST: u64 = 0x7E57_FA17_0005;
 // Stream separators for the pre-generated schedules.
 const STREAM_RESETS: u64 = 0xFA17_5EED_0001;
 const STREAM_CRASHES: u64 = 0xFA17_5EED_0002;
+const STREAM_HOST_OUTAGES: u64 = 0xFA17_5EED_0003;
+
+// Domain separator for deriving per-fault-domain (per-host) plan seeds.
+const DOM_FAULT_DOMAIN: u64 = 0x7E57_FA17_0007;
 
 /// splitmix64-style finalizer over `(seed, domain, token)`.
 fn mix(seed: u64, domain: u64, token: u64) -> u64 {
@@ -201,6 +228,36 @@ pub fn unit_draw(seed: u64, domain: u64, token: u64) -> f64 {
 /// Internal alias kept short for the plan's own draws.
 fn unit(seed: u64, domain: u64, token: u64) -> f64 {
     unit_draw(seed, domain, token)
+}
+
+/// Non-overlapping `[start, end)` outage windows over `[0, horizon)`:
+/// exponential gaps with the given mean, each gap drawn from the end of the
+/// previous window so every outage is a distinct event.
+fn outage_windows(seed: u64, period: Nanos, length: Nanos, horizon: Nanos) -> Vec<ResetWindow> {
+    let mut rng = XorShift64::new(seed);
+    let mut windows = Vec::new();
+    let mut cursor = Nanos::ZERO;
+    loop {
+        let start = cursor + exponential_gap(period, &mut rng);
+        if start >= horizon {
+            break;
+        }
+        let end = start + length;
+        windows.push(ResetWindow { start, end });
+        cursor = end;
+    }
+    windows
+}
+
+/// If `at` falls inside one of the sorted, non-overlapping `windows`, the
+/// instant that window ends. `partition_point` finds the first window ending
+/// after `at`, which is the only candidate that can contain it.
+fn window_end(windows: &[ResetWindow], at: Nanos) -> Option<Nanos> {
+    let idx = windows.partition_point(|w| w.end <= at);
+    match windows.get(idx) {
+        Some(w) if w.contains(at) => Some(w.end),
+        _ => None,
+    }
 }
 
 /// Exponential gap with the given mean, floored at 1 ns so schedules advance.
@@ -234,6 +291,7 @@ pub struct FaultPlan {
     horizon: Nanos,
     resets: Vec<ResetWindow>,
     warm_crashes: Vec<Nanos>,
+    host_outages: Vec<ResetWindow>,
 }
 
 impl FaultPlan {
@@ -247,22 +305,15 @@ impl FaultPlan {
     pub fn generate(seed: u64, config: FaultConfig, horizon: Nanos) -> Result<Self, &'static str> {
         config.validate()?;
 
-        let mut resets = Vec::new();
-        if let Some(period) = config.psp_reset_period {
-            let mut rng = XorShift64::new(seed ^ STREAM_RESETS);
-            let mut cursor = Nanos::ZERO;
-            loop {
-                let start = cursor + exponential_gap(period, &mut rng);
-                if start >= horizon {
-                    break;
-                }
-                let end = start + config.psp_reset_outage;
-                resets.push(ResetWindow { start, end });
-                // Next gap is drawn from the end of the outage, so windows
-                // never overlap and each reset is a distinct event.
-                cursor = end;
-            }
-        }
+        let resets = match config.psp_reset_period {
+            Some(period) => outage_windows(
+                seed ^ STREAM_RESETS,
+                period,
+                config.psp_reset_outage,
+                horizon,
+            ),
+            None => Vec::new(),
+        };
 
         let mut warm_crashes = Vec::new();
         if let Some(period) = config.warm_crash_period {
@@ -277,13 +328,49 @@ impl FaultPlan {
             }
         }
 
+        let host_outages = match config.host_outage_period {
+            Some(period) => outage_windows(
+                seed ^ STREAM_HOST_OUTAGES,
+                period,
+                config.host_outage_length,
+                horizon,
+            ),
+            None => Vec::new(),
+        };
+
         Ok(FaultPlan {
             seed,
             config,
             horizon,
             resets,
             warm_crashes,
+            host_outages,
         })
+    }
+
+    /// Derives a decorrelated seed for fault domain `domain` (e.g. one host
+    /// of a cluster) from a cluster-level seed. Distinct domains get
+    /// independent schedules and per-event draws; the same `(seed, domain)`
+    /// always maps to the same derived seed.
+    pub fn domain_seed(seed: u64, domain: u64) -> u64 {
+        mix(seed, DOM_FAULT_DOMAIN, domain)
+    }
+
+    /// [`FaultPlan::generate`] for one fault domain of a multi-domain system:
+    /// the plan is generated from [`FaultPlan::domain_seed`]`(seed, domain)`,
+    /// so each domain replays its own independent schedule while the whole
+    /// ensemble stays a pure function of the cluster seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FaultConfig::validate`] error for an invalid config.
+    pub fn generate_for_domain(
+        seed: u64,
+        domain: u64,
+        config: FaultConfig,
+        horizon: Nanos,
+    ) -> Result<Self, &'static str> {
+        Self::generate(Self::domain_seed(seed, domain), config, horizon)
     }
 
     /// The seed the plan was generated from.
@@ -311,15 +398,19 @@ impl FaultPlan {
         &self.warm_crashes
     }
 
+    /// The whole-host outage windows, sorted and non-overlapping.
+    pub fn host_outages(&self) -> &[ResetWindow] {
+        &self.host_outages
+    }
+
     /// If `at` falls inside a reset outage, the instant the outage ends.
     pub fn in_outage(&self, at: Nanos) -> Option<Nanos> {
-        // Windows are sorted; partition_point finds the first window ending
-        // after `at`, which is the only candidate that can contain it.
-        let idx = self.resets.partition_point(|w| w.end <= at);
-        match self.resets.get(idx) {
-            Some(w) if w.contains(at) => Some(w.end),
-            _ => None,
-        }
+        window_end(&self.resets, at)
+    }
+
+    /// If `at` falls inside a whole-host outage, the instant the host is back.
+    pub fn in_host_outage(&self, at: Nanos) -> Option<Nanos> {
+        window_end(&self.host_outages, at)
     }
 
     /// How many firmware resets have *started* at or before `at`. Two probes
@@ -488,6 +579,58 @@ mod tests {
     }
 
     #[test]
+    fn host_outage_windows_sorted_and_disjoint() {
+        let mut cfg = FaultConfig::none();
+        cfg.host_outage_period = Some(Nanos::from_secs(3));
+        cfg.host_outage_length = Nanos::from_secs(1);
+        let plan = FaultPlan::generate(19, cfg, Nanos::from_secs(60)).unwrap();
+        assert!(!plan.host_outages().is_empty(), "60 s must see an outage");
+        for pair in plan.host_outages().windows(2) {
+            assert!(pair[0].end <= pair[1].start, "{pair:?} overlap");
+        }
+        let w = plan.host_outages()[0];
+        assert_eq!(plan.in_host_outage(w.start), Some(w.end));
+        assert_eq!(plan.in_host_outage(w.end), None);
+        // Host outages ride their own stream: resets stay empty here and
+        // the existing reset lookup is untouched by the new windows.
+        assert!(plan.resets().is_empty());
+        assert_eq!(plan.in_outage(w.start), None);
+    }
+
+    #[test]
+    fn domain_seeds_decorrelate_hosts() {
+        let mut cfg = FaultConfig::storm();
+        cfg.host_outage_period = Some(Nanos::from_secs(5));
+        cfg.host_outage_length = Nanos::from_secs(1);
+        let horizon = Nanos::from_secs(30);
+        let a = FaultPlan::generate_for_domain(7, 0, cfg.clone(), horizon).unwrap();
+        let b = FaultPlan::generate_for_domain(7, 1, cfg.clone(), horizon).unwrap();
+        let a2 = FaultPlan::generate_for_domain(7, 0, cfg, horizon).unwrap();
+        assert_eq!(a, a2, "same (seed, domain) must replay");
+        assert_ne!(a.resets(), b.resets(), "domains must not share schedules");
+        assert_ne!(a.seed(), b.seed());
+        assert_eq!(a.seed(), FaultPlan::domain_seed(7, 0));
+    }
+
+    #[test]
+    fn host_outage_config_is_validated() {
+        let mut cfg = FaultConfig::none();
+        cfg.host_outage_period = Some(Nanos::ZERO);
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FaultConfig::none();
+        cfg.host_outage_period = Some(Nanos::from_secs(1));
+        cfg.host_outage_length = Nanos::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FaultConfig::none();
+        cfg.host_outage_period = Some(Nanos::from_secs(1));
+        cfg.host_outage_length = Nanos::from_millis(200);
+        assert!(cfg.validate().is_ok());
+        assert!(!cfg.is_none());
+    }
+
+    #[test]
     fn fault_kind_names_are_distinct() {
         let kinds = [
             FaultKind::PspTransient,
@@ -495,6 +638,7 @@ mod tests {
             FaultKind::WarmCrash,
             FaultKind::AttestTimeout,
             FaultKind::AttestError,
+            FaultKind::HostOutage,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {

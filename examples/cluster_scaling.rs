@@ -1,0 +1,152 @@
+//! Cluster scaling: sharded multi-host serving with PSP-aware placement.
+//!
+//! ```text
+//! cargo run --release --example cluster_scaling            # paper-scale sweep
+//! cargo run --release --example cluster_scaling -- --quick
+//! cargo run --release --example cluster_scaling -- --quick --json
+//! ```
+//!
+//! Three arms over one measured catalog. **Scaling**: offered load grows
+//! linearly with the host count for each serving tier — template and
+//! warm-pool serving scale out near-linearly, while cold SEV serving stays
+//! pinned at each host's PSP ceiling (Fig. 12 is a per-machine law; adding
+//! hosts shards the bottleneck but never lifts the per-host number).
+//! **Placement**: the same cluster and stream under three routers —
+//! round-robin, join-shortest-PSP-backlog (power-of-two-choices), and
+//! template-affinity over a seeded consistent-hash ring, which measures
+//! each class's §6.2 template on one owner host instead of every host.
+//! **Outage**: a whole host dies mid-stream under affinity placement; the
+//! naive cluster permanently fails what the host was holding, the
+//! resilient cluster fails queued and in-flight work over to survivors
+//! (which re-measure the dead host's templates — §6.2 across machines),
+//! rebalances the warm budget, and holds goodput.
+//!
+//! `--json` prints the full result as deterministic JSON: two runs with the
+//! same flags emit byte-identical output (the CI replay gate diffs them).
+
+use sevf_cluster::experiment::{cluster_sweep, ClusterSweepConfig, ClusterSweepReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let cfg = if quick {
+        ClusterSweepConfig::quick()
+    } else {
+        ClusterSweepConfig::paper_cluster()
+    };
+    let report = cluster_sweep(&cfg).expect("cluster sweep");
+    for row in &report.rows {
+        assert!(
+            row.conserved,
+            "conservation broke in {}/{}",
+            row.arm, row.label
+        );
+    }
+
+    if json {
+        println!("{}", render_json(&report));
+        return;
+    }
+
+    println!("serving one launch stream across a cluster of PSP-bound hosts\n");
+    println!(
+        "per-host cold SEV ceiling ≈{:.0} req/s (seed {:#x}); every request",
+        report.cold_ceiling_rps, cfg.seed
+    );
+    println!("stream, placement probe, and fault domain below replays from that seed.\n");
+    println!(
+        "{:<10} {:<15} {:>5} {:>6} {:>5} {:>8} {:>9} {:>5} {:>9} {:>9} {:>9}",
+        "arm",
+        "cell",
+        "hosts",
+        "req/s",
+        "done",
+        "goodput",
+        "per-host",
+        "hit",
+        "failover",
+        "p50(ms)",
+        "p99(ms)"
+    );
+    let mut last_arm = "";
+    for row in &report.rows {
+        if !last_arm.is_empty() && last_arm != row.arm {
+            println!();
+        }
+        last_arm = row.arm;
+        println!(
+            "{:<10} {:<15} {:>5} {:>6.0} {:>5} {:>8.1} {:>9.1} {:>4.0}% {:>9} {:>9.1} {:>9.1}",
+            row.arm,
+            row.label,
+            row.hosts,
+            row.offered_rps,
+            row.completed,
+            row.goodput_rps,
+            row.per_host_goodput,
+            row.cache_hit_rate * 100.0,
+            row.failovers,
+            row.p50_ms,
+            row.p99_ms
+        );
+    }
+
+    println!();
+    println!("takeaway: the PSP bottleneck shards but never pools — cold per-host");
+    println!("goodput is flat no matter how many hosts join, while template and");
+    println!("warm tiers track the offered load. Affinity placement measures each");
+    println!("template once cluster-wide instead of once per host, and when a host");
+    println!("dies mid-stream the resilient cluster re-routes its work, re-measures");
+    println!("its templates on the survivors, and rebalances the warm budget; the");
+    println!("naive cluster just loses everything the dead host was holding.");
+}
+
+/// Hand-rolled JSON (the root package deliberately has no serialization
+/// dependency). Field order is fixed and floats print with full precision,
+/// so equal reports render byte-identically.
+fn render_json(report: &ClusterSweepReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"cold_ceiling_rps\": {},\n  \"rows\": [\n",
+        report.cold_ceiling_rps
+    ));
+    for (i, r) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"label\": \"{}\", \"hosts\": {}, \
+             \"tier\": \"{}\", \"placement\": \"{}\", \"offered_rps\": {}, \
+             \"completed\": {}, \"goodput_rps\": {}, \"per_host_goodput\": {}, \
+             \"shed\": {}, \"unroutable\": {}, \"breaker_sheds\": {}, \
+             \"timeouts\": {}, \"failed\": {}, \"retries\": {}, \
+             \"failovers\": {}, \"rebalances\": {}, \"faults\": {}, \
+             \"cache_hit_rate\": {}, \"cache_misses\": {}, \"psp_skew\": {}, \
+             \"p50_ms\": {}, \"p99_ms\": {}, \"conserved\": {}}}{}\n",
+            r.arm,
+            r.label,
+            r.hosts,
+            r.tier.name(),
+            r.placement.name(),
+            r.offered_rps,
+            r.completed,
+            r.goodput_rps,
+            r.per_host_goodput,
+            r.shed,
+            r.unroutable,
+            r.breaker_sheds,
+            r.timeouts,
+            r.failed,
+            r.retries,
+            r.failovers,
+            r.rebalances,
+            r.faults,
+            r.cache_hit_rate,
+            r.cache_misses,
+            r.psp_skew,
+            r.p50_ms,
+            r.p99_ms,
+            r.conserved,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
