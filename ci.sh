@@ -34,6 +34,12 @@ cargo run --release --quiet --example cluster_scaling -- --quick --json > /tmp/c
 diff /tmp/ci_cluster_a.json /tmp/ci_cluster_b.json
 rm -f /tmp/ci_cluster_a.json /tmp/ci_cluster_b.json
 
+echo "==> deterministic replay: trace_explorer --quick --json twice, byte-diffed"
+cargo run --release --quiet --example trace_explorer -- --quick --json > /tmp/ci_trace_a.json
+cargo run --release --quiet --example trace_explorer -- --quick --json > /tmp/ci_trace_b.json
+diff /tmp/ci_trace_a.json /tmp/ci_trace_b.json
+rm -f /tmp/ci_trace_a.json /tmp/ci_trace_b.json
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -51,6 +51,10 @@ const FIGURES: &[(&str, &str)] = &[
         "multi-host scale-out, placement policies, and an outage drill",
     ),
     (
+        "trace",
+        "per-request critical paths: cold, template hit, failover recovery",
+    ),
+    (
         "headline",
         "cold-start reduction over the QEMU/OVMF baseline",
     ),
@@ -139,6 +143,7 @@ fn main() {
             "fleet" => fleet_table(),
             "chaos" => chaos_table(&args.scale),
             "cluster" => cluster_table(&args.scale),
+            "trace" => trace_table(&args.scale),
             "headline" => headline(&args.scale),
             other => usage_error(&format!("unknown figure '{other}' (see --list)")),
         };
@@ -891,6 +896,72 @@ fn cluster_table(scale: &ExperimentScale) -> FigureDump {
                 ),
             ),
         ]),
+    }
+}
+
+fn trace_table(scale: &ExperimentScale) -> FigureDump {
+    // Same quick/full switch as the other serving tables.
+    let s = sevf_cluster::tracedemo::scenarios(scale.kernel_div > 1).expect("trace scenarios");
+    println!("\n=== Trace: per-request critical paths on the shared clock ===");
+    println!("(one exemplar per scenario; children tile their parents, so the");
+    println!(" per-phase durations sum exactly to the request's metric latency)\n");
+    let runs = [&s.cold, &s.template, &s.failover];
+    for run in runs {
+        let e = &run.exemplar;
+        println!(
+            "{}: request {} — {} ms over {} attempt(s), {} failover hop(s)",
+            run.scenario,
+            e.request,
+            fmt_ms(e.latency.as_millis_f64()),
+            e.attempts,
+            e.failover_hops
+        );
+        let total = e.latency.as_millis_f64();
+        let rows: Vec<Vec<String>> = e
+            .phases
+            .iter()
+            .map(|(phase, d)| {
+                let ms = d.as_millis_f64();
+                vec![
+                    phase.clone(),
+                    fmt_ms(ms),
+                    format!("{:.1}%", 100.0 * ms / total),
+                ]
+            })
+            .collect();
+        println!("{}", render_table(&["phase", "ms", "share"], &rows));
+    }
+    FigureDump {
+        id: "trace".into(),
+        caption: "Per-phase critical paths of exemplar requests".into(),
+        data: Json::Arr(
+            runs.iter()
+                .map(|run| {
+                    let e = &run.exemplar;
+                    Json::obj([
+                        ("scenario", Json::from(run.scenario)),
+                        ("request", Json::from(e.request)),
+                        ("latency_ms", Json::from(e.latency.as_millis_f64())),
+                        ("attempts", Json::from(e.attempts)),
+                        ("failover_hops", Json::from(e.failover_hops)),
+                        (
+                            "phases",
+                            Json::Arr(
+                                e.phases
+                                    .iter()
+                                    .map(|(phase, d)| {
+                                        Json::obj([
+                                            ("phase", Json::from(phase.clone())),
+                                            ("ms", Json::from(d.as_millis_f64())),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 

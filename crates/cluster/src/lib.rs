@@ -44,6 +44,7 @@ pub mod metrics;
 pub mod placement;
 pub mod ring;
 pub mod service;
+pub mod tracedemo;
 
 pub use experiment::{cluster_sweep, ClusterRow, ClusterSweepConfig, ClusterSweepReport};
 pub use metrics::{ClusterMetrics, HostRollup};
@@ -52,6 +53,7 @@ pub use ring::HashRing;
 pub use service::{
     ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind, HostOutage,
 };
+pub use tracedemo::{TraceExemplar, TraceScenarios, TracedRun};
 
 use sevf_fleet::FleetError;
 

@@ -3,8 +3,9 @@
 //! Each host keeps its own counters and latency samples during the run; at
 //! the end they are merged into one [`ClusterMetrics`]: aggregate goodput,
 //! cluster-wide p50/p99 over the merged latency samples (computed with
-//! [`sevf_sim::stats::percentile`] — the tree's single percentile
-//! implementation), per-host PSP utilization skew, the cluster cache
+//! [`sevf_obs::percentile_or_zero`], which wraps the tree's single
+//! percentile implementation in `sevf_sim::stats`), per-host PSP
+//! utilization skew, the cluster cache
 //! hit-rate, and the conservation invariant every run must satisfy:
 //!
 //! ```text
@@ -12,7 +13,7 @@
 //! ```
 
 use sevf_fleet::metrics::FleetMetrics;
-use sevf_sim::stats::percentile;
+use sevf_obs::percentile_or_zero;
 use sevf_sim::Nanos;
 
 /// Per-host slice of the rollup, for skew tables and debugging.
@@ -108,20 +109,35 @@ impl ClusterMetrics {
 
     /// Cluster-wide median latency (ms); 0 with no completions.
     pub fn p50_ms(&self) -> f64 {
-        if self.latencies_ms.is_empty() {
-            0.0
-        } else {
-            percentile(&self.latencies_ms, 50.0)
-        }
+        percentile_or_zero(&self.latencies_ms, 50.0)
     }
 
     /// Cluster-wide 99th-percentile latency (ms); 0 with no completions.
     pub fn p99_ms(&self) -> f64 {
-        if self.latencies_ms.is_empty() {
-            0.0
-        } else {
-            percentile(&self.latencies_ms, 99.0)
+        percentile_or_zero(&self.latencies_ms, 99.0)
+    }
+
+    /// Exports the rollup into a unified [`sevf_obs::Registry`].
+    pub fn registry(&self) -> sevf_obs::Registry {
+        let mut reg = sevf_obs::Registry::new();
+        reg.inc("cluster_issued_total", self.issued as u64);
+        reg.inc("cluster_completed_total", self.completed as u64);
+        reg.inc("cluster_shed_total", self.shed);
+        reg.inc("cluster_unroutable_total", self.unroutable);
+        reg.inc("cluster_breaker_sheds_total", self.breaker_sheds);
+        reg.inc("cluster_timeouts_total", self.timeouts);
+        reg.inc("cluster_failed_total", self.failed);
+        reg.inc("cluster_retries_total", self.retries);
+        reg.inc("cluster_failovers_total", self.failovers);
+        reg.inc("cluster_rebalances_total", self.rebalances);
+        reg.inc("cluster_faults_total", self.faults);
+        reg.set_gauge("cluster_psp_skew", self.psp_skew());
+        reg.set_gauge("cluster_cache_hit_rate", self.cache_hit_rate());
+        reg.set_gauge("cluster_makespan_ms", self.makespan.as_millis_f64());
+        for ms in &self.latencies_ms {
+            reg.observe("cluster_latency_ms", 10.0, *ms);
         }
+        reg
     }
 
     /// Cluster template-cache hit rate in `[0, 1]`; 0 with no lookups.
@@ -191,6 +207,7 @@ mod tests {
 
     #[test]
     fn percentiles_come_from_the_shared_implementation() {
+        use sevf_sim::stats::percentile;
         let m = rollup_with(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(m.p50_ms(), percentile(&[1.0, 2.0, 3.0, 4.0], 50.0));
         assert_eq!(m.p99_ms(), percentile(&[1.0, 2.0, 3.0, 4.0], 99.0));

@@ -44,6 +44,7 @@ use sevf_fleet::recovery::{CircuitBreaker, RecoveryConfig};
 use sevf_fleet::service::{apply_launch_faults, ServingTier};
 use sevf_fleet::workload::{open_arrivals, Arrival, RequestMix};
 use sevf_fleet::{AdmissionConfig, BoundedQueue};
+use sevf_obs::{MarkerKind, Outcome as ReqOutcome, Recorder, TraceLog};
 use sevf_psp::TemplateKey;
 use sevf_sim::fault::{FaultConfig, FaultKind, FaultPlan};
 use sevf_sim::rng::XorShift64;
@@ -305,6 +306,9 @@ struct State<'a> {
     unroutable: u64,
     failovers: u64,
     rebalances: u64,
+    /// Observability recorder. Never touches the RNG, the metrics, or the
+    /// fault plans, so enabling it cannot change a run's results.
+    rec: Recorder,
 }
 
 impl ClusterService {
@@ -323,6 +327,17 @@ impl ClusterService {
 
     /// Serves the configured request stream to completion.
     pub fn run(self) -> ClusterReport {
+        self.run_with(Recorder::disabled()).0
+    }
+
+    /// Serves the stream with span recording on: same report (the recorder
+    /// never touches the RNG, metrics, or fault plans), plus the assembled
+    /// [`TraceLog`] of causal spans, markers, and resource occupancy.
+    pub fn run_traced(self) -> (ClusterReport, TraceLog) {
+        self.run_with(Recorder::enabled())
+    }
+
+    fn run_with(self, rec: Recorder) -> (ClusterReport, TraceLog) {
         let mut engine = DesEngine::new();
         let mut hosts = Vec::with_capacity(self.config.hosts);
         for id in 0..self.config.hosts {
@@ -412,6 +427,7 @@ impl ClusterService {
             unroutable: 0,
             failovers: 0,
             rebalances: 0,
+            rec,
         };
 
         // Arrivals: open loops pre-draw every instant, closed loops start
@@ -497,6 +513,20 @@ impl ClusterService {
             state.on_event(outcome, inject);
         });
 
+        // Feed the recorder the true contended intervals so Step spans land
+        // where the resources actually ran them.
+        if state.rec.on() {
+            for entry in trace.entries() {
+                state.rec.occupy(
+                    engine.resource_name(entry.resource),
+                    entry.job,
+                    entry.start,
+                    entry.end,
+                );
+            }
+        }
+        let log = state.rec.build();
+
         let mut metrics = ClusterMetrics {
             issued: state.issued,
             makespan: trace.makespan(),
@@ -528,14 +558,17 @@ impl ClusterService {
         metrics.failovers = state.failovers;
         metrics.rebalances = state.rebalances;
 
-        ClusterReport {
-            tier: self.config.tier,
-            placement: self.config.placement,
-            hosts: self.config.hosts,
-            offered_rps: self.config.arrival.offered_rps(),
-            metrics,
-            trace,
-        }
+        (
+            ClusterReport {
+                tier: self.config.tier,
+                placement: self.config.placement,
+                hosts: self.config.hosts,
+                offered_rps: self.config.arrival.offered_rps(),
+                metrics,
+                trace,
+            },
+            log,
+        )
     }
 }
 
@@ -568,6 +601,11 @@ impl<'a> State<'a> {
         match self.meta[outcome.job] {
             JobKind::Arrival { request } => {
                 self.arrived[request] = outcome.finish;
+                if self.rec.on() {
+                    let class = self.req_class[request];
+                    self.rec
+                        .arrival(request, &self.catalog.class(class).name, outcome.finish);
+                }
                 self.route(request, outcome.finish, inject);
             }
             JobKind::Launch {
@@ -590,6 +628,7 @@ impl<'a> State<'a> {
                 psp,
                 psp_ns,
             } => {
+                self.rec.background_end(outcome.job, outcome.finish);
                 let poisoned_host = self.poisoned_host.remove(&outcome.job);
                 let poisoned_reset = self.poisoned_reset.remove(&outcome.job);
                 let h = &mut self.hosts[host];
@@ -601,9 +640,13 @@ impl<'a> State<'a> {
                 if poisoned_host {
                     h.metrics.faults.record(FaultKind::HostOutage);
                     h.pool.refill_failed(class);
+                    self.rec
+                        .fault(FaultKind::HostOutage, None, Some(host), outcome.finish);
                 } else if poisoned_reset {
                     h.metrics.faults.record(FaultKind::PspReset);
                     h.pool.refill_failed(class);
+                    self.rec
+                        .fault(FaultKind::PspReset, None, Some(host), outcome.finish);
                 } else {
                     h.pool.refill_done(class);
                 }
@@ -611,6 +654,8 @@ impl<'a> State<'a> {
             JobKind::PspResetStart { host } => {
                 // The host's firmware reset: poison its in-flight PSP work
                 // and kill its template cache (§6.2 under failure).
+                self.rec
+                    .marker(MarkerKind::OutageStart, None, Some(host), outcome.finish);
                 let doomed: Vec<usize> = self.hosts[host].psp_inflight.iter().copied().collect();
                 for job in doomed {
                     self.poisoned_reset.insert(job);
@@ -619,6 +664,8 @@ impl<'a> State<'a> {
                 self.hosts[host].cache.invalidate_all();
             }
             JobKind::PspResetEnd { host } => {
+                self.rec
+                    .marker(MarkerKind::OutageEnd, None, Some(host), outcome.finish);
                 self.drain_queue(host, outcome.finish, inject);
             }
             JobKind::WarmCrash { host, idx } => {
@@ -627,6 +674,8 @@ impl<'a> State<'a> {
                     ((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % classes;
                 if self.hosts[host].pool.crash(class) {
                     self.hosts[host].metrics.faults.record(FaultKind::WarmCrash);
+                    self.rec
+                        .fault(FaultKind::WarmCrash, None, Some(host), outcome.finish);
                     self.start_refill(host, class, outcome.finish, inject);
                 }
             }
@@ -653,6 +702,7 @@ impl<'a> State<'a> {
         psp_ns: Nanos,
         inject: &mut Vec<Job>,
     ) {
+        self.rec.attempt_end(outcome.job, outcome.finish);
         let poisoned_host = self.poisoned_host.remove(&outcome.job);
         let poisoned_reset = self.poisoned_reset.remove(&outcome.job);
         {
@@ -668,6 +718,12 @@ impl<'a> State<'a> {
             // The host died under this launch; the request fails over to a
             // surviving host through the retry path.
             self.failovers += 1;
+            self.rec.marker(
+                MarkerKind::Failover,
+                Some(request),
+                Some(host),
+                outcome.finish,
+            );
             LaunchFate::Fault(FaultKind::HostOutage)
         } else if poisoned_reset {
             LaunchFate::Fault(FaultKind::PspReset)
@@ -679,6 +735,8 @@ impl<'a> State<'a> {
                 self.hosts[host]
                     .metrics
                     .record_latency(outcome.finish - self.arrived[request]);
+                self.rec
+                    .terminal(request, ReqOutcome::Completed, outcome.finish);
                 if let Some(breakers) = &mut self.hosts[host].breakers {
                     breakers[class].on_success(outcome.finish);
                 }
@@ -687,6 +745,8 @@ impl<'a> State<'a> {
             }
             LaunchFate::Fault(kind) => {
                 self.hosts[host].metrics.faults.record(kind);
+                self.rec
+                    .fault(kind, Some(request), Some(host), outcome.finish);
                 if let Some(key) = fill {
                     // The fill died before finalizing its template.
                     self.hosts[host].cache.invalidate(&key);
@@ -694,6 +754,12 @@ impl<'a> State<'a> {
                 if let Some(breakers) = &mut self.hosts[host].breakers {
                     if breakers[class].on_failure(outcome.finish) {
                         self.hosts[host].metrics.breaker_trips += 1;
+                        self.rec.marker(
+                            MarkerKind::BreakerTrip,
+                            Some(request),
+                            Some(host),
+                            outcome.finish,
+                        );
                     }
                 }
                 self.handle_failure(request, outcome.finish, inject);
@@ -711,6 +777,8 @@ impl<'a> State<'a> {
             self.hosts[host].departed = true;
         } else {
             self.hosts[host].out = true;
+            self.rec
+                .marker(MarkerKind::OutageStart, None, Some(host), now);
         }
         self.router.host_left(host);
         if !departure {
@@ -732,6 +800,8 @@ impl<'a> State<'a> {
                 .committed_psp
                 .saturating_sub(next.expected_psp);
             self.failovers += 1;
+            self.rec
+                .marker(MarkerKind::Failover, Some(next.request), Some(host), now);
             self.route(next.request, now, inject);
         }
         if self.config.rebalance {
@@ -747,6 +817,8 @@ impl<'a> State<'a> {
             self.hosts[host].departed = false;
         } else {
             self.hosts[host].out = false;
+            self.rec
+                .marker(MarkerKind::OutageEnd, None, Some(host), now);
         }
         if !self.hosts[host].available() {
             return;
@@ -780,6 +852,7 @@ impl<'a> State<'a> {
             self.hosts[host].pool.set_target(target);
         }
         self.rebalances += 1;
+        self.rec.marker(MarkerKind::Rebalance, None, None, now);
         for host in 0..self.hosts.len() {
             if self.hosts[host].available() {
                 self.kick_refills(host, now, inject);
@@ -801,6 +874,7 @@ impl<'a> State<'a> {
         let class = self.req_class[request];
         if self.past_deadline(request, now) {
             self.timeouts += 1;
+            self.rec.terminal(request, ReqOutcome::Timeout, now);
             self.issue_next_closed(now, inject);
             return;
         }
@@ -817,9 +891,16 @@ impl<'a> State<'a> {
             // Nowhere to run: shed fast (clients of a fully-dark cluster
             // get an immediate error, not an unbounded queue).
             self.unroutable += 1;
+            self.rec.terminal(request, ReqOutcome::Shed, now);
             self.issue_next_closed(now, inject);
             return;
         };
+        self.rec.marker(
+            MarkerKind::Placement { host },
+            Some(request),
+            Some(host),
+            now,
+        );
         self.assign(request, class, host, now, inject);
     }
 
@@ -835,6 +916,7 @@ impl<'a> State<'a> {
         let level = self.hosts[host].degrade_level(class, now);
         let Some(tier) = self.config.tier.degraded(level) else {
             self.breaker_sheds += 1;
+            self.rec.terminal(request, ReqOutcome::BreakerShed, now);
             self.issue_next_closed(now, inject);
             return;
         };
@@ -892,7 +974,9 @@ impl<'a> State<'a> {
         self.hosts[host].metrics.sample_queue_depth(now, depth);
         if admitted {
             self.hosts[host].committed_psp += expected_psp;
+            self.rec.queued(request);
         } else {
+            self.rec.terminal(request, ReqOutcome::Shed, now);
             self.issue_next_closed(now, inject);
         }
     }
@@ -955,6 +1039,16 @@ impl<'a> State<'a> {
         h.committed_psp += psp_ns;
         inject.push(blueprint.to_job(now, h.cpu, h.psp));
         let job = self.meta.len();
+        if self.rec.on() {
+            self.rec.attempt_start(
+                request,
+                job,
+                &blueprint.label,
+                Some(host),
+                blueprint.steps.clone(),
+                now,
+            );
+        }
         self.meta.push(JobKind::Launch {
             request,
             class,
@@ -978,16 +1072,19 @@ impl<'a> State<'a> {
         match self.config.recovery.retry.backoff(failures, request as u64) {
             None => {
                 self.failed += 1;
+                self.rec.terminal(request, ReqOutcome::Failed, now);
                 self.issue_next_closed(now, inject);
             }
             Some(delay) => {
                 let at = now + delay;
                 if self.past_deadline(request, at) {
                     self.timeouts += 1;
+                    self.rec.terminal(request, ReqOutcome::Timeout, now);
                     self.issue_next_closed(now, inject);
                     return;
                 }
                 self.retries += 1;
+                self.rec.retry_wait(request, failures, now, at);
                 inject.push(Job::released_at(at, vec![]));
                 self.meta.push(JobKind::Retry { request });
             }
@@ -1011,12 +1108,15 @@ impl<'a> State<'a> {
             h.metrics.sample_queue_depth(now, depth);
             if self.past_deadline(next.request, now) {
                 self.timeouts += 1;
+                self.rec.terminal(next.request, ReqOutcome::Timeout, now);
                 self.issue_next_closed(now, inject);
                 continue;
             }
             let level = self.hosts[host].degrade_level(next.class, now);
             let Some(tier) = self.config.tier.degraded(level) else {
                 self.breaker_sheds += 1;
+                self.rec
+                    .terminal(next.request, ReqOutcome::BreakerShed, now);
                 self.issue_next_closed(now, inject);
                 continue;
             };
@@ -1044,6 +1144,10 @@ impl<'a> State<'a> {
         h.committed_psp += psp_ns;
         inject.push(refill.to_job(now, h.cpu, h.psp));
         let job = self.meta.len();
+        if self.rec.on() {
+            self.rec
+                .background(job, &refill.label, Some(host), refill.steps.clone(), now);
+        }
         self.meta.push(JobKind::Replenish {
             class,
             host,

@@ -23,9 +23,10 @@
 use std::collections::HashMap;
 
 use sevf_image::kernel::KernelConfig;
+use sevf_obs::WorkStep;
 use sevf_psp::TemplateKey;
 use sevf_sim::cost::SevGeneration;
-use sevf_sim::{Job, Nanos, ResourceClass, ResourceId, Segment};
+use sevf_sim::{Job, Nanos, PhaseKind, ResourceClass, ResourceId, Segment};
 use sevf_vmm::config::LaunchMode;
 use sevf_vmm::{BootPolicy, BootReport, Machine, MicroVm, VmConfig};
 
@@ -34,89 +35,108 @@ use crate::FleetError;
 const MB: u64 = 1024 * 1024;
 
 /// The virtual-time shape of one launch, replayable as a DES job.
+///
+/// Steps keep the boot timeline's phase and per-step label (the PSP
+/// command names, attestation round trips, ...), so a replayed launch can
+/// be traced back to the paper's phase breakdowns instead of flattening
+/// into anonymous `(class, duration)` pairs.
 #[derive(Debug, Clone)]
 pub struct Blueprint {
     /// Label carried into job segments (shows up in traces).
     pub label: String,
-    /// Ordered `(resource class, duration)` steps.
-    pub segments: Vec<(ResourceClass, Nanos)>,
+    /// Ordered resource-class steps with their boot phases and labels.
+    pub steps: Vec<WorkStep>,
 }
 
 impl Blueprint {
-    /// Extracts the blueprint of a boot report's timeline.
+    /// Extracts the blueprint of a boot report's timeline, preserving each
+    /// span's phase and label.
     pub fn from_report(label: impl Into<String>, report: &BootReport) -> Self {
         Blueprint {
             label: label.into(),
-            segments: report
+            steps: report
                 .timeline
                 .spans()
                 .iter()
-                .map(|span| (span.class, span.duration))
+                .map(|span| {
+                    WorkStep::new(span.class, span.phase, span.label.clone(), span.duration)
+                })
                 .collect(),
         }
     }
 
     /// A single-step CPU blueprint (used for warm invocations).
     pub fn cpu_step(label: impl Into<String>, duration: Nanos) -> Self {
+        let label = label.into();
         Blueprint {
-            label: label.into(),
-            segments: vec![(ResourceClass::HostCpu, duration)],
+            steps: vec![WorkStep::new(
+                ResourceClass::HostCpu,
+                PhaseKind::VmmSetup,
+                label.clone(),
+                duration,
+            )],
+            label,
         }
     }
 
     /// Serialized PSP work this blueprint costs per replay — the quantity
     /// the shortest-expected-PSP-work scheduler orders by.
     pub fn psp_work(&self) -> Nanos {
-        self.segments
+        self.steps
             .iter()
-            .filter(|(class, _)| *class == ResourceClass::Psp)
-            .map(|(_, d)| *d)
+            .filter(|step| step.class == ResourceClass::Psp)
+            .map(|step| step.duration)
             .sum()
     }
 
-    /// Total service time (all segments, uncontended).
+    /// Total service time (all steps, uncontended).
     pub fn service_time(&self) -> Nanos {
-        self.segments.iter().map(|(_, d)| *d).sum()
+        self.steps.iter().map(|step| step.duration).sum()
     }
 
-    /// Whether any segment is a network delay (attestation round trips) —
+    /// Whether any step is a network delay (attestation round trips) —
     /// the launches attestation faults can strike.
     pub fn has_network(&self) -> bool {
-        self.segments
+        self.steps
             .iter()
-            .any(|(class, _)| *class == ResourceClass::Network)
+            .any(|step| step.class == ResourceClass::Network)
     }
 
     /// The prefix of this blueprint consuming `frac` of its service time —
     /// the work a launch burns before a transient fault kills it. The last
-    /// segment is cut partially; `frac` is clamped to `[0, 1]`.
+    /// step is cut partially; `frac` is clamped to `[0, 1]`.
     pub fn truncate_frac(&self, frac: f64) -> Blueprint {
         let frac = frac.clamp(0.0, 1.0);
         let mut budget = self.service_time().scale_f64(frac);
-        let mut segments = Vec::new();
-        for &(class, duration) in &self.segments {
+        let mut steps = Vec::new();
+        for step in &self.steps {
             if budget == Nanos::ZERO {
                 break;
             }
-            let take = duration.min(budget);
-            segments.push((class, take));
+            let take = step.duration.min(budget);
+            steps.push(WorkStep::new(
+                step.class,
+                step.phase,
+                step.label.clone(),
+                take,
+            ));
             budget = budget.saturating_sub(take);
         }
         Blueprint {
             label: format!("{} (aborted)", self.label),
-            segments,
+            steps,
         }
     }
 
     /// Converts the blueprint into a DES job released at `release`.
     pub fn to_job(&self, release: Nanos, cpu: ResourceId, psp: ResourceId) -> Job {
         let segments = self
-            .segments
+            .steps
             .iter()
-            .map(|&(class, duration)| match class {
-                ResourceClass::Psp => Segment::on(psp, duration, self.label.clone()),
-                ResourceClass::HostCpu => Segment::on(cpu, duration, self.label.clone()),
-                ResourceClass::Network => Segment::delay(duration, self.label.clone()),
+            .map(|step| match step.class {
+                ResourceClass::Psp => Segment::on(psp, step.duration, self.label.clone()),
+                ResourceClass::HostCpu => Segment::on(cpu, step.duration, self.label.clone()),
+                ResourceClass::Network => Segment::delay(step.duration, self.label.clone()),
             })
             .collect();
         Job::released_at(release, segments)
@@ -491,11 +511,13 @@ mod tests {
         let tol = Nanos::from_nanos(1);
         assert!(half.service_time() <= bp.service_time().scale_f64(0.5) + tol);
         assert!(half.service_time() + tol >= bp.service_time().scale_f64(0.5));
-        // Prefix property: segment classes match the original's in order.
-        for (a, b) in half.segments.iter().zip(&bp.segments) {
-            assert_eq!(a.0, b.0);
+        // Prefix property: step classes and labels match the original's
+        // in order.
+        for (a, b) in half.steps.iter().zip(&bp.steps) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.label, b.label);
         }
-        assert!(bp.truncate_frac(0.0).segments.is_empty());
+        assert!(bp.truncate_frac(0.0).steps.is_empty());
         assert_eq!(bp.truncate_frac(1.0).service_time(), bp.service_time());
         assert_eq!(bp.truncate_frac(7.0).service_time(), bp.service_time());
     }

@@ -170,6 +170,20 @@ impl FleetMetrics {
         self.summary().map_or(0.0, |s| s.p99)
     }
 
+    /// The latencies as a shared [`sevf_obs::Histogram`] over
+    /// `bucket_ms`-wide buckets (milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ms` is not positive.
+    pub fn latency_histogram(&self, bucket_ms: f64) -> sevf_obs::Histogram {
+        let mut hist = sevf_obs::Histogram::new(bucket_ms);
+        for l in &self.latencies {
+            hist.record(l.as_millis_f64());
+        }
+        hist
+    }
+
     /// Latency histogram over `bucket_ms`-wide buckets:
     /// `(upper bound ms, count)` pairs covering every sample.
     ///
@@ -177,44 +191,41 @@ impl FleetMetrics {
     ///
     /// Panics if `bucket_ms` is not positive.
     pub fn histogram(&self, bucket_ms: f64) -> Vec<(f64, usize)> {
-        assert!(bucket_ms > 0.0, "bucket width must be positive");
-        if self.latencies.is_empty() {
-            return Vec::new();
-        }
-        let max_ms = self
-            .latencies
-            .iter()
-            .map(|l| l.as_millis_f64())
-            .fold(0.0, f64::max);
-        let buckets = (max_ms / bucket_ms).floor() as usize + 1;
-        let mut hist = vec![0usize; buckets];
-        for l in &self.latencies {
-            let idx = (l.as_millis_f64() / bucket_ms).floor() as usize;
-            hist[idx.min(buckets - 1)] += 1;
-        }
-        hist.iter()
-            .enumerate()
-            .map(|(i, &count)| ((i + 1) as f64 * bucket_ms, count))
-            .collect()
+        self.latency_histogram(bucket_ms).upper_edge_rows()
     }
 
     /// Mean queue depth weighted by the time each depth was held.
     pub fn mean_queue_depth(&self) -> f64 {
-        if self.queue_depth.len() < 2 {
-            return 0.0;
+        sevf_obs::time_weighted_mean(&self.queue_depth)
+    }
+
+    /// Exports the run's counters, gauges, and latency histogram into a
+    /// unified [`sevf_obs::Registry`] (for the Prometheus-style dump).
+    pub fn registry(&self) -> sevf_obs::Registry {
+        let mut reg = sevf_obs::Registry::new();
+        reg.inc("fleet_completed_total", self.completed as u64);
+        reg.inc("fleet_shed_total", self.shed);
+        reg.inc("fleet_breaker_sheds_total", self.breaker_sheds);
+        reg.inc("fleet_timeouts_total", self.timeouts);
+        reg.inc("fleet_failed_total", self.failed);
+        reg.inc("fleet_retries_total", self.retries);
+        reg.inc("fleet_faults_total", self.faults.total());
+        reg.inc("fleet_degraded_dispatches_total", self.degraded_dispatches);
+        reg.inc("fleet_breaker_trips_total", self.breaker_trips);
+        reg.inc("fleet_cache_hits_total", self.cache_hits);
+        reg.inc("fleet_cache_misses_total", self.cache_misses);
+        reg.inc("fleet_warm_hits_total", self.warm_hits);
+        reg.inc("fleet_warm_misses_total", self.warm_misses);
+        reg.inc("fleet_evicted_total", self.evicted);
+        reg.set_gauge("fleet_psp_utilization", self.psp_utilization);
+        reg.set_gauge("fleet_cpu_utilization", self.cpu_utilization);
+        reg.set_gauge("fleet_mean_queue_depth", self.mean_queue_depth());
+        reg.set_gauge("fleet_max_queue_depth", self.max_queue_depth as f64);
+        reg.set_gauge("fleet_makespan_ms", self.makespan.as_millis_f64());
+        for l in &self.latencies {
+            reg.observe("fleet_latency_ms", 10.0, l.as_millis_f64());
         }
-        let mut weighted = 0.0;
-        let mut span = 0.0;
-        for pair in self.queue_depth.windows(2) {
-            let dt = (pair[1].0 - pair[0].0).as_nanos() as f64;
-            weighted += pair[0].1 as f64 * dt;
-            span += dt;
-        }
-        if span == 0.0 {
-            0.0
-        } else {
-            weighted / span
-        }
+        reg
     }
 
     /// Human-readable one-run report.

@@ -37,10 +37,11 @@
 
 use std::collections::BTreeSet;
 
+use sevf_obs::{MarkerKind, Outcome as ReqOutcome, Recorder, TraceLog};
 use sevf_psp::TemplateKey;
 use sevf_sim::fault::{AttestFault, FaultKind, FaultPlan};
 use sevf_sim::rng::XorShift64;
-use sevf_sim::{DesEngine, Job, JobOutcome, Nanos, ResourceClass, ResourceId, RunTrace};
+use sevf_sim::{DesEngine, Job, JobOutcome, Nanos, PhaseKind, ResourceClass, ResourceId, RunTrace};
 use sevf_vmm::machine::HOST_CORES;
 
 use crate::admission::{AdmissionConfig, BoundedQueue, Pending};
@@ -232,6 +233,9 @@ struct State<'a> {
     inflight: usize,
     issued: usize,
     metrics: FleetMetrics,
+    /// Observability handle. Disabled by default; never touches the RNG,
+    /// the metrics, or job injection, so enabling it cannot change a run.
+    rec: Recorder,
 }
 
 impl FleetService {
@@ -262,6 +266,19 @@ impl FleetService {
 
     /// Serves the configured request stream to completion.
     pub fn run(self) -> FleetReport {
+        self.run_with(Recorder::disabled()).0
+    }
+
+    /// Serves the stream with span recording on, returning the report and
+    /// the assembled [`TraceLog`]. The report is identical to [`run`]'s
+    /// (the recorder only observes).
+    ///
+    /// [`run`]: FleetService::run
+    pub fn run_traced(self) -> (FleetReport, TraceLog) {
+        self.run_with(Recorder::enabled())
+    }
+
+    fn run_with(self, rec: Recorder) -> (FleetReport, TraceLog) {
         let mut engine = DesEngine::new();
         let psp = engine.add_resource("psp", 1);
         let cpu = engine.add_resource("host-cpus", HOST_CORES);
@@ -308,6 +325,7 @@ impl FleetService {
             inflight: 0,
             issued: 0,
             metrics: FleetMetrics::default(),
+            rec,
         };
 
         // Warm-pool serving starts with every template live: the pool's
@@ -362,6 +380,20 @@ impl FleetService {
             state.on_event(outcome, inject);
         });
 
+        // Feed the engine's resource occupancy back so PSP/CPU steps land
+        // at their true contended intervals rather than planned durations.
+        if state.rec.on() {
+            for entry in trace.entries() {
+                state.rec.occupy(
+                    engine.resource_name(entry.resource),
+                    entry.job,
+                    entry.start,
+                    entry.end,
+                );
+            }
+        }
+        let log = state.rec.build();
+
         let mut metrics = state.metrics;
         metrics.shed = state.queue.shed();
         metrics.max_queue_depth = state.queue.max_depth();
@@ -384,13 +416,16 @@ impl FleetService {
                 .sum();
         }
 
-        FleetReport {
-            tier: self.config.tier,
-            offered_rps: self.config.arrival.offered_rps(),
-            metrics,
-            pool_resident_bytes: state.pool.resident_bytes(),
-            trace,
-        }
+        (
+            FleetReport {
+                tier: self.config.tier,
+                offered_rps: self.config.arrival.offered_rps(),
+                metrics,
+                pool_resident_bytes: state.pool.resident_bytes(),
+                trace,
+            },
+            log,
+        )
     }
 }
 
@@ -446,6 +481,11 @@ impl<'a> State<'a> {
         match self.meta[outcome.job] {
             JobKind::Arrival { request } => {
                 self.arrived[request] = outcome.finish;
+                if self.rec.on() {
+                    let class = self.req_class[request];
+                    self.rec
+                        .arrival(request, &self.catalog.class(class).name, outcome.finish);
+                }
                 self.route(request, outcome.finish, inject);
             }
             JobKind::Launch {
@@ -466,10 +506,13 @@ impl<'a> State<'a> {
                     fate
                 };
                 self.inflight = self.inflight.saturating_sub(1);
+                self.rec.attempt_end(outcome.job, outcome.finish);
                 match fate {
                     LaunchFate::Ok => {
                         self.metrics
                             .record_latency(outcome.finish - self.arrived[request]);
+                        self.rec
+                            .terminal(request, ReqOutcome::Completed, outcome.finish);
                         if let Some(breakers) = &mut self.breakers {
                             breakers[class].on_success(outcome.finish);
                         }
@@ -478,6 +521,7 @@ impl<'a> State<'a> {
                     }
                     LaunchFate::Fault(kind) => {
                         self.metrics.faults.record(kind);
+                        self.rec.fault(kind, Some(request), None, outcome.finish);
                         if let Some(key) = fill {
                             // The fill died before finalizing its template:
                             // the key must not look live.
@@ -486,6 +530,12 @@ impl<'a> State<'a> {
                         if let Some(breakers) = &mut self.breakers {
                             if breakers[class].on_failure(outcome.finish) {
                                 self.metrics.breaker_trips += 1;
+                                self.rec.marker(
+                                    MarkerKind::BreakerTrip,
+                                    Some(request),
+                                    None,
+                                    outcome.finish,
+                                );
                             }
                         }
                         self.handle_failure(request, outcome.finish, inject);
@@ -500,15 +550,24 @@ impl<'a> State<'a> {
                 if psp {
                     self.psp_inflight.remove(&outcome.job);
                 }
+                self.rec.background_end(outcome.job, outcome.finish);
                 if self.poisoned.remove(&outcome.job) {
                     self.metrics.faults.record(FaultKind::PspReset);
+                    self.rec
+                        .fault(FaultKind::PspReset, None, None, outcome.finish);
                     self.pool.refill_failed(class);
                 } else {
                     self.pool.refill_done(class);
                 }
             }
-            JobKind::ResetStart => self.on_reset_start(),
+            JobKind::ResetStart => {
+                self.rec
+                    .marker(MarkerKind::OutageStart, None, None, outcome.finish);
+                self.on_reset_start();
+            }
             JobKind::ResetEnd => {
+                self.rec
+                    .marker(MarkerKind::OutageEnd, None, None, outcome.finish);
                 // The PSP is back (re-initialized): release quiesced work.
                 self.drain_queue(outcome.finish, inject);
             }
@@ -535,6 +594,7 @@ impl<'a> State<'a> {
         let class = ((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % classes;
         if self.pool.crash(class) {
             self.metrics.faults.record(FaultKind::WarmCrash);
+            self.rec.fault(FaultKind::WarmCrash, None, None, now);
             self.start_refill(class, now, inject);
         }
     }
@@ -555,6 +615,10 @@ impl<'a> State<'a> {
         inject.push(refill.to_job(now, self.cpu, self.psp));
         let job = self.meta.len();
         self.meta.push(JobKind::Replenish { class, psp });
+        if self.rec.on() {
+            self.rec
+                .background(job, &refill.label, None, refill.steps.clone(), now);
+        }
         if psp {
             self.psp_inflight.insert(job);
         }
@@ -566,12 +630,14 @@ impl<'a> State<'a> {
         let class = self.req_class[request];
         if self.past_deadline(request, now) {
             self.metrics.timeouts += 1;
+            self.rec.terminal(request, ReqOutcome::Timeout, now);
             self.issue_next_closed(now, inject);
             return;
         }
         let level = self.degrade_level(class, now);
         let Some(tier) = self.config.tier.degraded(level) else {
             self.metrics.breaker_sheds += 1;
+            self.rec.terminal(request, ReqOutcome::BreakerShed, now);
             self.issue_next_closed(now, inject);
             return;
         };
@@ -621,8 +687,11 @@ impl<'a> State<'a> {
             key,
         });
         self.metrics.sample_queue_depth(now, self.queue.len());
-        if !admitted {
+        if admitted {
+            self.rec.queued(request);
+        } else {
             // Shed: fail fast. A closed-loop client still comes back.
+            self.rec.terminal(request, ReqOutcome::Shed, now);
             self.issue_next_closed(now, inject);
         }
     }
@@ -683,6 +752,16 @@ impl<'a> State<'a> {
         let psp = blueprint.psp_work() > Nanos::ZERO;
         inject.push(blueprint.to_job(now, self.cpu, self.psp));
         let job = self.meta.len();
+        if self.rec.on() {
+            self.rec.attempt_start(
+                request,
+                job,
+                &blueprint.label,
+                None,
+                blueprint.steps.clone(),
+                now,
+            );
+        }
         self.meta.push(JobKind::Launch {
             request,
             class,
@@ -703,6 +782,7 @@ impl<'a> State<'a> {
         match self.config.recovery.retry.backoff(failures, request as u64) {
             None => {
                 self.metrics.failed += 1;
+                self.rec.terminal(request, ReqOutcome::Failed, now);
                 self.issue_next_closed(now, inject);
             }
             Some(delay) => {
@@ -716,10 +796,12 @@ impl<'a> State<'a> {
                 }
                 if self.past_deadline(request, at) {
                     self.metrics.timeouts += 1;
+                    self.rec.terminal(request, ReqOutcome::Timeout, now);
                     self.issue_next_closed(now, inject);
                     return;
                 }
                 self.metrics.record_retry(failures);
+                self.rec.retry_wait(request, failures, now, at);
                 inject.push(Job::released_at(at, vec![]));
                 self.meta.push(JobKind::Retry { request });
             }
@@ -744,12 +826,15 @@ impl<'a> State<'a> {
             if self.past_deadline(next.request, now) {
                 // Expired while waiting: a timeout shed, not a dispatch.
                 self.metrics.timeouts += 1;
+                self.rec.terminal(next.request, ReqOutcome::Timeout, now);
                 self.issue_next_closed(now, inject);
                 continue;
             }
             let level = self.degrade_level(next.class, now);
             let Some(tier) = self.config.tier.degraded(level) else {
                 self.metrics.breaker_sheds += 1;
+                self.rec
+                    .terminal(next.request, ReqOutcome::BreakerShed, now);
                 self.issue_next_closed(now, inject);
                 continue;
             };
@@ -803,7 +888,12 @@ pub fn apply_launch_faults(
         if let Some(end) = plan.in_outage(now) {
             let dead = Blueprint {
                 label: format!("{} (dead psp)", blueprint.label),
-                segments: vec![(ResourceClass::Network, end.saturating_sub(now))],
+                steps: vec![sevf_obs::WorkStep::new(
+                    ResourceClass::Network,
+                    PhaseKind::PreEncryption,
+                    "hang on rebooting PSP mailbox",
+                    end.saturating_sub(now),
+                )],
             };
             return (dead, Some(FaultKind::PspReset));
         }
@@ -816,8 +906,12 @@ pub fn apply_launch_faults(
         match plan.attest_fault(token) {
             Some(AttestFault::Timeout) => {
                 let mut hung = blueprint;
-                hung.segments
-                    .push((ResourceClass::Network, plan.config().attest_timeout));
+                hung.steps.push(sevf_obs::WorkStep::new(
+                    ResourceClass::Network,
+                    PhaseKind::Attestation,
+                    "attestation round trip times out",
+                    plan.config().attest_timeout,
+                ));
                 return (hung, Some(FaultKind::AttestTimeout));
             }
             Some(AttestFault::Error) => return (blueprint, Some(FaultKind::AttestError)),

@@ -24,6 +24,21 @@ pub struct PspWork {
     pub duration: Nanos,
 }
 
+/// One executed PSP command, as recorded in the command ledger: which
+/// mailbox command ran, how long the PSP core was busy, and the firmware
+/// epoch it ran in. The ledger is the ground truth the observability
+/// layer checks span trees against — the sum of its durations is exactly
+/// [`Psp::total_busy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Mailbox command name (`"LAUNCH_START"`, `"SNP_GUEST_REQUEST"`, ...).
+    pub name: &'static str,
+    /// Time the PSP core was busy executing it.
+    pub duration: Nanos,
+    /// Firmware epoch the command executed in.
+    pub epoch: u64,
+}
+
 /// Result of `LAUNCH_START`.
 #[derive(Debug)]
 pub struct LaunchOutcome {
@@ -83,6 +98,7 @@ pub struct Psp {
     next_handle: u64,
     key_counter: u64,
     firmware_epoch: u64,
+    ledger: Vec<CommandRecord>,
     /// Total PSP-busy time issued so far (observability for experiments).
     pub total_busy: Nanos,
 }
@@ -97,6 +113,7 @@ impl Psp {
             next_handle: 1,
             key_counter: 0,
             firmware_epoch: 0,
+            ledger: Vec::new(),
             total_busy: Nanos::ZERO,
         }
     }
@@ -118,6 +135,14 @@ impl Psp {
         self.firmware_epoch
     }
 
+    /// The command ledger: every command this PSP has executed, in issue
+    /// order. Survives firmware resets (it is the host's log, not PSP
+    /// volatile state); the `SEV_PLATFORM_INIT` entry a reset charges is
+    /// recorded in the *new* epoch.
+    pub fn ledger(&self) -> &[CommandRecord] {
+        &self.ledger
+    }
+
     /// Firmware reset: the PSP reboots and loses **all** volatile state —
     /// every guest launch context (in-flight or finalized) is destroyed, so
     /// old handles now fail with [`PspError::UnknownGuest`] and shared-key
@@ -129,11 +154,16 @@ impl Psp {
         self.guests.clear();
         self.firmware_epoch += 1;
         let duration = self.cost.psp_firmware_reset + self.cost.psp_cmd_dispatch;
-        self.charge(duration)
+        self.charge("SEV_PLATFORM_INIT", duration)
     }
 
-    fn charge(&mut self, duration: Nanos) -> PspWork {
+    fn charge(&mut self, name: &'static str, duration: Nanos) -> PspWork {
         self.total_busy += duration;
+        self.ledger.push(CommandRecord {
+            name,
+            duration,
+            epoch: self.firmware_epoch,
+        });
         PspWork { duration }
     }
 
@@ -174,7 +204,7 @@ impl Psp {
         Ok(LaunchOutcome {
             guest: GuestHandle(handle),
             memory_key,
-            work: self.charge(duration),
+            work: self.charge("LAUNCH_START", duration),
         })
     }
 
@@ -220,7 +250,7 @@ impl Psp {
         Ok(LaunchOutcome {
             guest: GuestHandle(handle),
             memory_key: key,
-            work: self.charge(duration),
+            work: self.charge("LAUNCH_START(shared)", duration),
         })
     }
 
@@ -251,7 +281,7 @@ impl Psp {
             ctx.chain.add_page(addr + i as u64 * 4096, page);
         }
         let duration = self.cost.psp_pre_encrypt_bytes(plaintext.len() as u64);
-        Ok(self.charge(duration))
+        Ok(self.charge("LAUNCH_UPDATE_DATA", duration))
     }
 
     /// `LAUNCH_UPDATE_VMSA`: encrypts and measures the initial register
@@ -281,7 +311,7 @@ impl Psp {
             ctx.chain.add_vmsa(vcpu, initial_state);
         }
         let duration = self.cost.psp_update_vmsas(vcpus);
-        Ok(self.charge(duration))
+        Ok(self.charge("LAUNCH_UPDATE_VMSA", duration))
     }
 
     /// SNP RMP initialization for the guest's memory: PSP-mediated
@@ -298,7 +328,7 @@ impl Psp {
         } else {
             Nanos::ZERO
         };
-        Ok(self.charge(duration))
+        Ok(self.charge("RMP_INIT", duration))
     }
 
     /// `LAUNCH_FINISH`: freezes the measurement; later update commands fail.
@@ -320,7 +350,7 @@ impl Psp {
         let duration = self.cost.psp_launch_finish + self.cost.psp_cmd_dispatch;
         Ok(FinishOutcome {
             measurement,
-            work: self.charge(duration),
+            work: self.charge("LAUNCH_FINISH", duration),
         })
     }
 
@@ -352,7 +382,7 @@ impl Psp {
             signature: [0u8; 48],
         };
         report.signature = self.chip.sign(&report.body_bytes());
-        Ok((report, self.charge(duration)))
+        Ok((report, self.charge("SNP_GUEST_REQUEST", duration)))
     }
 }
 
@@ -521,6 +551,37 @@ mod tests {
         let mut registry = AmdRootRegistry::new();
         registry.register(chip_before);
         assert!(registry.verify(&report), "fused identity must persist");
+    }
+
+    #[test]
+    fn ledger_records_every_command_and_sums_to_total_busy() {
+        let (mut psp, guest, mut mem) = setup();
+        mem.host_write(0, b"payload").unwrap();
+        psp.launch_update_data(guest, &mut mem, 0, 4096).unwrap();
+        psp.launch_update_vmsa(guest, 2, &[0u8; 4096]).unwrap();
+        psp.rmp_init(guest, &mem).unwrap();
+        psp.launch_finish(guest).unwrap();
+        psp.guest_report(guest, [4u8; 64]).unwrap();
+        psp.firmware_reset();
+
+        let names: Vec<&str> = psp.ledger().iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "LAUNCH_START",
+                "LAUNCH_UPDATE_DATA",
+                "LAUNCH_UPDATE_VMSA",
+                "RMP_INIT",
+                "LAUNCH_FINISH",
+                "SNP_GUEST_REQUEST",
+                "SEV_PLATFORM_INIT",
+            ]
+        );
+        let sum: Nanos = psp.ledger().iter().map(|c| c.duration).sum();
+        assert_eq!(sum, psp.total_busy, "ledger is the total_busy breakdown");
+        // The reset's PLATFORM_INIT is logged in the epoch it creates.
+        assert_eq!(psp.ledger().last().unwrap().epoch, 1);
+        assert!(psp.ledger()[..6].iter().all(|c| c.epoch == 0));
     }
 
     #[test]

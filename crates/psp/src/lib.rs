@@ -45,7 +45,7 @@ mod report;
 mod template;
 
 pub use error::PspError;
-pub use launch::{FinishOutcome, GuestHandle, LaunchOutcome, Psp, PspWork};
+pub use launch::{CommandRecord, FinishOutcome, GuestHandle, LaunchOutcome, Psp, PspWork};
 pub use measurement::{measure_region, MeasurementChain, PageType};
 pub use report::{AmdRootRegistry, AttestationReport, ChipIdentity, GuestPolicy};
 pub use template::TemplateKey;

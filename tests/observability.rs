@@ -1,0 +1,314 @@
+//! Cross-layer observability invariants: the span trees `run_traced`
+//! assembles must agree — exactly, on the shared virtual clock — with the
+//! metrics the fleet and cluster control planes report.
+//!
+//! The battery ([`sevf_obs::invariants`]) checks, per completed request:
+//! one root span, children nested and tiling their parents, PSP spans on
+//! capacity-1 resources never overlapping (Fig. 12 structurally), and the
+//! root/leaf-sum durations equal to the latency the metrics recorded. The
+//! chaos tests replay the seeded fault storm and require every span-side
+//! count (retries, sheds, faults, failovers) to match its counter.
+
+use sevf_fleet::blueprint::{Catalog, ClassSpec};
+use sevf_fleet::chaos::ChaosConfig;
+use sevf_fleet::recovery::RecoveryConfig;
+use sevf_fleet::service::{FleetConfig, FleetService, ServingTier};
+use sevf_fleet::workload::RequestMix;
+use sevf_obs::{invariants, Histogram, MarkerKind, Outcome, TraceLog};
+use sevf_sim::fault::{FaultConfig, FaultKind, FaultPlan};
+use sevf_sim::rng::XorShift64;
+use sevf_sim::{stats, Nanos};
+
+fn catalog() -> Catalog {
+    Catalog::build(17, &ClassSpec::quick_test_classes()).unwrap()
+}
+
+/// Completed requests paired with their metrics latencies. Fleet latencies
+/// are recorded in completion order, which is exactly the order terminal
+/// outcomes were recorded in, so the zip is positional and exact.
+fn completed_pairs(log: &TraceLog, latencies: &[Nanos]) -> Vec<(usize, Nanos)> {
+    let requests = log.requests_with_outcome(Outcome::Completed);
+    assert_eq!(requests.len(), latencies.len());
+    requests
+        .into_iter()
+        .zip(latencies.iter().copied())
+        .collect()
+}
+
+#[test]
+fn fleet_fault_free_spans_obey_the_battery() {
+    let config = FleetConfig {
+        mix: Some(RequestMix::weighted(vec![(0, 3), (1, 1)])),
+        ..FleetConfig::open_loop(ServingTier::Cold, 40.0, 60)
+    };
+    let (report, log) = FleetService::new(catalog(), config).run_traced();
+    assert!(report.metrics.completed > 0);
+    let pairs = completed_pairs(&log, &report.metrics.latencies);
+    invariants::check_completed(&log, &pairs).unwrap();
+    // Fault-free run: no fault markers, no retries, no backoff spans.
+    assert_eq!(log.total_faults(), 0);
+    assert_eq!(log.retry_waits(), 0);
+}
+
+#[test]
+fn fleet_template_and_warm_tiers_also_pass_the_battery() {
+    for tier in [ServingTier::Template, ServingTier::WarmPool] {
+        let config = FleetConfig {
+            warm_target: 8,
+            ..FleetConfig::open_loop(tier, 60.0, 80)
+        };
+        let (report, log) = FleetService::new(catalog(), config).run_traced();
+        assert!(report.metrics.completed > 0, "{tier:?} completed nothing");
+        let pairs = completed_pairs(&log, &report.metrics.latencies);
+        invariants::check_completed(&log, &pairs).unwrap();
+    }
+}
+
+/// The PR-2 fault storm, replayed traced: every span-side count must equal
+/// its metrics counter, and the conservation law must hold on both sides.
+#[test]
+fn fleet_chaos_spans_match_fault_counters_exactly() {
+    let chaos = ChaosConfig::quick();
+    let requests = 200;
+    let load = 60.0;
+    let horizon = Nanos::from_nanos((requests as f64 / load * 2.0 * 1e9) as u64);
+    let plan = FaultPlan::generate(chaos.seed, chaos.fault.clone(), horizon).unwrap();
+    let config = FleetConfig {
+        mix: chaos.mix.clone(),
+        admission: chaos.admission,
+        warm_target: chaos.warm_target,
+        fault: Some(plan),
+        recovery: chaos.recovery,
+        ..FleetConfig::open_loop(chaos.tier, load, requests)
+    };
+    let (report, log) = FleetService::new(catalog(), config).run_traced();
+    let m = &report.metrics;
+    assert!(m.faults.total() > 0, "storm injected nothing");
+
+    // Terminal outcomes, one per issued request (conservation in span form).
+    assert_eq!(log.outcomes.len(), requests);
+    assert_eq!(log.count_outcome(Outcome::Completed), m.completed);
+    assert_eq!(log.count_outcome(Outcome::Shed) as u64, m.shed);
+    assert_eq!(
+        log.count_outcome(Outcome::BreakerShed) as u64,
+        m.breaker_sheds
+    );
+    assert_eq!(log.count_outcome(Outcome::Timeout) as u64, m.timeouts);
+    assert_eq!(log.count_outcome(Outcome::Failed) as u64, m.failed);
+    assert_eq!(m.completed + m.lost() as usize, requests);
+
+    // Retries and faults, span-side == counter-side, per kind.
+    assert_eq!(log.retry_waits() as u64, m.retries);
+    assert_eq!(log.total_faults() as u64, m.faults.total());
+    assert_eq!(
+        log.count_fault(FaultKind::PspTransient) as u64,
+        m.faults.psp_transient
+    );
+    assert_eq!(
+        log.count_fault(FaultKind::PspReset) as u64,
+        m.faults.psp_reset
+    );
+    assert_eq!(
+        log.count_fault(FaultKind::WarmCrash) as u64,
+        m.faults.warm_crash
+    );
+    assert_eq!(
+        log.count_fault(FaultKind::AttestTimeout) as u64,
+        m.faults.attest_timeout
+    );
+    assert_eq!(
+        log.count_fault(FaultKind::AttestError) as u64,
+        m.faults.attest_error
+    );
+
+    // Structure still holds under the storm.
+    let pairs = completed_pairs(&log, &m.latencies);
+    invariants::check_completed(&log, &pairs).unwrap();
+}
+
+#[test]
+fn cluster_spans_obey_the_battery_and_match_the_rollup() {
+    use sevf_cluster::{ClusterConfig, ClusterService, PlacementPolicy};
+
+    let config = ClusterConfig {
+        mix: Some(RequestMix::weighted(vec![(0, 3), (1, 1)])),
+        placement: PlacementPolicy::TemplateAffinity,
+        seed: 0x5EF0,
+        fault: Some(FaultConfig::storm()),
+        fault_horizon: Nanos::from_secs(8),
+        recovery: RecoveryConfig::resilient(0x5EF0),
+        ..ClusterConfig::open_loop(3, ServingTier::Template, 120.0, 240)
+    };
+    let (report, log) = ClusterService::new(catalog(), config).unwrap().run_traced();
+    let m = &report.metrics;
+    assert!(m.completed > 0);
+    assert!(m.conserved());
+
+    // Structural battery over every host's trees at once; the "psp" prefix
+    // covers psp0..pspN, each serialized independently.
+    invariants::spans_nest(&log).unwrap();
+    invariants::children_tile(&log).unwrap();
+    invariants::capacity1_serialized(&log, "psp").unwrap();
+    for request in log.requests_with_outcome(Outcome::Completed) {
+        invariants::single_request_root(&log, request).unwrap();
+        let root = log.request_root(request).unwrap();
+        assert_eq!(
+            invariants::leaf_duration_sum(&log, request),
+            root.duration()
+        );
+    }
+
+    // Cluster latencies merge per host (not in completion order), so match
+    // them as sorted multisets against the span-side root durations.
+    let mut span_ms: Vec<f64> = log
+        .requests_with_outcome(Outcome::Completed)
+        .into_iter()
+        .map(|r| log.request_root(r).unwrap().duration().as_millis_f64())
+        .collect();
+    let mut metric_ms = m.latencies_ms.clone();
+    span_ms.sort_by(f64::total_cmp);
+    metric_ms.sort_by(f64::total_cmp);
+    assert_eq!(span_ms, metric_ms);
+
+    // Terminal and marker counts equal the rollup's counters.
+    assert_eq!(log.outcomes.len(), m.issued);
+    assert_eq!(log.count_outcome(Outcome::Completed), m.completed);
+    assert_eq!(log.count_outcome(Outcome::Shed) as u64, m.shed);
+    assert_eq!(
+        log.count_outcome(Outcome::BreakerShed) as u64,
+        m.breaker_sheds
+    );
+    assert_eq!(log.count_outcome(Outcome::Timeout) as u64, m.timeouts);
+    assert_eq!(log.count_outcome(Outcome::Failed) as u64, m.failed);
+    assert_eq!(log.retry_waits() as u64, m.retries);
+    assert_eq!(log.failovers() as u64, m.failovers);
+    assert_eq!(log.count_marker(MarkerKind::Rebalance) as u64, m.rebalances);
+    assert_eq!(log.total_faults() as u64, m.faults);
+}
+
+#[test]
+fn tracing_never_changes_the_report() {
+    let make = || {
+        FleetService::new(
+            catalog(),
+            FleetConfig {
+                fault: Some(
+                    FaultPlan::generate(7, FaultConfig::storm(), Nanos::from_secs(6)).unwrap(),
+                ),
+                recovery: RecoveryConfig::resilient(7),
+                ..FleetConfig::open_loop(ServingTier::Template, 80.0, 120)
+            },
+        )
+    };
+    let plain = make().run();
+    let (traced, _) = make().run_traced();
+    assert_eq!(plain.metrics.completed, traced.metrics.completed);
+    assert_eq!(plain.metrics.latencies, traced.metrics.latencies);
+    assert_eq!(plain.metrics.retries, traced.metrics.retries);
+    assert_eq!(plain.metrics.faults.total(), traced.metrics.faults.total());
+    assert_eq!(plain.metrics.shed, traced.metrics.shed);
+}
+
+// ---- histogram properties on seeded samples --------------------------------
+
+fn seeded_samples(seed: u64, n: usize, scale: f64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed);
+    (0..n).map(|_| rng.next_f64() * scale).collect()
+}
+
+#[test]
+fn histogram_percentiles_track_exact_percentiles_within_one_bucket() {
+    let width = 5.0;
+    for seed in [3, 11, 42] {
+        let samples = seeded_samples(seed, 1000, 500.0);
+        let mut hist = Histogram::new(width);
+        for &v in &samples {
+            hist.record(v);
+        }
+        for pct in [10.0, 25.0, 50.0, 90.0, 99.0] {
+            let exact = stats::percentile(&samples, pct);
+            let approx = hist.percentile(pct);
+            assert!(
+                (exact - approx).abs() <= width,
+                "seed {seed} p{pct}: exact {exact} vs histogram {approx}"
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_merge_is_associative_commutative_and_lossless() {
+    let make = |seed: u64| {
+        let mut h = Histogram::new(2.5);
+        for v in seeded_samples(seed, 400, 200.0) {
+            h.record(v);
+        }
+        h
+    };
+    let (a, b, c) = (make(1), make(2), make(3));
+    let ab_c = a.merged(&b).merged(&c);
+    let a_bc = a.merged(&b.merged(&c));
+    let cba = c.merged(&b).merged(&a);
+    assert_eq!(ab_c.counts(), a_bc.counts());
+    assert_eq!(ab_c.counts(), cba.counts());
+    assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+
+    // Splitting a stream across shards and merging loses nothing.
+    let samples = seeded_samples(9, 600, 300.0);
+    let mut whole = Histogram::new(2.5);
+    let mut left = Histogram::new(2.5);
+    let mut right = Histogram::new(2.5);
+    for (i, &v) in samples.iter().enumerate() {
+        whole.record(v);
+        if i % 2 == 0 {
+            left.record(v);
+        } else {
+            right.record(v);
+        }
+    }
+    assert_eq!(left.merged(&right).counts(), whole.counts());
+}
+
+#[test]
+fn histogram_cumulative_counts_are_monotone() {
+    let mut hist = Histogram::new(10.0);
+    for v in seeded_samples(5, 500, 1000.0) {
+        hist.record(v);
+    }
+    let mut cumulative = 0u64;
+    let mut last = 0u64;
+    for &count in hist.counts() {
+        cumulative += count;
+        assert!(cumulative >= last);
+        last = cumulative;
+    }
+    assert_eq!(cumulative, hist.count());
+}
+
+// ---- collapsed-accumulator edge cases --------------------------------------
+
+#[test]
+fn shared_stats_helpers_handle_empty_input() {
+    assert_eq!(sevf_obs::percentile_or_zero(&[], 99.0), 0.0);
+    assert_eq!(sevf_obs::time_weighted_mean(&[]), 0.0);
+    assert!(Histogram::new(1.0).upper_edge_rows().is_empty());
+    assert_eq!(Histogram::new(1.0).percentile(50.0), 0.0);
+}
+
+#[test]
+fn registry_absorb_merges_counters_gauges_and_histograms() {
+    let mut a = sevf_obs::Registry::new();
+    let mut b = sevf_obs::Registry::new();
+    a.inc("requests_total", 3);
+    b.inc("requests_total", 4);
+    b.set_gauge("depth", 2.0);
+    a.observe("latency_ms", 10.0, 12.0);
+    b.observe("latency_ms", 10.0, 57.0);
+    a.absorb(&b);
+    assert_eq!(a.counter("requests_total"), 7);
+    assert_eq!(a.gauge("depth"), Some(2.0));
+    let hist = a.histogram("latency_ms").unwrap();
+    assert_eq!(hist.count(), 2);
+    assert_eq!(hist.counts()[1], 1);
+    assert_eq!(hist.counts()[5], 1);
+}
