@@ -40,6 +40,16 @@ cargo run --release --quiet --example trace_explorer -- --quick --json > /tmp/ci
 diff /tmp/ci_trace_a.json /tmp/ci_trace_b.json
 rm -f /tmp/ci_trace_a.json /tmp/ci_trace_b.json
 
+echo "==> deterministic replay: attestation_storm --quick --json twice, byte-diffed"
+cargo run --release --quiet --example attestation_storm -- --quick --json > /tmp/ci_att_a.json
+cargo run --release --quiet --example attestation_storm -- --quick --json > /tmp/ci_att_b.json
+diff /tmp/ci_att_a.json /tmp/ci_att_b.json
+rm -f /tmp/ci_att_a.json /tmp/ci_att_b.json
+
+echo "==> bench snapshot: attestation_storm --quick --bench (wall-clock; not diffed)"
+cargo run --release --quiet --example attestation_storm -- --quick --bench > BENCH_attplane.json
+cat BENCH_attplane.json
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

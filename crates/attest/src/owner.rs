@@ -214,6 +214,26 @@ mod tests {
     }
 
     #[test]
+    fn revoked_chip_reports_rejected() {
+        // Key-compromise drill: the chip signed a perfectly valid report,
+        // but its key has been distrusted at the root. The owner must
+        // refuse the report (and by §6.2, every template derived under
+        // that key dies with it).
+        let (mut psp, guest, measurement) = launched_guest();
+        let mut registry = AmdRootRegistry::new();
+        registry.register(psp.chip().clone());
+        registry.revoke(&psp.chip().chip_id);
+        let mut owner = GuestOwner::new(registry, b"disk encryption key".to_vec(), b"owner");
+        owner.expect_measurement(measurement);
+        let client = GuestAttestClient::new(b"boot entropy");
+        let (report, _) = psp.guest_report(guest, client.report_data()).unwrap();
+        match owner.handle_report(&report) {
+            Err(AttestError::BadSignature) => {}
+            other => panic!("expected BadSignature for revoked chip, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn unexpected_measurement_rejected() {
         // Attack 2/3 of §2.6: the launch digest is valid and signed, but
         // does not match what the owner computed out of band.

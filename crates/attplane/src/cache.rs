@@ -1,0 +1,177 @@
+//! VCEK cert-chain + verified-report cache.
+//!
+//! Keyed by *(chip id, TCB version)*: a TCB/firmware rollout bumps the
+//! version, so every entry minted under the old firmware silently stops
+//! matching — the storm is a wave of misses, not an explicit flush.
+//! Revocation is explicit and absolute: once a chip key is distrusted, a
+//! probe answers [`CacheLookup::Revoked`] no matter what was cached.
+
+use std::collections::{HashMap, HashSet};
+
+use sevf_sim::Nanos;
+
+/// Cache key: which chip signed, under which TCB version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The signing chip's public identifier.
+    pub chip_id: [u8; 32],
+    /// The TCB/firmware version the evidence was produced under.
+    pub tcb: u32,
+}
+
+/// Outcome of one cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// A live entry: skip the KDS fetch.
+    Hit,
+    /// No entry for this key.
+    Miss,
+    /// An entry existed but its TTL had lapsed; it was evicted.
+    Expired,
+    /// The chip key is revoked; nothing cached under it may be used.
+    Revoked,
+}
+
+/// The cache itself. TTL runs on the virtual clock, so expiry is
+/// deterministic and monotone: once a key has expired at time `t`, it
+/// stays expired at every `t' >= t` until re-inserted.
+#[derive(Debug, Default)]
+pub struct CertCache {
+    entries: HashMap<CacheKey, Nanos>,
+    revoked: HashSet<[u8; 32]>,
+    ttl: Nanos,
+}
+
+impl CertCache {
+    /// An empty cache with the given TTL.
+    pub fn new(ttl: Nanos) -> Self {
+        CertCache {
+            entries: HashMap::new(),
+            revoked: HashSet::new(),
+            ttl,
+        }
+    }
+
+    /// Probes for a key at `now`. Revocation wins over any cached entry;
+    /// an expired entry is evicted as a side effect.
+    pub fn probe(&mut self, key: CacheKey, now: Nanos) -> CacheLookup {
+        if self.revoked.contains(&key.chip_id) {
+            self.entries.retain(|k, _| k.chip_id != key.chip_id);
+            return CacheLookup::Revoked;
+        }
+        match self.entries.get(&key) {
+            Some(&inserted) if now.saturating_sub(inserted) < self.ttl => CacheLookup::Hit,
+            Some(_) => {
+                self.entries.remove(&key);
+                CacheLookup::Expired
+            }
+            None => CacheLookup::Miss,
+        }
+    }
+
+    /// Records a fetched cert chain / verified report. Ignored for
+    /// revoked chips: distrusted evidence must never re-enter the cache.
+    pub fn insert(&mut self, key: CacheKey, now: Nanos) {
+        if !self.revoked.contains(&key.chip_id) {
+            self.entries.insert(key, now);
+        }
+    }
+
+    /// Distrusts a chip key and purges everything cached under it, at
+    /// every TCB version.
+    pub fn revoke(&mut self, chip_id: &[u8; 32]) {
+        self.revoked.insert(*chip_id);
+        self.entries.retain(|k, _| k.chip_id != *chip_id);
+    }
+
+    /// Whether a chip key has been revoked.
+    pub fn is_revoked(&self, chip_id: &[u8; 32]) -> bool {
+        self.revoked.contains(chip_id)
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(chip: u8, tcb: u32) -> CacheKey {
+        CacheKey {
+            chip_id: [chip; 32],
+            tcb,
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_is_monotone_in_virtual_time() {
+        // Property: for an entry inserted at t0 with TTL d, a probe at t
+        // hits iff t - t0 < d, and once a probe has expired the entry no
+        // later probe can resurrect it without a fresh insert.
+        let ttl = Nanos::from_millis(10);
+        let mut cache = CertCache::new(ttl);
+        let k = key(1, 0);
+        let t0 = Nanos::from_millis(100);
+        cache.insert(k, t0);
+        let mut expired_seen = false;
+        for step in 0..40u64 {
+            let now = t0 + Nanos::from_micros(500 * step);
+            let lookup = cache.probe(k, now);
+            let within = now.saturating_sub(t0) < ttl;
+            if expired_seen {
+                assert_eq!(
+                    lookup,
+                    CacheLookup::Miss,
+                    "expiry must be sticky at {now:?}"
+                );
+            } else if within {
+                assert_eq!(lookup, CacheLookup::Hit, "live entry must hit at {now:?}");
+            } else {
+                assert_eq!(
+                    lookup,
+                    CacheLookup::Expired,
+                    "first lapsed probe at {now:?}"
+                );
+                expired_seen = true;
+            }
+        }
+        assert!(expired_seen);
+    }
+
+    #[test]
+    fn revocation_always_wins_over_cached_hit() {
+        let mut cache = CertCache::new(Nanos::from_secs(60));
+        let k = key(2, 3);
+        let now = Nanos::from_millis(5);
+        cache.insert(k, now);
+        assert_eq!(cache.probe(k, now), CacheLookup::Hit);
+        cache.revoke(&k.chip_id);
+        // The hit the entry would have produced is overridden, at every
+        // TCB version, and re-insertion is refused.
+        assert_eq!(cache.probe(k, now), CacheLookup::Revoked);
+        assert_eq!(cache.probe(key(2, 9), now), CacheLookup::Revoked);
+        cache.insert(k, now);
+        assert!(cache.is_empty());
+        assert_eq!(cache.probe(k, now), CacheLookup::Revoked);
+        // Other chips are untouched.
+        cache.insert(key(3, 0), now);
+        assert_eq!(cache.probe(key(3, 0), now), CacheLookup::Hit);
+    }
+
+    #[test]
+    fn tcb_bump_changes_the_key() {
+        let mut cache = CertCache::new(Nanos::from_secs(60));
+        let now = Nanos::from_millis(1);
+        cache.insert(key(4, 0), now);
+        assert_eq!(cache.probe(key(4, 0), now), CacheLookup::Hit);
+        assert_eq!(cache.probe(key(4, 1), now), CacheLookup::Miss);
+    }
+}

@@ -11,6 +11,7 @@
 use severifast::experiments::{self as exp, ExperimentScale};
 use severifast::BootPolicy;
 use sevf_bench::{fmt_ms, mib, render_table, write_dumps, FigureDump, Json};
+use sevf_cluster::attsweep as att_exp;
 use sevf_cluster::experiment as cluster_exp;
 use sevf_fleet::chaos as fleet_chaos;
 use sevf_fleet::experiment as fleet_exp;
@@ -55,6 +56,10 @@ const FIGURES: &[(&str, &str)] = &[
         "per-request critical paths: cold, template hit, failover recovery",
     ),
     (
+        "attplane",
+        "attestation plane: naive vs cached vs batched verification, a TCB storm, a revocation drill",
+    ),
+    (
         "headline",
         "cold-start reduction over the QEMU/OVMF baseline",
     ),
@@ -66,10 +71,17 @@ struct Args {
     out: Option<std::path::PathBuf>,
 }
 
-const USAGE: &str = "usage: figures [--all] [--list] [--fig <id>]... [--table <id>]...\n       [--scale quick|full] [--out <dir>]\nids: see --list";
+fn usage() -> String {
+    let ids: Vec<&str> = FIGURES.iter().map(|(id, _)| *id).collect();
+    format!(
+        "usage: figures [--all] [--list] [--fig <id>]... [--table <id>]...\n       \
+         [--scale quick|full] [--out <dir>]\nids: {}",
+        ids.join(", ")
+    )
+}
 
 fn usage_error(message: &str) -> ! {
-    eprintln!("error: {message}\n{USAGE}");
+    eprintln!("error: {message}\n{}", usage());
     std::process::exit(2);
 }
 
@@ -143,6 +155,7 @@ fn main() {
             "fleet" => fleet_table(),
             "chaos" => chaos_table(&args.scale),
             "cluster" => cluster_table(&args.scale),
+            "attplane" => attplane_table(&args.scale),
             "trace" => trace_table(&args.scale),
             "headline" => headline(&args.scale),
             other => usage_error(&format!("unknown figure '{other}' (see --list)")),
@@ -896,6 +909,90 @@ fn cluster_table(scale: &ExperimentScale) -> FigureDump {
                 ),
             ),
         ]),
+    }
+}
+
+fn attplane_table(scale: &ExperimentScale) -> FigureDump {
+    let cfg = if scale.kernel_div > 1 {
+        att_exp::AttSweepConfig::quick()
+    } else {
+        att_exp::AttSweepConfig::paper_attestation()
+    };
+    let report = att_exp::att_sweep(&cfg).expect("attestation sweep");
+    for row in &report.rows {
+        assert!(
+            row.conserved,
+            "attestation conservation broke in {}/{}",
+            row.arm, row.mode
+        );
+    }
+    println!("\n=== Attestation plane: verification modes, storm, revocation drill ===");
+    println!("(one shared verifier on the cluster clock: naive per-launch checks");
+    println!(" re-pay the KDS fetch every time and queue past their ceiling; the");
+    println!(" VCEK cache and batch window amortize that cost. A staggered TCB");
+    println!(" rollout re-keys every cache; a revoked chip kills its templates");
+    println!(" (§6.2) and its guests re-attest on the surviving hosts)\n");
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.into(),
+                r.mode.into(),
+                format!("{:.0}", r.offered_rps),
+                r.completed.to_string(),
+                (r.shed + r.timeouts).to_string(),
+                r.failovers.to_string(),
+                r.verifications.to_string(),
+                format!("{:.0}%", r.hit_rate * 100.0),
+                r.batch_joins.to_string(),
+                fmt_ms(r.queue_wait_ms),
+                fmt_ms(r.p50_ms),
+                fmt_ms(r.p99_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "arm", "mode", "req/s", "done", "lost", "failover", "verified", "hit", "joins",
+                "q-wait", "p50 ms", "p99 ms"
+            ],
+            &table
+        )
+    );
+    FigureDump {
+        id: "attplane".into(),
+        caption: "Attestation verification: naive vs cached vs cached+batched".into(),
+        data: Json::Arr(
+            report
+                .rows
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("arm", Json::from(r.arm)),
+                        ("mode", Json::from(r.mode)),
+                        ("offered_rps", Json::from(r.offered_rps)),
+                        ("completed", Json::from(r.completed)),
+                        ("shed", Json::from(r.shed)),
+                        ("timeouts", Json::from(r.timeouts)),
+                        ("failed", Json::from(r.failed)),
+                        ("failovers", Json::from(r.failovers)),
+                        ("retries", Json::from(r.retries)),
+                        ("verifications", Json::from(r.verifications)),
+                        ("cert_fetches", Json::from(r.cert_fetches)),
+                        ("cert_hits", Json::from(r.cert_hits)),
+                        ("hit_rate", Json::from(r.hit_rate)),
+                        ("batch_joins", Json::from(r.batch_joins)),
+                        ("revoked", Json::from(r.revoked)),
+                        ("queue_wait_ms", Json::from(r.queue_wait_ms)),
+                        ("p50_ms", Json::from(r.p50_ms)),
+                        ("p99_ms", Json::from(r.p99_ms)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 

@@ -1,0 +1,399 @@
+//! The attestation-plane experiment: verification modes under load, a
+//! re-attestation storm, and a key-compromise revocation drill.
+//!
+//! One catalog, three arms:
+//!
+//! * **load** — the same cluster and stream under naive per-launch
+//!   verification, cached verification, and cached + batched
+//!   verification (plus a no-attestation baseline). The verifier is a
+//!   single shared service: naive verification pays the full KDS fetch +
+//!   context setup + signature check per dispatch, so its ceiling sits
+//!   far below the cluster's serving capacity — past it, the verifier
+//!   queue stretches every launch and p99 collapses (or the deadline
+//!   sheds the stream). Caching removes the fetch from the steady state;
+//!   batching amortizes the setup across concurrent launches.
+//! * **storm** — a staggered TCB/firmware rollout re-measures every
+//!   host mid-stream: cached certs stop matching (the key includes the
+//!   TCB version) and template caches re-measure, so every arm re-pays
+//!   its miss path at once. Batching absorbs the wave best.
+//! * **drill** — one host's chip key is distrusted mid-stream. Its
+//!   templates die with the key (§6.2), its in-flight and queued guests
+//!   fail over, re-launch, and re-attest on the surviving hosts, and the
+//!   conservation invariant must hold throughout.
+//!
+//! Identical configs produce byte-identical reports (the CI replay gate
+//! diffs two `--quick --json` runs of `examples/attestation_storm.rs`).
+
+use sevf_attplane::{AttPlaneConfig, VerifyMode};
+use sevf_fleet::admission::AdmissionConfig;
+use sevf_fleet::blueprint::{Catalog, ClassSpec};
+use sevf_fleet::recovery::RecoveryConfig;
+use sevf_fleet::service::ServingTier;
+use sevf_fleet::workload::RequestMix;
+use sevf_sim::Nanos;
+
+use crate::placement::PlacementPolicy;
+use crate::service::{ClusterConfig, ClusterService, RevocationDrill, TcbRollout};
+use crate::ClusterError;
+
+const MB: u64 = 1024 * 1024;
+
+/// Knobs of one attestation sweep.
+#[derive(Debug, Clone)]
+pub struct AttSweepConfig {
+    /// Seed for catalog machines, arrivals, placement, and chips.
+    pub seed: u64,
+    /// Request classes to serve (shared catalog for all hosts).
+    pub classes: Vec<ClassSpec>,
+    /// Mix over those classes; `None` = uniform.
+    pub mix: Option<RequestMix>,
+    /// Hosts in every arm.
+    pub hosts: usize,
+    /// Aggregate offered loads of the load arm.
+    pub loads_rps: Vec<f64>,
+    /// Requests per load-arm cell.
+    pub requests: usize,
+    /// Per-host admission knobs.
+    pub admission: AdmissionConfig,
+    /// Recovery policy (shared by all arms; the drill needs retries to
+    /// fail guests over).
+    pub recovery: RecoveryConfig,
+    /// Verifier cost model; each arm overrides only `mode`.
+    pub verifier: AttPlaneConfig,
+    /// Aggregate offered load of the storm and drill arms.
+    pub storm_rps: f64,
+    /// Requests of the storm and drill arms.
+    pub storm_requests: usize,
+    /// The storm's staggered rollout schedule.
+    pub rollout: TcbRollout,
+    /// The drill's revocation event.
+    pub drill: RevocationDrill,
+}
+
+impl AttSweepConfig {
+    /// The headline attestation sweep over the paper mix.
+    pub fn paper_attestation() -> Self {
+        AttSweepConfig {
+            seed: 0x5EF0,
+            classes: ClassSpec::paper_classes(16, 256 * MB),
+            mix: Some(RequestMix::weighted(vec![
+                (0, 5),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (4, 2),
+            ])),
+            hosts: 4,
+            // The naive verifier's ceiling is 1 / (fetch + setup + check)
+            // = 80 verifications/s: the middle load saturates it and the
+            // top one buries it, while cached (~400/s) and batched
+            // (~2000/s steady-state) still track the offered rate.
+            loads_rps: vec![40.0, 80.0, 160.0],
+            requests: 400,
+            admission: AdmissionConfig::default(),
+            recovery: RecoveryConfig::resilient(0x5EF0),
+            verifier: AttPlaneConfig::cached_batched(),
+            storm_rps: 120.0,
+            storm_requests: 360,
+            rollout: TcbRollout {
+                start: Nanos::from_millis(1000),
+                stagger: Nanos::from_millis(200),
+            },
+            drill: RevocationDrill {
+                host: 1,
+                at: Nanos::from_millis(1000),
+            },
+        }
+    }
+
+    /// A fast sweep over the tiny test classes (tests, `--quick`).
+    pub fn quick() -> Self {
+        AttSweepConfig {
+            seed: 0x5EF0,
+            classes: ClassSpec::quick_test_classes(),
+            mix: Some(RequestMix::weighted(vec![(0, 3), (1, 1)])),
+            hosts: 3,
+            loads_rps: vec![40.0, 160.0],
+            requests: 240,
+            admission: AdmissionConfig {
+                queue_bound: 128,
+                max_inflight: 96,
+                ..AdmissionConfig::default()
+            },
+            recovery: RecoveryConfig::resilient(0x5EF0),
+            verifier: AttPlaneConfig::cached_batched(),
+            storm_rps: 100.0,
+            storm_requests: 240,
+            rollout: TcbRollout {
+                start: Nanos::from_millis(600),
+                stagger: Nanos::from_millis(150),
+            },
+            drill: RevocationDrill {
+                host: 1,
+                at: Nanos::from_millis(600),
+            },
+        }
+    }
+}
+
+/// One cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct AttRow {
+    /// Which arm produced the row ("load", "storm", "drill").
+    pub arm: &'static str,
+    /// Verification mode ("none" for the baseline).
+    pub mode: &'static str,
+    /// Aggregate offered load (req/s).
+    pub offered_rps: f64,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests shed (admission queues + unroutable arrivals).
+    pub shed: u64,
+    /// Requests shed on deadline.
+    pub timeouts: u64,
+    /// Requests permanently failed after exhausting retries.
+    pub failed: u64,
+    /// Requests displaced off a dead host and re-routed.
+    pub failovers: u64,
+    /// Retry launches dispatched.
+    pub retries: u64,
+    /// Completed signature checks.
+    pub verifications: u64,
+    /// KDS cert-chain fetches (cache misses).
+    pub cert_fetches: u64,
+    /// Cert chains served from cache.
+    pub cert_hits: u64,
+    /// Cert-cache hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Reports that shared a batch window.
+    pub batch_joins: u64,
+    /// Dispatches refused on a revoked chip.
+    pub revoked: u64,
+    /// Mean verifier queue wait per verification (ms).
+    pub queue_wait_ms: f64,
+    /// Cluster-wide median latency (ms).
+    pub p50_ms: f64,
+    /// Cluster-wide 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Whether the conservation invariant held for the cell.
+    pub conserved: bool,
+}
+
+/// The sweep's result.
+#[derive(Debug, Clone)]
+pub struct AttSweepReport {
+    /// One row per cell: load, then storm, then drill.
+    pub rows: Vec<AttRow>,
+}
+
+fn mode_name(mode: Option<VerifyMode>) -> &'static str {
+    match mode {
+        None => "none",
+        Some(m) => m.name(),
+    }
+}
+
+fn row_from(
+    arm: &'static str,
+    mode: &'static str,
+    report: &crate::service::ClusterReport,
+) -> AttRow {
+    let m = &report.metrics;
+    let att = report.attestation.unwrap_or_default();
+    AttRow {
+        arm,
+        mode,
+        offered_rps: report.offered_rps.unwrap_or(0.0),
+        completed: m.completed,
+        shed: m.shed,
+        timeouts: m.timeouts,
+        failed: m.failed,
+        failovers: m.failovers,
+        retries: m.retries,
+        verifications: att.verifications,
+        cert_fetches: att.cert_fetches,
+        cert_hits: att.cert_hits,
+        hit_rate: att.hit_rate(),
+        batch_joins: att.batch_joins,
+        revoked: att.revoked_verdicts,
+        queue_wait_ms: att.mean_queue_wait_ms(),
+        p50_ms: m.p50_ms(),
+        p99_ms: m.p99_ms(),
+        conserved: m.conserved(),
+    }
+}
+
+fn base_config(cfg: &AttSweepConfig, rps: f64, requests: usize) -> ClusterConfig {
+    ClusterConfig {
+        mix: cfg.mix.clone(),
+        seed: cfg.seed,
+        admission: cfg.admission,
+        placement: PlacementPolicy::JsqPsp,
+        recovery: cfg.recovery,
+        ..ClusterConfig::open_loop(cfg.hosts, ServingTier::Template, rps, requests)
+    }
+}
+
+/// Runs the three-arm attestation sweep over one catalog.
+///
+/// # Errors
+///
+/// Propagates catalog-construction failures ([`ClusterError::Fleet`]) and
+/// configuration errors, including [`ClusterError::AttPlane`] for an
+/// invalid verifier model.
+pub fn att_sweep(cfg: &AttSweepConfig) -> Result<AttSweepReport, ClusterError> {
+    cfg.verifier.validate().map_err(ClusterError::AttPlane)?;
+    let catalog = Catalog::build(cfg.seed, &cfg.classes)?;
+    let mut rows = Vec::new();
+
+    // Arm 1: verification modes across load (plus the no-verifier
+    // baseline, which shows what the plane itself costs).
+    let modes = [
+        None,
+        Some(VerifyMode::Naive),
+        Some(VerifyMode::Cached),
+        Some(VerifyMode::CachedBatched),
+    ];
+    for &load in &cfg.loads_rps {
+        for mode in modes {
+            let mut config = base_config(cfg, load, cfg.requests);
+            config.attestation = mode.map(|m| AttPlaneConfig {
+                mode: m,
+                ..cfg.verifier
+            });
+            let report = ClusterService::new(catalog.clone(), config)?.run();
+            rows.push(row_from("load", mode_name(mode), &report));
+        }
+    }
+
+    // Arm 2: the re-attestation storm under each verification mode.
+    for mode in [
+        VerifyMode::Naive,
+        VerifyMode::Cached,
+        VerifyMode::CachedBatched,
+    ] {
+        let mut config = base_config(cfg, cfg.storm_rps, cfg.storm_requests);
+        config.attestation = Some(AttPlaneConfig {
+            mode,
+            ..cfg.verifier
+        });
+        config.tcb_rollout = Some(cfg.rollout);
+        let report = ClusterService::new(catalog.clone(), config)?.run();
+        rows.push(row_from("storm", mode.name(), &report));
+    }
+
+    // Arm 3: the key-compromise drill under the full control plane.
+    let mut config = base_config(cfg, cfg.storm_rps, cfg.storm_requests);
+    config.attestation = Some(AttPlaneConfig {
+        mode: VerifyMode::CachedBatched,
+        ..cfg.verifier
+    });
+    config.revocation = Some(cfg.drill);
+    let report = ClusterService::new(catalog, config)?.run();
+    rows.push(row_from("drill", VerifyMode::CachedBatched.name(), &report));
+
+    Ok(AttSweepReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(report: &AttSweepReport) -> Vec<(u64, u64, u64, u64)> {
+        report
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.completed as u64,
+                    r.shed + r.timeouts + r.failed,
+                    r.verifications,
+                    r.cert_fetches,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_conserves_and_is_deterministic() {
+        let cfg = AttSweepConfig::quick();
+        let a = att_sweep(&cfg).unwrap();
+        let b = att_sweep(&cfg).unwrap();
+        assert!(a.rows.iter().all(|r| r.conserved));
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn cached_batched_sustains_load_where_naive_degrades() {
+        let report = att_sweep(&AttSweepConfig::quick()).unwrap();
+        let top = report
+            .rows
+            .iter()
+            .filter(|r| r.arm == "load")
+            .fold(0.0f64, |acc, r| acc.max(r.offered_rps));
+        let at_top = |mode: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.arm == "load" && r.mode == mode && r.offered_rps == top)
+                .unwrap()
+        };
+        let naive = at_top("naive");
+        let batched = at_top("cached+batched");
+        // Past the naive verifier's ceiling the queue stretches every
+        // launch: p99 degrades (or the stream sheds on deadline) while
+        // the batched plane still tracks the offered load.
+        assert!(
+            naive.p99_ms > 2.0 * batched.p99_ms || naive.shed + naive.timeouts > 0,
+            "naive p99 {} vs batched {} (naive lost {})",
+            naive.p99_ms,
+            batched.p99_ms,
+            naive.shed + naive.timeouts
+        );
+        assert!(
+            batched.completed as f64 >= 0.9 * naive.completed as f64,
+            "batched must not complete less"
+        );
+        assert!(batched.queue_wait_ms < naive.queue_wait_ms);
+    }
+
+    #[test]
+    fn storm_refetches_certs_and_batching_absorbs_the_wave() {
+        let report = att_sweep(&AttSweepConfig::quick()).unwrap();
+        let storm = |mode: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.arm == "storm" && r.mode == mode)
+                .unwrap()
+        };
+        let cached = storm("cached");
+        // The rollout bumps every host's TCB, so the cached arm refetches
+        // at least once per host beyond its initial warmup.
+        let hosts = AttSweepConfig::quick().hosts as u64;
+        assert!(
+            cached.cert_fetches >= 2 * hosts,
+            "rollout must force refetches, got {}",
+            cached.cert_fetches
+        );
+        let batched = storm("cached+batched");
+        assert!(batched.batch_joins > 0);
+        assert!(batched.conserved && cached.conserved);
+    }
+
+    #[test]
+    fn revocation_drill_fails_over_and_conserves() {
+        let report = att_sweep(&AttSweepConfig::quick()).unwrap();
+        let drill = report.rows.iter().find(|r| r.arm == "drill").unwrap();
+        assert!(drill.conserved, "conservation must hold through the drill");
+        assert!(
+            drill.failovers > 0,
+            "the revoked host's guests must fail over"
+        );
+        assert!(drill.completed > 0);
+        assert!(
+            drill.verifications > 0,
+            "survivors must re-attest the re-launched guests"
+        );
+    }
+}

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attsweep;
 pub mod experiment;
 pub mod host;
 pub mod metrics;
@@ -46,12 +47,14 @@ pub mod ring;
 pub mod service;
 pub mod tracedemo;
 
+pub use attsweep::{att_sweep, AttRow, AttSweepConfig, AttSweepReport};
 pub use experiment::{cluster_sweep, ClusterRow, ClusterSweepConfig, ClusterSweepReport};
 pub use metrics::{ClusterMetrics, HostRollup};
 pub use placement::{PlacementPolicy, Router};
 pub use ring::HashRing;
 pub use service::{
     ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind, HostOutage,
+    RevocationDrill, TcbRollout,
 };
 pub use tracedemo::{TraceExemplar, TraceScenarios, TracedRun};
 
@@ -68,6 +71,8 @@ pub enum ClusterError {
     Recovery(&'static str),
     /// Building the shared catalog (or another fleet component) failed.
     Fleet(FleetError),
+    /// The attestation control plane rejected its configuration.
+    AttPlane(sevf_attplane::AttPlaneError),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -77,6 +82,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
             ClusterError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
             ClusterError::Fleet(e) => write!(f, "fleet layer failed: {e}"),
+            ClusterError::AttPlane(e) => write!(f, "attestation plane failed: {e}"),
         }
     }
 }
@@ -85,6 +91,7 @@ impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClusterError::Fleet(e) => Some(e),
+            ClusterError::AttPlane(e) => Some(e),
             ClusterError::Config(_) | ClusterError::FaultPlan(_) | ClusterError::Recovery(_) => {
                 None
             }
@@ -98,13 +105,21 @@ impl From<FleetError> for ClusterError {
     }
 }
 
+impl From<sevf_attplane::AttPlaneError> for ClusterError {
+    fn from(e: sevf_attplane::AttPlaneError) -> Self {
+        ClusterError::AttPlane(e)
+    }
+}
+
 /// The common imports for working with the cluster control plane.
 pub mod prelude {
+    pub use crate::attsweep::{att_sweep, AttSweepConfig, AttSweepReport};
     pub use crate::experiment::{cluster_sweep, ClusterSweepConfig, ClusterSweepReport};
     pub use crate::metrics::ClusterMetrics;
     pub use crate::placement::PlacementPolicy;
     pub use crate::service::{
         ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind, HostOutage,
+        RevocationDrill, TcbRollout,
     };
     pub use crate::ClusterError;
     pub use sevf_fleet::service::ServingTier;
@@ -121,5 +136,15 @@ mod tests {
         assert!(err.source().is_some());
         assert!(err.to_string().contains("fleet layer"));
         assert!(ClusterError::Config("x").source().is_none());
+    }
+
+    #[test]
+    fn cluster_error_chains_to_its_attplane_source() {
+        let err = ClusterError::from(sevf_attplane::AttPlaneError::Config(
+            "cache_ttl must be > 0",
+        ));
+        assert!(err.to_string().contains("attestation plane"));
+        let source = err.source().expect("attplane errors carry their source");
+        assert!(source.to_string().contains("cache_ttl"));
     }
 }

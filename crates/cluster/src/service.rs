@@ -36,6 +36,7 @@
 
 use std::collections::BTreeSet;
 
+use sevf_attplane::{AttPlane, AttPlaneConfig, AttPlaneMetrics};
 use sevf_fleet::admission::{Pending, SchedPolicy};
 use sevf_fleet::blueprint::{Blueprint, Catalog, LaunchCache};
 use sevf_fleet::metrics::FleetMetrics;
@@ -126,6 +127,39 @@ pub struct ClusterConfig {
     pub rebalance: bool,
     /// How requests recover from failures (shared by all hosts).
     pub recovery: RecoveryConfig,
+    /// Attestation control plane; `None` = no verifier in the dispatch
+    /// path (byte-identical to pre-attestation runs).
+    pub attestation: Option<AttPlaneConfig>,
+    /// Staggered TCB/firmware rollout (re-attestation storm). Requires
+    /// `attestation`.
+    pub tcb_rollout: Option<TcbRollout>,
+    /// Key-compromise revocation drill. Requires `attestation`.
+    pub revocation: Option<RevocationDrill>,
+}
+
+/// A staggered TCB/firmware rollout: host `h` re-measures at
+/// `start + h * stagger`. Each re-measurement bumps the host's TCB
+/// version — every cert/report cached under the old version silently
+/// stops matching — and invalidates the host's template cache (new
+/// firmware, new measurements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcbRollout {
+    /// When the first host re-measures.
+    pub start: Nanos,
+    /// Gap between consecutive hosts.
+    pub stagger: Nanos,
+}
+
+/// A key-compromise drill: `host`'s chip key is distrusted at `at`. Its
+/// templates die with the key (§6.2), its in-flight guests fail over and
+/// re-attest on surviving hosts, and the host leaves service for the
+/// rest of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RevocationDrill {
+    /// The host whose chip is distrusted.
+    pub host: usize,
+    /// When the revocation lands.
+    pub at: Nanos,
 }
 
 impl ClusterConfig {
@@ -148,6 +182,9 @@ impl ClusterConfig {
             events: Vec::new(),
             rebalance: true,
             recovery: RecoveryConfig::none(),
+            attestation: None,
+            tcb_rollout: None,
+            revocation: None,
         }
     }
 
@@ -204,6 +241,26 @@ impl ClusterConfig {
             }
         }
         self.recovery.validate().map_err(ClusterError::Recovery)?;
+        if let Some(att) = &self.attestation {
+            att.validate().map_err(ClusterError::AttPlane)?;
+        }
+        if self.tcb_rollout.is_some() && self.attestation.is_none() {
+            return Err(ClusterError::Config(
+                "tcb_rollout needs an attestation plane",
+            ));
+        }
+        if let Some(drill) = &self.revocation {
+            if self.attestation.is_none() {
+                return Err(ClusterError::Config(
+                    "revocation drill needs an attestation plane",
+                ));
+            }
+            if drill.host >= self.hosts {
+                return Err(ClusterError::Config(
+                    "revocation drill names an unknown host",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -221,6 +278,8 @@ pub struct ClusterReport {
     pub offered_rps: Option<f64>,
     /// The cluster-wide rollup.
     pub metrics: ClusterMetrics,
+    /// Attestation-plane counters, when a verifier was configured.
+    pub attestation: Option<AttPlaneMetrics>,
     /// Resource-occupancy trace (per-host PSP/CPU ids interleaved).
     pub trace: RunTrace,
 }
@@ -269,6 +328,10 @@ enum JobKind {
     HostDown { host: usize, departure: bool },
     /// `host` comes back from an outage or rejoins after departing.
     HostUp { host: usize, departure: bool },
+    /// A TCB/firmware rollout re-measures `host` (re-attestation storm).
+    TcbRollout { host: usize },
+    /// `host`'s chip key is distrusted (key-compromise drill).
+    Revoke { host: usize },
 }
 
 /// The cluster control plane.
@@ -306,6 +369,9 @@ struct State<'a> {
     unroutable: u64,
     failovers: u64,
     rebalances: u64,
+    /// Attestation control plane, when configured: every fault-free
+    /// dispatch is verified and carries the verifier's latency.
+    plane: Option<AttPlane>,
     /// Observability recorder. Never touches the RNG, the metrics, or the
     /// fault plans, so enabling it cannot change a run's results.
     rec: Recorder,
@@ -427,6 +493,10 @@ impl ClusterService {
             unroutable: 0,
             failovers: 0,
             rebalances: 0,
+            plane: self.config.attestation.map(|cfg| {
+                AttPlane::new(cfg, self.config.hosts)
+                    .expect("attestation config validated in new()")
+            }),
             rec,
         };
 
@@ -509,6 +579,20 @@ impl ClusterService {
             });
         }
 
+        // The re-attestation storm: the rollout walks the hosts on a
+        // stagger, and the key-compromise drill lands as one marker.
+        if let Some(rollout) = &self.config.tcb_rollout {
+            for host in 0..self.config.hosts {
+                let at = rollout.start + rollout.stagger.scale(host as u64);
+                seed_jobs.push(Job::released_at(at, vec![]));
+                state.meta.push(JobKind::TcbRollout { host });
+            }
+        }
+        if let Some(drill) = &self.config.revocation {
+            seed_jobs.push(Job::released_at(drill.at, vec![]));
+            state.meta.push(JobKind::Revoke { host: drill.host });
+        }
+
         let (_, trace) = engine.run_dynamic(seed_jobs, |outcome, inject| {
             state.on_event(outcome, inject);
         });
@@ -565,6 +649,7 @@ impl ClusterService {
                 hosts: self.config.hosts,
                 offered_rps: self.config.arrival.offered_rps(),
                 metrics,
+                attestation: state.plane.as_ref().map(|p| *p.metrics()),
                 trace,
             },
             log,
@@ -684,6 +769,31 @@ impl<'a> State<'a> {
             }
             JobKind::HostUp { host, departure } => {
                 self.on_host_up(host, departure, outcome.finish, inject);
+            }
+            JobKind::TcbRollout { host } => {
+                // New firmware: the host's TCB version bumps (every cached
+                // cert/report under the old version stops matching) and its
+                // templates re-measure on next use.
+                self.rec
+                    .marker(MarkerKind::TcbRollout, None, Some(host), outcome.finish);
+                if let Some(plane) = self.plane.as_mut() {
+                    plane.bump_tcb(host).expect("plane sized to cluster hosts");
+                }
+                self.hosts[host].cache.invalidate_all();
+            }
+            JobKind::Revoke { host } => {
+                // Key compromise: distrust the chip at the root, then treat
+                // the host like a permanent outage — its templates die with
+                // the key (§6.2), its in-flight and queued work fails over,
+                // and every re-launched guest re-attests on a survivor.
+                self.rec
+                    .marker(MarkerKind::Revocation, None, Some(host), outcome.finish);
+                if let Some(plane) = self.plane.as_mut() {
+                    plane
+                        .revoke_host(host)
+                        .expect("plane sized to cluster hosts");
+                }
+                self.on_host_down(host, false, outcome.finish, inject);
             }
         }
     }
@@ -1031,6 +1141,21 @@ impl<'a> State<'a> {
                 fate = LaunchFate::Fault(kind);
             }
             self.hosts[host].launch_seq += 1;
+        }
+        // Every fault-free dispatch carries an attestation verdict: the
+        // verifier's steps ride the launch as network delay (they never
+        // touch the host's PSP backlog), and a revoked chip turns the
+        // dispatch into an attestation failure that retries elsewhere.
+        if matches!(fate, LaunchFate::Ok) {
+            if let Some(plane) = self.plane.as_mut() {
+                let v = plane
+                    .verify_launch(host, now)
+                    .expect("plane sized to cluster hosts");
+                blueprint.steps.extend(v.steps);
+                if !v.verdict.is_ok() {
+                    fate = LaunchFate::Fault(FaultKind::AttestError);
+                }
+            }
         }
         let psp_ns = blueprint.psp_work();
         let psp = psp_ns > Nanos::ZERO;

@@ -218,6 +218,7 @@ pub fn chaos_sweep(cfg: &ChaosConfig) -> Result<ChaosReport, FleetError> {
                 warm_target: cfg.warm_target,
                 fault,
                 recovery,
+                attestation: None,
             };
             let report = FleetService::new(catalog.clone(), config).run();
             let m = &report.metrics;

@@ -173,6 +173,7 @@ pub fn serving_sweep(cfg: &SweepConfig) -> Result<SweepReport, FleetError> {
                 warm_target: cfg.warm_target,
                 fault: None,
                 recovery: crate::recovery::RecoveryConfig::none(),
+                attestation: None,
             };
             let report = FleetService::new(catalog.clone(), config).run();
             let m = &report.metrics;

@@ -80,6 +80,8 @@ pub enum FleetError {
     FaultPlan(&'static str),
     /// A recovery configuration failed validation.
     Recovery(&'static str),
+    /// The attestation control plane rejected its configuration.
+    AttPlane(sevf_attplane::AttPlaneError),
 }
 
 impl std::fmt::Display for FleetError {
@@ -89,6 +91,7 @@ impl std::fmt::Display for FleetError {
             FleetError::NoClasses => write!(f, "catalog needs at least one request class"),
             FleetError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
             FleetError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
+            FleetError::AttPlane(e) => write!(f, "attestation plane failed: {e}"),
         }
     }
 }
@@ -97,6 +100,7 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::Boot(e) => Some(e),
+            FleetError::AttPlane(e) => Some(e),
             FleetError::NoClasses | FleetError::FaultPlan(_) | FleetError::Recovery(_) => None,
         }
     }
@@ -105,6 +109,12 @@ impl std::error::Error for FleetError {
 impl From<sevf_vmm::VmmError> for FleetError {
     fn from(e: sevf_vmm::VmmError) -> Self {
         FleetError::Boot(e)
+    }
+}
+
+impl From<sevf_attplane::AttPlaneError> for FleetError {
+    fn from(e: sevf_attplane::AttPlaneError) -> Self {
+        FleetError::AttPlane(e)
     }
 }
 
@@ -123,6 +133,15 @@ pub mod prelude {
 mod tests {
     use super::*;
     use std::error::Error;
+
+    #[test]
+    fn attplane_errors_chain_their_source() {
+        let inner = sevf_attplane::AttPlaneError::Config("sig_check must be positive");
+        let outer = FleetError::from(inner);
+        let source = outer.source().expect("AttPlane must expose its cause");
+        assert!(source.to_string().contains("sig_check"));
+        assert!(outer.to_string().contains("attestation plane"));
+    }
 
     #[test]
     fn boot_errors_chain_their_source() {

@@ -37,6 +37,7 @@
 
 use std::collections::BTreeSet;
 
+use sevf_attplane::{AttPlane, AttPlaneConfig, AttPlaneMetrics};
 use sevf_obs::{MarkerKind, Outcome as ReqOutcome, Recorder, TraceLog};
 use sevf_psp::TemplateKey;
 use sevf_sim::fault::{AttestFault, FaultKind, FaultPlan};
@@ -114,6 +115,9 @@ pub struct FleetConfig {
     pub fault: Option<FaultPlan>,
     /// How the fleet reacts to failures.
     pub recovery: RecoveryConfig,
+    /// Attestation control plane; `None` = no verifier in the path (the
+    /// pre-attestation control plane, byte-identical to older runs).
+    pub attestation: Option<AttPlaneConfig>,
 }
 
 impl FleetConfig {
@@ -129,6 +133,7 @@ impl FleetConfig {
             warm_target: 8,
             fault: None,
             recovery: RecoveryConfig::none(),
+            attestation: None,
         }
     }
 
@@ -144,7 +149,17 @@ impl FleetConfig {
             warm_target: 8,
             fault: None,
             recovery: RecoveryConfig::none(),
+            attestation: None,
         }
+    }
+
+    /// Checks the attestation-plane config, if any, passing the config
+    /// through so sweeps can chain construction.
+    pub fn validated(self) -> Result<Self, crate::FleetError> {
+        if let Some(att) = &self.attestation {
+            att.validate().map_err(crate::FleetError::AttPlane)?;
+        }
+        Ok(self)
     }
 }
 
@@ -159,6 +174,8 @@ pub struct FleetReport {
     pub metrics: FleetMetrics,
     /// Memory rent the warm pool held at the end of the run (§7.1).
     pub pool_resident_bytes: u64,
+    /// Attestation-plane counters, when a verifier was configured.
+    pub attestation: Option<AttPlaneMetrics>,
     /// Resource-occupancy trace of the run (for invariant checks).
     pub trace: RunTrace,
 }
@@ -233,6 +250,9 @@ struct State<'a> {
     inflight: usize,
     issued: usize,
     metrics: FleetMetrics,
+    /// Attestation control plane, when configured: every fault-free
+    /// dispatch is verified and carries the verifier's latency.
+    plane: Option<AttPlane>,
     /// Observability handle. Disabled by default; never touches the RNG,
     /// the metrics, or job injection, so enabling it cannot change a run.
     rec: Recorder,
@@ -260,6 +280,11 @@ impl FleetService {
         }
         if let Err(e) = config.recovery.validate() {
             panic!("invalid recovery config: {e}");
+        }
+        if let Some(att) = &config.attestation {
+            if let Err(e) = att.validate() {
+                panic!("invalid attestation config: {e}");
+            }
         }
         FleetService { catalog, config }
     }
@@ -325,6 +350,10 @@ impl FleetService {
             inflight: 0,
             issued: 0,
             metrics: FleetMetrics::default(),
+            plane: self
+                .config
+                .attestation
+                .map(|cfg| AttPlane::new(cfg, 1).expect("attestation config validated in new()")),
             rec,
         };
 
@@ -422,6 +451,7 @@ impl FleetService {
                 offered_rps: self.config.arrival.offered_rps(),
                 metrics,
                 pool_resident_bytes: state.pool.resident_bytes(),
+                attestation: state.plane.as_ref().map(|p| *p.metrics()),
                 trace,
             },
             log,
@@ -748,6 +778,21 @@ impl<'a> State<'a> {
                 fate = LaunchFate::Fault(kind);
             }
         }
+        // Every fault-free dispatch carries an attestation verdict: the
+        // verifier's latency (queue wait → cert fetch/hit → batch window →
+        // signature check) rides the launch as pure network delay, and a
+        // revoked chip turns the dispatch into an attestation failure.
+        if matches!(fate, LaunchFate::Ok) {
+            if let Some(plane) = self.plane.as_mut() {
+                let v = plane
+                    .verify_launch(0, now)
+                    .expect("fleet plane always holds host 0");
+                blueprint.steps.extend(v.steps);
+                if !v.verdict.is_ok() {
+                    fate = LaunchFate::Fault(FaultKind::AttestError);
+                }
+            }
+        }
         self.inflight += 1;
         let psp = blueprint.psp_work() > Nanos::ZERO;
         inject.push(blueprint.to_job(now, self.cpu, self.psp));
@@ -979,6 +1024,45 @@ mod tests {
         assert_eq!(a.metrics.latencies, b.metrics.latencies);
         assert_eq!(a.metrics.shed, b.metrics.shed);
         assert_eq!(a.metrics.makespan, b.metrics.makespan);
+    }
+
+    #[test]
+    fn attested_runs_conserve_and_are_deterministic() {
+        use sevf_attplane::AttPlaneConfig;
+        let attested = |cfg: AttPlaneConfig| {
+            let mut config = FleetConfig::open_loop(ServingTier::Template, 40.0, 60);
+            config.attestation = Some(cfg);
+            run(config)
+        };
+        let a = attested(AttPlaneConfig::cached());
+        let b = attested(AttPlaneConfig::cached());
+        assert_conserved(&a, 60);
+        assert_eq!(a.metrics.latencies, b.metrics.latencies);
+        assert_eq!(a.attestation, b.attestation);
+        let att = a.attestation.expect("plane configured");
+        assert!(att.verifications > 0);
+        assert!(att.cert_hits > 0, "one chip should mostly hit");
+
+        // The verifier's latency rides the launch: the naive arm pays the
+        // full KDS fetch per dispatch and must be slower end-to-end.
+        let naive = attested(AttPlaneConfig::naive());
+        assert_conserved(&naive, 60);
+        let base = run(FleetConfig::open_loop(ServingTier::Template, 40.0, 60));
+        assert!(naive.metrics.mean_ms() > base.metrics.mean_ms());
+        assert!(naive.attestation.unwrap().cert_fetches >= att.cert_fetches);
+    }
+
+    #[test]
+    fn invalid_attestation_config_is_a_chained_error() {
+        use sevf_attplane::AttPlaneConfig;
+        use std::error::Error;
+        let mut att = AttPlaneConfig::cached();
+        att.cache_ttl = Nanos::ZERO;
+        let mut config = FleetConfig::open_loop(ServingTier::Cold, 10.0, 10);
+        config.attestation = Some(att);
+        let err = config.validated().expect_err("zero TTL must be rejected");
+        assert!(matches!(err, crate::FleetError::AttPlane(_)));
+        assert!(err.source().unwrap().to_string().contains("cache_ttl"));
     }
 
     #[test]

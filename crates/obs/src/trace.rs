@@ -113,6 +113,10 @@ pub enum MarkerKind {
     OutageStart,
     /// A PSP firmware-reset outage window closed.
     OutageEnd,
+    /// A TCB/firmware rollout re-measured a host (re-attestation storm).
+    TcbRollout,
+    /// A chip key was distrusted mid-stream (key-compromise drill).
+    Revocation,
 }
 
 impl MarkerKind {
@@ -126,6 +130,8 @@ impl MarkerKind {
             MarkerKind::Rebalance => "rebalance".to_string(),
             MarkerKind::OutageStart => "outage-start".to_string(),
             MarkerKind::OutageEnd => "outage-end".to_string(),
+            MarkerKind::TcbRollout => "tcb-rollout".to_string(),
+            MarkerKind::Revocation => "revocation".to_string(),
         }
     }
 }
@@ -558,6 +564,16 @@ impl TraceLog {
         self.spans
             .iter()
             .filter(|s| s.kind == SpanKind::Backoff)
+            .count()
+    }
+
+    /// Step spans with an exact name, e.g. the attestation-plane steps
+    /// (`att-verify`, `att-cert-fetch`, …). Lets consistency tests pin
+    /// span counts against plane metrics counters.
+    pub fn count_step_label(&self, label: &str) -> usize {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Step && s.name == label)
             .count()
     }
 }

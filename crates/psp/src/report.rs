@@ -8,7 +8,7 @@
 //! can verify one through the registry. The substitution is documented in
 //! DESIGN.md.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use sevf_crypto::hex::to_hex;
@@ -155,10 +155,12 @@ impl AttestationReport {
 }
 
 /// The guest owner's view of AMD's root of trust: can check that a report
-/// was signed by a genuine chip.
-#[derive(Debug, Default)]
+/// was signed by a genuine chip, and tracks chips whose keys have been
+/// distrusted (the KDS revocation-list model).
+#[derive(Debug, Default, Clone)]
 pub struct AmdRootRegistry {
     chips: HashMap<[u8; 32], ChipIdentity>,
+    revoked: HashSet<[u8; 32]>,
 }
 
 impl AmdRootRegistry {
@@ -172,9 +174,25 @@ impl AmdRootRegistry {
         self.chips.insert(chip.chip_id, chip);
     }
 
+    /// Distrusts a chip key. Every report that chip ever signed — past or
+    /// future — fails verification from this point on; §6.2's templates
+    /// derived under that key must die with it.
+    pub fn revoke(&mut self, chip_id: &[u8; 32]) {
+        self.revoked.insert(*chip_id);
+    }
+
+    /// Whether a chip's key has been revoked.
+    pub fn is_revoked(&self, chip_id: &[u8; 32]) -> bool {
+        self.revoked.contains(chip_id)
+    }
+
     /// Verifies a report's signature against the chip that claims to have
-    /// produced it. Returns `false` for unknown chips or bad signatures.
+    /// produced it. Returns `false` for unknown chips, revoked chips, or
+    /// bad signatures.
     pub fn verify(&self, report: &AttestationReport) -> bool {
+        if self.is_revoked(&report.chip_id) {
+            return false;
+        }
         let Some(chip) = self.chips.get(&report.chip_id) else {
             return false;
         };
@@ -245,6 +263,22 @@ mod tests {
         report.chip_id = b.chip_id;
         report.signature = a.sign(&report.body_bytes());
         assert!(!registry.verify(&report));
+    }
+
+    #[test]
+    fn revocation_defeats_previously_valid_reports() {
+        let chip = ChipIdentity::from_seed(b"machine-0");
+        let mut registry = AmdRootRegistry::new();
+        registry.register(chip.clone());
+        let report = sample_report(&chip);
+        assert!(registry.verify(&report));
+        registry.revoke(&chip.chip_id);
+        assert!(registry.is_revoked(&chip.chip_id));
+        assert!(!registry.verify(&report));
+        // Other chips are unaffected.
+        let other = ChipIdentity::from_seed(b"machine-1");
+        registry.register(other.clone());
+        assert!(registry.verify(&sample_report(&other)));
     }
 
     #[test]
