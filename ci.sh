@@ -46,6 +46,16 @@ cargo run --release --quiet --example attestation_storm -- --quick --json > /tmp
 diff /tmp/ci_att_a.json /tmp/ci_att_b.json
 rm -f /tmp/ci_att_a.json /tmp/ci_att_b.json
 
+echo "==> deterministic replay: partition_drill --quick --json twice, byte-diffed"
+cargo run --release --quiet --example partition_drill -- --quick --json > /tmp/ci_net_a.json
+cargo run --release --quiet --example partition_drill -- --quick --json > /tmp/ci_net_b.json
+diff /tmp/ci_net_a.json /tmp/ci_net_b.json
+rm -f /tmp/ci_net_a.json /tmp/ci_net_b.json
+
+echo "==> bench snapshot: partition_drill --quick --bench (wall-clock; not diffed)"
+cargo run --release --quiet --example partition_drill -- --quick --bench > BENCH_net.json
+cat BENCH_net.json
+
 echo "==> bench snapshot: attestation_storm --quick --bench (wall-clock; not diffed)"
 cargo run --release --quiet --example attestation_storm -- --quick --bench > BENCH_attplane.json
 cat BENCH_attplane.json

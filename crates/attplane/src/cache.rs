@@ -32,6 +32,21 @@ pub enum CacheLookup {
     Revoked,
 }
 
+/// Outcome of a staleness-tolerant probe ([`CertCache::probe_stale`]),
+/// used while the verifier is unreachable under a fail-open policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaleLookup {
+    /// A live entry, within TTL: as good as a fresh verification.
+    Fresh,
+    /// An entry past its TTL but within the staleness budget — usable
+    /// under fail-open, must be re-verified once the verifier heals.
+    Stale,
+    /// Nothing usable even with the staleness allowance.
+    Miss,
+    /// The chip key is revoked; staleness never overrides revocation.
+    Revoked,
+}
+
 /// The cache itself. TTL runs on the virtual clock, so expiry is
 /// deterministic and monotone: once a key has expired at time `t`, it
 /// stays expired at every `t' >= t` until re-inserted.
@@ -66,6 +81,42 @@ impl CertCache {
                 CacheLookup::Expired
             }
             None => CacheLookup::Miss,
+        }
+    }
+
+    /// Probes with a staleness allowance, for fail-open service during a
+    /// verifier blackout. Unlike [`CertCache::probe`] this never evicts:
+    /// the blackout ends and the normal probe path resumes TTL policing.
+    ///
+    /// The exact key is consulted first; failing that, any entry for the
+    /// *same chip* under another TCB version counts as stale evidence
+    /// (the chip's VCEK chain was trusted recently — a TCB rollout during
+    /// the blackout must not turn the whole fleet into misses). Age
+    /// boundaries are exact: `age < ttl` is `Fresh`, `ttl <= age <
+    /// ttl + budget` is `Stale`, and anything older is `Miss`.
+    pub fn probe_stale(&self, key: CacheKey, now: Nanos, budget: Nanos) -> StaleLookup {
+        if self.revoked.contains(&key.chip_id) {
+            return StaleLookup::Revoked;
+        }
+        let horizon = self.ttl + budget;
+        if let Some(&inserted) = self.entries.get(&key) {
+            let age = now.saturating_sub(inserted);
+            if age < self.ttl {
+                return StaleLookup::Fresh;
+            }
+            if age < horizon {
+                return StaleLookup::Stale;
+            }
+        }
+        let same_chip_usable = self
+            .entries
+            .iter()
+            .filter(|(k, _)| k.chip_id == key.chip_id)
+            .any(|(_, &inserted)| now.saturating_sub(inserted) < horizon);
+        if same_chip_usable {
+            StaleLookup::Stale
+        } else {
+            StaleLookup::Miss
         }
     }
 
@@ -164,6 +215,100 @@ mod tests {
         // Other chips are untouched.
         cache.insert(key(3, 0), now);
         assert_eq!(cache.probe(key(3, 0), now), CacheLookup::Hit);
+    }
+
+    #[test]
+    fn entry_expiring_exactly_on_the_lookup_tick() {
+        // Edge case: a probe landing exactly at inserted + ttl. The strict
+        // `age < ttl` rule makes that tick Expired for the normal probe
+        // and Stale (not Fresh) for the fail-open probe — the two paths
+        // must agree on where freshness ends.
+        let ttl = Nanos::from_millis(10);
+        let budget = Nanos::from_millis(4);
+        let t0 = Nanos::from_millis(100);
+        let k = key(7, 0);
+        let boundary = t0 + ttl;
+        let make = || {
+            let mut c = CertCache::new(ttl);
+            c.insert(k, t0);
+            c
+        };
+        // One tick before the boundary: fresh on both paths.
+        let just_before = boundary.saturating_sub(Nanos::from_nanos(1));
+        assert_eq!(
+            make().probe_stale(k, just_before, budget),
+            StaleLookup::Fresh
+        );
+        assert_eq!(make().probe(k, just_before), CacheLookup::Hit);
+        // Exactly on the boundary tick.
+        let cache = make();
+        assert_eq!(cache.probe_stale(k, boundary, budget), StaleLookup::Stale);
+        let mut cache = make();
+        assert_eq!(cache.probe(k, boundary), CacheLookup::Expired);
+        // And the staleness budget has its own exact boundary.
+        let cache = make();
+        let stale_end = boundary + budget;
+        assert_eq!(
+            cache.probe_stale(k, stale_end.saturating_sub(Nanos::from_nanos(1)), budget),
+            StaleLookup::Stale
+        );
+        assert_eq!(cache.probe_stale(k, stale_end, budget), StaleLookup::Miss);
+    }
+
+    #[test]
+    fn revocation_arriving_mid_stale_serve_wins() {
+        // Fail-open is serving chip 8 from a stale entry when the
+        // revocation lands: the very next probe — stale or normal — must
+        // answer Revoked, at every TCB version, with no staleness escape.
+        let ttl = Nanos::from_millis(10);
+        let budget = Nanos::from_millis(50);
+        let mut cache = CertCache::new(ttl);
+        let k = key(8, 0);
+        cache.insert(k, Nanos::ZERO);
+        let mid_blackout = Nanos::from_millis(20);
+        assert_eq!(
+            cache.probe_stale(k, mid_blackout, budget),
+            StaleLookup::Stale
+        );
+        cache.revoke(&k.chip_id);
+        assert_eq!(
+            cache.probe_stale(k, mid_blackout, budget),
+            StaleLookup::Revoked
+        );
+        assert_eq!(
+            cache.probe_stale(key(8, 3), mid_blackout, budget),
+            StaleLookup::Revoked
+        );
+        assert_eq!(cache.probe(k, mid_blackout), CacheLookup::Revoked);
+        // Other chips keep their stale allowance.
+        cache.insert(key(9, 0), Nanos::ZERO);
+        assert_eq!(
+            cache.probe_stale(key(9, 0), mid_blackout, budget),
+            StaleLookup::Stale
+        );
+    }
+
+    #[test]
+    fn stale_probe_falls_back_to_same_chip_other_tcb() {
+        // A TCB rollout during the blackout bumps the key; the chip's
+        // old-TCB entry still vouches for it within the allowance.
+        let ttl = Nanos::from_millis(10);
+        let budget = Nanos::from_millis(10);
+        let mut cache = CertCache::new(ttl);
+        cache.insert(key(5, 0), Nanos::ZERO);
+        let now = Nanos::from_millis(5);
+        assert_eq!(
+            cache.probe_stale(key(5, 1), now, budget),
+            StaleLookup::Stale
+        );
+        // Past ttl + budget even the fallback refuses.
+        let late = Nanos::from_millis(25);
+        assert_eq!(
+            cache.probe_stale(key(5, 1), late, budget),
+            StaleLookup::Miss
+        );
+        // A different chip never benefits.
+        assert_eq!(cache.probe_stale(key(6, 0), now, budget), StaleLookup::Miss);
     }
 
     #[test]

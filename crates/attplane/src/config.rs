@@ -29,6 +29,25 @@ impl VerifyMode {
     }
 }
 
+/// What the plane does when the remote verifier is unreachable.
+///
+/// Fail-closed is the conservative posture: no fresh verdicts means no
+/// launches. Fail-open trades a bounded amount of staleness for
+/// availability: launches whose cert chain was verified recently enough
+/// (within TTL + budget) are served from [`crate::CertCache`] and queued
+/// for re-verification once the verifier heals. Revocation always wins
+/// over staleness in either mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// Refuse every launch while the verifier is unreachable.
+    Closed,
+    /// Serve from cache within `ttl + staleness_budget`, re-verify on heal.
+    Open {
+        /// Extra age past the TTL a cached verdict may be trusted for.
+        staleness_budget: Nanos,
+    },
+}
+
 /// Cost model and policy for the attestation plane.
 ///
 /// All durations are virtual time. The defaults model a remote verifier:
@@ -52,6 +71,8 @@ pub struct AttPlaneConfig {
     pub batch_window: Nanos,
     /// TTL for cached cert-chain/report entries, in virtual time.
     pub cache_ttl: Nanos,
+    /// Degradation policy while the verifier is unreachable.
+    pub degrade: FailMode,
 }
 
 impl AttPlaneConfig {
@@ -65,6 +86,7 @@ impl AttPlaneConfig {
             sig_check: Nanos::from_micros(500),
             batch_window: Nanos::from_millis(10),
             cache_ttl: Nanos::from_secs(60),
+            degrade: FailMode::Closed,
         }
     }
 
@@ -97,6 +119,13 @@ impl AttPlaneConfig {
             return Err(AttPlaneError::Config(
                 "batch_window must be positive in batched mode",
             ));
+        }
+        if let FailMode::Open { staleness_budget } = self.degrade {
+            if staleness_budget == Nanos::ZERO {
+                return Err(AttPlaneError::Config(
+                    "fail-open staleness budget must be positive",
+                ));
+            }
         }
         Ok(())
     }
@@ -131,6 +160,16 @@ mod tests {
         // Naive mode never consults the cache, so a zero TTL is fine there.
         let mut cfg = AttPlaneConfig::naive();
         cfg.cache_ttl = Nanos::ZERO;
+        cfg.validate().unwrap();
+        // Fail-open with no budget would be fail-open forever; rejected.
+        let mut cfg = AttPlaneConfig::cached();
+        cfg.degrade = FailMode::Open {
+            staleness_budget: Nanos::ZERO,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.degrade = FailMode::Open {
+            staleness_budget: Nanos::from_secs(30),
+        };
         cfg.validate().unwrap();
     }
 }

@@ -38,11 +38,12 @@ mod cache;
 mod config;
 mod plane;
 
-pub use cache::{CacheKey, CacheLookup, CertCache};
-pub use config::{AttPlaneConfig, VerifyMode};
+pub use cache::{CacheKey, CacheLookup, CertCache, StaleLookup};
+pub use config::{AttPlaneConfig, FailMode, VerifyMode};
 pub use plane::{
     AttPlane, AttPlaneMetrics, Verdict, Verification, STEP_BATCH_JOIN, STEP_BATCH_SETUP,
-    STEP_CERT_FETCH, STEP_CERT_HIT, STEP_QUEUE_WAIT, STEP_REVOKED, STEP_VERIFY,
+    STEP_CERT_FETCH, STEP_CERT_HIT, STEP_QUEUE_WAIT, STEP_REVOKED, STEP_RTT, STEP_STALE_HIT,
+    STEP_UNAVAILABLE, STEP_VERIFY,
 };
 
 /// Errors from the attestation control plane.
@@ -78,8 +79,8 @@ impl Error for AttPlaneError {}
 /// One-line imports for examples and downstream crates.
 pub mod prelude {
     pub use crate::{
-        AttPlane, AttPlaneConfig, AttPlaneError, AttPlaneMetrics, CertCache, Verdict, Verification,
-        VerifyMode,
+        AttPlane, AttPlaneConfig, AttPlaneError, AttPlaneMetrics, CertCache, FailMode, StaleLookup,
+        Verdict, Verification, VerifyMode,
     };
 }
 

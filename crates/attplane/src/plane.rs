@@ -14,8 +14,8 @@ use sevf_obs::WorkStep;
 use sevf_psp::{AmdRootRegistry, AttestationReport, ChipIdentity};
 use sevf_sim::{Nanos, PhaseKind, ResourceClass};
 
-use crate::cache::{CacheKey, CacheLookup, CertCache};
-use crate::config::{AttPlaneConfig, VerifyMode};
+use crate::cache::{CacheKey, CacheLookup, CertCache, StaleLookup};
+use crate::config::{AttPlaneConfig, FailMode, VerifyMode};
 use crate::AttPlaneError;
 
 /// Step label: time spent queued behind other verifications.
@@ -32,6 +32,14 @@ pub const STEP_BATCH_JOIN: &str = "att-batch-join";
 pub const STEP_VERIFY: &str = "att-verify";
 /// Step label: verdict refused because the chip key is revoked.
 pub const STEP_REVOKED: &str = "att-revoked";
+/// Step label: served from a stale cache entry while the verifier was
+/// unreachable (fail-open; zero-duration marker).
+pub const STEP_STALE_HIT: &str = "att-stale-hit";
+/// Step label: refused because the verifier was unreachable and no
+/// usable cached verdict existed (zero-duration marker).
+pub const STEP_UNAVAILABLE: &str = "att-unavailable";
+/// Step label: network round trip to a remote verifier (fleet wiring).
+pub const STEP_RTT: &str = "att-rtt";
 
 /// The plane's answer for one dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +48,9 @@ pub enum Verdict {
     Ok,
     /// The signing chip's key is distrusted; the launch must not serve.
     Revoked,
+    /// The verifier was unreachable and the degradation policy refused to
+    /// vouch for the launch (fail-closed, or fail-open past the budget).
+    Unavailable,
 }
 
 impl Verdict {
@@ -53,6 +64,7 @@ impl Verdict {
         match self {
             Verdict::Ok => "ok",
             Verdict::Revoked => "revoked",
+            Verdict::Unavailable => "unavailable",
         }
     }
 }
@@ -96,6 +108,15 @@ pub struct AttPlaneMetrics {
     pub revocations: u64,
     /// TCB versions bumped by rollouts.
     pub tcb_bumps: u64,
+    /// Launches served from cache while the verifier was unreachable
+    /// (`att-stale-hit` steps, fail-open only).
+    pub stale_serves: u64,
+    /// Launches refused because the verifier was unreachable
+    /// (`att-unavailable` steps).
+    pub unavailable_refusals: u64,
+    /// Full verifications forced on heal for hosts that were served
+    /// stale during a blackout.
+    pub reverifies: u64,
 }
 
 impl AttPlaneMetrics {
@@ -131,6 +152,11 @@ pub struct AttPlane {
     free_at: Nanos,
     batch_epoch: Option<u64>,
     metrics: AttPlaneMetrics,
+    /// Whether the remote verifier is reachable (blackout drills flip it).
+    reachable: bool,
+    /// Hosts served stale during a blackout, owed a full re-verification
+    /// once the verifier heals. `BTreeSet` for deterministic iteration.
+    needs_reverify: std::collections::BTreeSet<usize>,
 }
 
 impl AttPlane {
@@ -172,6 +198,8 @@ impl AttPlane {
             free_at: Nanos::ZERO,
             batch_epoch: None,
             metrics: AttPlaneMetrics::default(),
+            reachable: true,
+            needs_reverify: std::collections::BTreeSet::new(),
         })
     }
 
@@ -219,6 +247,18 @@ impl AttPlane {
         &self.metrics
     }
 
+    /// Flips verifier reachability (partition drills). While unreachable,
+    /// [`AttPlane::verify_launch`] answers from the degradation policy
+    /// instead of the verifier queue.
+    pub fn set_reachable(&mut self, reachable: bool) {
+        self.reachable = reachable;
+    }
+
+    /// Whether the remote verifier is currently reachable.
+    pub fn is_reachable(&self) -> bool {
+        self.reachable
+    }
+
     /// A TCB/firmware rollout re-measures a host: bump its version so
     /// every cached entry minted under the old firmware stops matching.
     /// Returns the new version.
@@ -264,6 +304,9 @@ impl AttPlane {
             chip_id: chip,
             tcb: self.tcb[host],
         };
+        if !self.reachable {
+            return Ok(self.verify_degraded(host, &chip, key, now));
+        }
         let mut steps = Vec::new();
         let wait = self.free_at.saturating_sub(now);
         if wait > Nanos::ZERO {
@@ -275,7 +318,10 @@ impl AttPlane {
 
         // Revocation wins over everything, including a cached hit, and
         // costs no verifier service time: the refusal is a registry look.
-        let lookup = if self.config.mode == VerifyMode::Naive {
+        // A host owed a re-verification (served stale during a blackout)
+        // is forced down the full fetch path even if its entry is live.
+        let lookup = if self.config.mode == VerifyMode::Naive || self.needs_reverify.contains(&host)
+        {
             if self.cache.is_revoked(&chip) {
                 CacheLookup::Revoked
             } else {
@@ -285,6 +331,7 @@ impl AttPlane {
             self.cache.probe(key, start)
         };
         if lookup == CacheLookup::Revoked {
+            self.needs_reverify.remove(&host);
             steps.push(self.step(STEP_REVOKED, Nanos::ZERO));
             self.metrics.revoked_verdicts += 1;
             return Ok(Verification {
@@ -292,6 +339,9 @@ impl AttPlane {
                 added: wait,
                 steps,
             });
+        }
+        if self.needs_reverify.remove(&host) {
+            self.metrics.reverifies += 1;
         }
 
         let mut service = Nanos::ZERO;
@@ -341,6 +391,56 @@ impl AttPlane {
             added: wait + service,
             steps,
         })
+    }
+
+    /// The blackout path: no verifier queue, no service time, verdicts
+    /// from the degradation policy alone. Revocation still wins — the
+    /// CRL is local state, not a verifier round trip.
+    fn verify_degraded(
+        &mut self,
+        host: usize,
+        chip: &[u8; 32],
+        key: CacheKey,
+        now: Nanos,
+    ) -> Verification {
+        if self.cache.is_revoked(chip) {
+            self.metrics.revoked_verdicts += 1;
+            return Verification {
+                verdict: Verdict::Revoked,
+                added: Nanos::ZERO,
+                steps: vec![self.step(STEP_REVOKED, Nanos::ZERO)],
+            };
+        }
+        if let FailMode::Open { staleness_budget } = self.config.degrade {
+            match self.cache.probe_stale(key, now, staleness_budget) {
+                StaleLookup::Fresh | StaleLookup::Stale => {
+                    // Served on cached trust: owe a full re-verification
+                    // once the verifier heals.
+                    self.metrics.stale_serves += 1;
+                    self.needs_reverify.insert(host);
+                    return Verification {
+                        verdict: Verdict::Ok,
+                        added: Nanos::ZERO,
+                        steps: vec![self.step(STEP_STALE_HIT, Nanos::ZERO)],
+                    };
+                }
+                StaleLookup::Revoked => {
+                    self.metrics.revoked_verdicts += 1;
+                    return Verification {
+                        verdict: Verdict::Revoked,
+                        added: Nanos::ZERO,
+                        steps: vec![self.step(STEP_REVOKED, Nanos::ZERO)],
+                    };
+                }
+                StaleLookup::Miss => {}
+            }
+        }
+        self.metrics.unavailable_refusals += 1;
+        Verification {
+            verdict: Verdict::Unavailable,
+            added: Nanos::ZERO,
+            steps: vec![self.step(STEP_UNAVAILABLE, Nanos::ZERO)],
+        }
     }
 
     fn step(&self, label: &str, duration: Nanos) -> WorkStep {
@@ -536,6 +636,104 @@ mod tests {
             plane.verify_launch(0, Nanos::ZERO).unwrap().verdict,
             Verdict::Revoked
         );
+    }
+
+    #[test]
+    fn fail_closed_blackout_refuses_everything_and_heals_clean() {
+        let mut plane = AttPlane::new(AttPlaneConfig::cached(), 2).unwrap();
+        plane.verify_launch(0, Nanos::ZERO).unwrap();
+        plane.set_reachable(false);
+        assert!(!plane.is_reachable());
+        // Even the host with a live cache entry is refused: fail-closed
+        // means no fresh verdicts, full stop.
+        let v = plane.verify_launch(0, ms(10)).unwrap();
+        assert_eq!(v.verdict, Verdict::Unavailable);
+        assert!(!v.verdict.is_ok());
+        assert_eq!(v.steps.last().unwrap().label, STEP_UNAVAILABLE);
+        assert_eq!(v.added, Nanos::ZERO, "no verifier service during blackout");
+        let before = plane.metrics().verifications;
+        plane.set_reachable(true);
+        assert!(plane.verify_launch(0, ms(20)).unwrap().verdict.is_ok());
+        let m = plane.metrics();
+        assert_eq!(m.unavailable_refusals, 1);
+        assert_eq!(m.verifications, before + 1);
+        assert_eq!(m.reverifies, 0, "fail-closed owes no re-verification");
+    }
+
+    #[test]
+    fn fail_open_serves_stale_within_budget_and_reverifies_on_heal() {
+        let mut cfg = AttPlaneConfig::cached();
+        cfg.cache_ttl = ms(30);
+        cfg.degrade = FailMode::Open {
+            staleness_budget: ms(40),
+        };
+        let mut plane = AttPlane::new(cfg, 2).unwrap();
+        plane.verify_launch(0, Nanos::ZERO).unwrap();
+        plane.set_reachable(false);
+        // Past the TTL but inside the budget: served stale.
+        let v = plane.verify_launch(0, ms(50)).unwrap();
+        assert!(v.verdict.is_ok());
+        assert_eq!(v.steps.last().unwrap().label, STEP_STALE_HIT);
+        // Host 1 was never verified: nothing to go stale on.
+        assert_eq!(
+            plane.verify_launch(1, ms(51)).unwrap().verdict,
+            Verdict::Unavailable
+        );
+        // Past ttl + budget even host 0 is refused.
+        assert_eq!(
+            plane.verify_launch(0, ms(80)).unwrap().verdict,
+            Verdict::Unavailable
+        );
+        // Heal: the stale-served host is forced down the full fetch path
+        // even though its entry would still probe fresh after re-insert.
+        plane.set_reachable(true);
+        let fetches = plane.metrics().cert_fetches;
+        assert!(plane.verify_launch(0, ms(90)).unwrap().verdict.is_ok());
+        let m = plane.metrics();
+        assert_eq!(m.cert_fetches, fetches + 1, "heal forces a refetch");
+        assert_eq!(m.reverifies, 1);
+        assert_eq!(m.stale_serves, 1);
+        assert_eq!(m.unavailable_refusals, 2);
+    }
+
+    #[test]
+    fn revocation_beats_stale_service_during_a_blackout() {
+        let mut cfg = AttPlaneConfig::cached();
+        cfg.degrade = FailMode::Open {
+            staleness_budget: ms(1000),
+        };
+        let mut plane = AttPlane::new(cfg, 1).unwrap();
+        plane.verify_launch(0, Nanos::ZERO).unwrap();
+        plane.set_reachable(false);
+        assert!(plane.verify_launch(0, ms(10)).unwrap().verdict.is_ok());
+        // The revocation lands mid-blackout: stale trust is void.
+        plane.revoke_host(0).unwrap();
+        let v = plane.verify_launch(0, ms(20)).unwrap();
+        assert_eq!(v.verdict, Verdict::Revoked);
+        assert_eq!(v.steps.last().unwrap().label, STEP_REVOKED);
+        // And the heal does not resurrect it.
+        plane.set_reachable(true);
+        assert_eq!(
+            plane.verify_launch(0, ms(30)).unwrap().verdict,
+            Verdict::Revoked
+        );
+    }
+
+    #[test]
+    fn tcb_rollout_during_blackout_survives_via_same_chip_fallback() {
+        let mut cfg = AttPlaneConfig::cached();
+        cfg.degrade = FailMode::Open {
+            staleness_budget: ms(500),
+        };
+        let mut plane = AttPlane::new(cfg, 1).unwrap();
+        plane.verify_launch(0, Nanos::ZERO).unwrap();
+        plane.set_reachable(false);
+        // The rollout bumps the key mid-blackout; the chip's old-TCB
+        // entry still vouches for it within the allowance.
+        plane.bump_tcb(0).unwrap();
+        let v = plane.verify_launch(0, ms(10)).unwrap();
+        assert!(v.verdict.is_ok());
+        assert_eq!(v.steps.last().unwrap().label, STEP_STALE_HIT);
     }
 
     #[test]

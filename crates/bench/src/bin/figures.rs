@@ -13,6 +13,7 @@ use severifast::BootPolicy;
 use sevf_bench::{fmt_ms, mib, render_table, write_dumps, FigureDump, Json};
 use sevf_cluster::attsweep as att_exp;
 use sevf_cluster::experiment as cluster_exp;
+use sevf_cluster::netsweep as net_exp;
 use sevf_fleet::chaos as fleet_chaos;
 use sevf_fleet::experiment as fleet_exp;
 use sevf_sim::stats::cdf;
@@ -58,6 +59,10 @@ const FIGURES: &[(&str, &str)] = &[
     (
         "attplane",
         "attestation plane: naive vs cached vs batched verification, a TCB storm, a revocation drill",
+    ),
+    (
+        "net",
+        "partition tolerance: link faults, failure detection, leases, and a verifier blackout",
     ),
     (
         "headline",
@@ -156,6 +161,7 @@ fn main() {
             "chaos" => chaos_table(&args.scale),
             "cluster" => cluster_table(&args.scale),
             "attplane" => attplane_table(&args.scale),
+            "net" => net_table(&args.scale),
             "trace" => trace_table(&args.scale),
             "headline" => headline(&args.scale),
             other => usage_error(&format!("unknown figure '{other}' (see --list)")),
@@ -987,6 +993,98 @@ fn attplane_table(scale: &ExperimentScale) -> FigureDump {
                         ("batch_joins", Json::from(r.batch_joins)),
                         ("revoked", Json::from(r.revoked)),
                         ("queue_wait_ms", Json::from(r.queue_wait_ms)),
+                        ("p50_ms", Json::from(r.p50_ms)),
+                        ("p99_ms", Json::from(r.p99_ms)),
+                    ])
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn net_table(scale: &ExperimentScale) -> FigureDump {
+    let cfg = if scale.kernel_div > 1 {
+        net_exp::NetSweepConfig::quick()
+    } else {
+        net_exp::NetSweepConfig::paper_partition()
+    };
+    let report = net_exp::net_sweep(&cfg).expect("partition sweep");
+    for row in &report.rows {
+        assert!(
+            row.conserved,
+            "net conservation broke in {}/{}",
+            row.arm, row.policy
+        );
+    }
+    println!("\n=== Network: partition tolerance with and without the control plane ===");
+    println!("(each arm replays the identical seeded link schedule twice: the naive");
+    println!(" policy keeps dispatching into the cut while the resilient one suspects");
+    println!(" via phi-accrual heartbeats, fences the island behind expired leases,");
+    println!(" fails its work over, and epoch-fences late completions; the blackout");
+    println!(" arm fails open within a bounded staleness budget instead of refusing)\n");
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.arm.into(),
+                r.policy.into(),
+                r.completed.to_string(),
+                (r.shed + r.timeouts + r.failed).to_string(),
+                r.failovers.to_string(),
+                r.net_lost.to_string(),
+                r.net_nacks.to_string(),
+                r.suspicions.to_string(),
+                r.lease_expiries.to_string(),
+                r.stale_completions.to_string(),
+                r.stale_serves.to_string(),
+                fmt_ms(r.p50_ms),
+                fmt_ms(r.p99_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "arm", "policy", "done", "lost", "failover", "msg-lost", "nacks", "suspect",
+                "parked", "fenced", "stale-ok", "p50 ms", "p99 ms"
+            ],
+            &table
+        )
+    );
+    FigureDump {
+        id: "net".into(),
+        caption: "Partition tolerance: naive vs resilient over identical link faults".into(),
+        data: Json::Arr(
+            report
+                .rows
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("arm", Json::from(r.arm)),
+                        ("policy", Json::from(r.policy)),
+                        ("completed", Json::from(r.completed)),
+                        ("shed", Json::from(r.shed)),
+                        ("timeouts", Json::from(r.timeouts)),
+                        ("failed", Json::from(r.failed)),
+                        ("failovers", Json::from(r.failovers)),
+                        ("retries", Json::from(r.retries)),
+                        ("suspicions", Json::from(r.suspicions)),
+                        ("suspicions_cleared", Json::from(r.suspicions_cleared)),
+                        ("false_suspicions", Json::from(r.false_suspicions)),
+                        ("lease_expiries", Json::from(r.lease_expiries)),
+                        ("net_lost", Json::from(r.net_lost)),
+                        ("net_timeouts", Json::from(r.net_timeouts)),
+                        ("net_nacks", Json::from(r.net_nacks)),
+                        ("stale_completions", Json::from(r.stale_completions)),
+                        (
+                            "double_completion_attempts",
+                            Json::from(r.double_completion_attempts),
+                        ),
+                        ("stale_serves", Json::from(r.stale_serves)),
+                        ("unavailable_refusals", Json::from(r.unavailable_refusals)),
+                        ("reverifies", Json::from(r.reverifies)),
                         ("p50_ms", Json::from(r.p50_ms)),
                         ("p99_ms", Json::from(r.p99_ms)),
                     ])

@@ -51,6 +51,12 @@ pub struct Host {
     pub launch_seq: u64,
     /// Launches currently dispatched (admission slot accounting).
     pub inflight: usize,
+    /// Lease-based ownership: virtual time the current lease expires.
+    /// `u64::MAX` nanoseconds when leases are off (never fences itself).
+    pub lease_until: Nanos,
+    /// Whether the host has parked itself after its lease expired: it
+    /// purged its queue and refuses new work until a fresh grant arrives.
+    pub parked: bool,
     /// Expected serialized PSP work admitted but not yet completed (queued
     /// plus in flight) — the backlog signal JSQ placement samples.
     pub committed_psp: Nanos,

@@ -42,6 +42,7 @@ pub mod attsweep;
 pub mod experiment;
 pub mod host;
 pub mod metrics;
+pub mod netsweep;
 pub mod placement;
 pub mod ring;
 pub mod service;
@@ -50,6 +51,7 @@ pub mod tracedemo;
 pub use attsweep::{att_sweep, AttRow, AttSweepConfig, AttSweepReport};
 pub use experiment::{cluster_sweep, ClusterRow, ClusterSweepConfig, ClusterSweepReport};
 pub use metrics::{ClusterMetrics, HostRollup};
+pub use netsweep::{net_sweep, NetRow, NetSweepConfig, NetSweepReport};
 pub use placement::{PlacementPolicy, Router};
 pub use ring::HashRing;
 pub use service::{
@@ -73,6 +75,8 @@ pub enum ClusterError {
     Fleet(FleetError),
     /// The attestation control plane rejected its configuration.
     AttPlane(sevf_attplane::AttPlaneError),
+    /// The network model rejected its configuration.
+    Net(sevf_net::NetError),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -83,6 +87,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
             ClusterError::Fleet(e) => write!(f, "fleet layer failed: {e}"),
             ClusterError::AttPlane(e) => write!(f, "attestation plane failed: {e}"),
+            ClusterError::Net(e) => write!(f, "network model failed: {e}"),
         }
     }
 }
@@ -92,6 +97,7 @@ impl std::error::Error for ClusterError {
         match self {
             ClusterError::Fleet(e) => Some(e),
             ClusterError::AttPlane(e) => Some(e),
+            ClusterError::Net(e) => Some(e),
             ClusterError::Config(_) | ClusterError::FaultPlan(_) | ClusterError::Recovery(_) => {
                 None
             }
@@ -111,11 +117,18 @@ impl From<sevf_attplane::AttPlaneError> for ClusterError {
     }
 }
 
+impl From<sevf_net::NetError> for ClusterError {
+    fn from(e: sevf_net::NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
 /// The common imports for working with the cluster control plane.
 pub mod prelude {
     pub use crate::attsweep::{att_sweep, AttSweepConfig, AttSweepReport};
     pub use crate::experiment::{cluster_sweep, ClusterSweepConfig, ClusterSweepReport};
     pub use crate::metrics::ClusterMetrics;
+    pub use crate::netsweep::{net_sweep, NetSweepConfig, NetSweepReport};
     pub use crate::placement::PlacementPolicy;
     pub use crate::service::{
         ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind, HostOutage,
@@ -136,6 +149,19 @@ mod tests {
         assert!(err.source().is_some());
         assert!(err.to_string().contains("fleet layer"));
         assert!(ClusterError::Config("x").source().is_none());
+    }
+
+    #[test]
+    fn cluster_error_chains_to_its_net_source() {
+        let err = ClusterError::from(sevf_net::NetError::from(
+            sevf_net::DetectorError::WindowZero,
+        ));
+        assert!(err.to_string().contains("network model"));
+        let source = err.source().expect("net errors carry their source");
+        assert!(
+            source.source().is_some(),
+            "NetError chains to DetectorError"
+        );
     }
 
     #[test]

@@ -63,6 +63,29 @@ pub struct ClusterMetrics {
     pub failovers: u64,
     /// Warm-pool rebalance passes triggered by membership changes.
     pub rebalances: u64,
+    /// Times the failure detector began suspecting a host.
+    pub suspicions: u64,
+    /// Suspicions a later heartbeat cleared.
+    pub suspicions_cleared: u64,
+    /// Failover sweeps that fired after their suspicion had already
+    /// cleared: false suspicions that moved no work.
+    pub false_suspicions: u64,
+    /// Times a host parked on an expired lease.
+    pub lease_expiries: u64,
+    /// Dispatch messages lost to link loss or a partition.
+    pub net_lost: u64,
+    /// Dispatches the router timed out and sent back through recovery.
+    pub net_timeouts: u64,
+    /// Refusals (host parked, fenced, or dead at delivery) that reached
+    /// the router.
+    pub net_nacks: u64,
+    /// Outcome messages discarded because the request had moved to a
+    /// newer dispatch epoch.
+    pub stale_completions: u64,
+    /// Success completions for already-terminal requests — double-service
+    /// attempts the epoch fence suppressed (each request still counted
+    /// exactly once).
+    pub double_completion_attempts: u64,
     /// Injected-fault occurrences across all hosts.
     pub faults: u64,
     /// Merged request latencies (ms), in completion order per host.
@@ -130,6 +153,18 @@ impl ClusterMetrics {
         reg.inc("cluster_retries_total", self.retries);
         reg.inc("cluster_failovers_total", self.failovers);
         reg.inc("cluster_rebalances_total", self.rebalances);
+        reg.inc("cluster_suspicions_total", self.suspicions);
+        reg.inc("cluster_suspicions_cleared_total", self.suspicions_cleared);
+        reg.inc("cluster_false_suspicions_total", self.false_suspicions);
+        reg.inc("cluster_lease_expiries_total", self.lease_expiries);
+        reg.inc("cluster_net_lost_total", self.net_lost);
+        reg.inc("cluster_net_timeouts_total", self.net_timeouts);
+        reg.inc("cluster_net_nacks_total", self.net_nacks);
+        reg.inc("cluster_stale_completions_total", self.stale_completions);
+        reg.inc(
+            "cluster_double_completion_attempts_total",
+            self.double_completion_attempts,
+        );
         reg.inc("cluster_faults_total", self.faults);
         reg.set_gauge("cluster_psp_skew", self.psp_skew());
         reg.set_gauge("cluster_cache_hit_rate", self.cache_hit_rate());

@@ -1,0 +1,443 @@
+//! The partition-tolerance experiment: deterministic link faults under
+//! load, with and without the resilient network control plane.
+//!
+//! One catalog, three arms, each run twice over the *same* seeded
+//! [`sevf_net::LinkPlan`] — identical latency draws, loss draws, and
+//! partition windows — so the only difference between the two rows of an
+//! arm is the control plane itself:
+//!
+//! * **partition** — one host's router↔host pair is cut mid-stream and
+//!   later heals. The *naive* policy keeps routing into the hole: every
+//!   dispatch is lost, burns a `dispatch_timeout`, and re-enters recovery
+//!   until the request's retry budget or deadline runs out. The
+//!   *resilient* policy suspects the host via phi-accrual heartbeats,
+//!   routes around it, expires its lease (the host parks and nacks its
+//!   stranded queue), and sweeps its outstanding work over to the
+//!   survivors once the lease bound makes that safe.
+//! * **island** — two hosts are cut in the same window: a minority
+//!   island that keeps "serving" work it can no longer report back.
+//!   Epoch fencing discards the island's late completions after the
+//!   failover sweep re-dispatches, so the conservation invariant holds
+//!   with every request counted exactly once.
+//! * **blackout** — the router↔verifier link goes dark during a
+//!   staggered TCB rollout. The naive plane fails *closed* (every
+//!   dispatch refused until the verifier heals); the resilient plane
+//!   fails *open* within a bounded staleness budget, serving same-chip
+//!   cached verdicts and queueing re-verification for the heal.
+//!
+//! Identical configs produce byte-identical reports (the CI replay gate
+//! diffs two `--quick --json` runs of `examples/partition_drill.rs`).
+
+use sevf_attplane::{AttPlaneConfig, FailMode};
+use sevf_fleet::admission::AdmissionConfig;
+use sevf_fleet::blueprint::{Catalog, ClassSpec};
+use sevf_fleet::recovery::RecoveryConfig;
+use sevf_fleet::service::ServingTier;
+use sevf_fleet::workload::RequestMix;
+use sevf_net::{DetectorConfig, LeaseConfig, LinkSpec, NetConfig, Partition, PartitionScope};
+use sevf_sim::Nanos;
+
+use crate::placement::PlacementPolicy;
+use crate::service::{ClusterConfig, ClusterService, TcbRollout};
+use crate::ClusterError;
+
+const MB: u64 = 1024 * 1024;
+
+/// Knobs of one partition sweep.
+#[derive(Debug, Clone)]
+pub struct NetSweepConfig {
+    /// Seed for catalog machines, arrivals, placement, chips, and links.
+    pub seed: u64,
+    /// Request classes to serve (shared catalog for all arms).
+    pub classes: Vec<ClassSpec>,
+    /// Mix over those classes; `None` = uniform.
+    pub mix: Option<RequestMix>,
+    /// Hosts in every arm.
+    pub hosts: usize,
+    /// Aggregate offered load (req/s).
+    pub rps: f64,
+    /// Requests per cell.
+    pub requests: usize,
+    /// Per-host admission knobs.
+    pub admission: AdmissionConfig,
+    /// Recovery policy (shared by both policies of every arm, so the
+    /// network control plane is the only variable).
+    pub recovery: RecoveryConfig,
+    /// Latency/jitter/loss model shared by every link.
+    pub link: LinkSpec,
+    /// Router-side dispatch-ack timeout.
+    pub dispatch_timeout: Nanos,
+    /// Host heartbeat period (resilient policy only).
+    pub heartbeat_every: Nanos,
+    /// Phi-accrual detector knobs (resilient policy only).
+    pub detector: DetectorConfig,
+    /// Lease-ownership knobs (resilient policy only).
+    pub lease: LeaseConfig,
+    /// Network-schedule horizon; must outlive the run.
+    pub horizon: Nanos,
+    /// Instant every arm's partition opens.
+    pub cut_start: Nanos,
+    /// Instant every arm's partition heals.
+    pub cut_end: Nanos,
+    /// Verifier cost model of the blackout arm; the policy overrides
+    /// only `degrade`.
+    pub verifier: AttPlaneConfig,
+    /// Extra age past the cert TTL fail-open may trust (blackout arm).
+    pub staleness_budget: Nanos,
+    /// The blackout arm's staggered TCB rollout.
+    pub rollout: TcbRollout,
+}
+
+impl NetSweepConfig {
+    /// The headline partition sweep over the paper mix.
+    pub fn paper_partition() -> Self {
+        NetSweepConfig {
+            seed: 0x4E37,
+            classes: ClassSpec::paper_classes(16, 256 * MB),
+            mix: Some(RequestMix::weighted(vec![
+                (0, 5),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (4, 2),
+            ])),
+            hosts: 6,
+            rps: 120.0,
+            requests: 480,
+            admission: AdmissionConfig::default(),
+            recovery: RecoveryConfig::resilient(0x4E37),
+            link: LinkSpec::datacenter(),
+            dispatch_timeout: Nanos::from_millis(50),
+            heartbeat_every: Nanos::from_millis(50),
+            detector: DetectorConfig::default(),
+            lease: LeaseConfig {
+                duration: Nanos::from_millis(300),
+                renew_every: Nanos::from_millis(100),
+            },
+            horizon: Nanos::from_secs(60),
+            cut_start: Nanos::from_millis(1000),
+            cut_end: Nanos::from_millis(4000),
+            verifier: AttPlaneConfig::cached_batched(),
+            staleness_budget: Nanos::from_secs(120),
+            rollout: TcbRollout {
+                start: Nanos::from_millis(1500),
+                stagger: Nanos::from_millis(200),
+            },
+        }
+    }
+
+    /// A fast sweep over the tiny test classes (tests, `--quick`).
+    pub fn quick() -> Self {
+        NetSweepConfig {
+            seed: 0x4E37,
+            classes: ClassSpec::quick_test_classes(),
+            mix: Some(RequestMix::weighted(vec![(0, 3), (1, 1)])),
+            hosts: 5,
+            rps: 80.0,
+            requests: 240,
+            admission: AdmissionConfig {
+                queue_bound: 128,
+                max_inflight: 96,
+                ..AdmissionConfig::default()
+            },
+            recovery: RecoveryConfig::resilient(0x4E37),
+            link: LinkSpec::datacenter(),
+            dispatch_timeout: Nanos::from_millis(50),
+            heartbeat_every: Nanos::from_millis(50),
+            detector: DetectorConfig::default(),
+            lease: LeaseConfig {
+                duration: Nanos::from_millis(300),
+                renew_every: Nanos::from_millis(100),
+            },
+            horizon: Nanos::from_secs(30),
+            cut_start: Nanos::from_millis(500),
+            cut_end: Nanos::from_millis(2000),
+            verifier: AttPlaneConfig::cached_batched(),
+            staleness_budget: Nanos::from_secs(120),
+            rollout: TcbRollout {
+                start: Nanos::from_millis(900),
+                stagger: Nanos::from_millis(150),
+            },
+        }
+    }
+
+    /// Partition windows of an arm, over this config's cut interval.
+    fn windows(&self, arm: &str) -> Vec<Partition> {
+        let cut = |scope| Partition {
+            scope,
+            start: self.cut_start,
+            end: self.cut_end,
+        };
+        match arm {
+            "partition" => vec![cut(PartitionScope::Host(self.hosts - 1))],
+            "island" => vec![
+                cut(PartitionScope::Host(self.hosts - 2)),
+                cut(PartitionScope::Host(self.hosts - 1)),
+            ],
+            _ => vec![cut(PartitionScope::Verifier)],
+        }
+    }
+}
+
+/// One cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct NetRow {
+    /// Which arm produced the row ("partition", "island", "blackout").
+    pub arm: &'static str,
+    /// Control-plane policy ("naive" or "resilient").
+    pub policy: &'static str,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests shed (admission queues + unroutable arrivals).
+    pub shed: u64,
+    /// Requests shed on deadline.
+    pub timeouts: u64,
+    /// Requests permanently failed after exhausting retries.
+    pub failed: u64,
+    /// Requests displaced off a dead or fenced host and re-routed.
+    pub failovers: u64,
+    /// Retry launches dispatched.
+    pub retries: u64,
+    /// Times the failure detector began suspecting a host.
+    pub suspicions: u64,
+    /// Suspicions a later heartbeat cleared.
+    pub suspicions_cleared: u64,
+    /// Failover sweeps that fired after their suspicion had cleared.
+    pub false_suspicions: u64,
+    /// Times a host parked on an expired lease.
+    pub lease_expiries: u64,
+    /// Dispatch messages lost to link loss or a partition.
+    pub net_lost: u64,
+    /// Dispatches the router timed out back into recovery.
+    pub net_timeouts: u64,
+    /// Host refusals (parked, fenced, or dead at delivery).
+    pub net_nacks: u64,
+    /// Outcome messages discarded on a stale dispatch epoch.
+    pub stale_completions: u64,
+    /// Success completions the epoch fence suppressed.
+    pub double_completion_attempts: u64,
+    /// Launches served on a stale cached verdict (fail-open only).
+    pub stale_serves: u64,
+    /// Launches refused while the verifier was dark (fail-closed).
+    pub unavailable_refusals: u64,
+    /// Deferred re-verifications run after the verifier healed.
+    pub reverifies: u64,
+    /// Cluster-wide median latency (ms).
+    pub p50_ms: f64,
+    /// Cluster-wide 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Whether the conservation invariant held for the cell.
+    pub conserved: bool,
+}
+
+/// The sweep's result.
+#[derive(Debug, Clone)]
+pub struct NetSweepReport {
+    /// Two rows (naive, resilient) per arm: partition, island, blackout.
+    pub rows: Vec<NetRow>,
+}
+
+fn row_from(
+    arm: &'static str,
+    policy: &'static str,
+    report: &crate::service::ClusterReport,
+) -> NetRow {
+    let m = &report.metrics;
+    let att = report.attestation.unwrap_or_default();
+    NetRow {
+        arm,
+        policy,
+        completed: m.completed,
+        shed: m.shed,
+        timeouts: m.timeouts,
+        failed: m.failed,
+        failovers: m.failovers,
+        retries: m.retries,
+        suspicions: m.suspicions,
+        suspicions_cleared: m.suspicions_cleared,
+        false_suspicions: m.false_suspicions,
+        lease_expiries: m.lease_expiries,
+        net_lost: m.net_lost,
+        net_timeouts: m.net_timeouts,
+        net_nacks: m.net_nacks,
+        stale_completions: m.stale_completions,
+        double_completion_attempts: m.double_completion_attempts,
+        stale_serves: att.stale_serves,
+        unavailable_refusals: att.unavailable_refusals,
+        reverifies: att.reverifies,
+        p50_ms: m.p50_ms(),
+        p99_ms: m.p99_ms(),
+        conserved: m.conserved(),
+    }
+}
+
+/// The network model of one cell. Both policies share the link model and
+/// partition schedule — the same `(seed, config, hosts)` triple replays
+/// the same delay and loss draws — and differ only in whether the
+/// detector and leases exist.
+fn net_for(cfg: &NetSweepConfig, partitions: Vec<Partition>, resilient: bool) -> NetConfig {
+    NetConfig {
+        link: cfg.link,
+        partitions,
+        horizon: cfg.horizon,
+        dispatch_timeout: cfg.dispatch_timeout,
+        heartbeat_every: cfg.heartbeat_every,
+        detector: resilient.then_some(cfg.detector),
+        lease: resilient.then_some(cfg.lease),
+    }
+}
+
+fn base_config(cfg: &NetSweepConfig) -> ClusterConfig {
+    ClusterConfig {
+        mix: cfg.mix.clone(),
+        seed: cfg.seed,
+        admission: cfg.admission,
+        placement: PlacementPolicy::JsqPsp,
+        recovery: cfg.recovery,
+        ..ClusterConfig::open_loop(cfg.hosts, ServingTier::Template, cfg.rps, cfg.requests)
+    }
+}
+
+/// Runs the three-arm partition sweep over one catalog.
+///
+/// # Errors
+///
+/// Propagates catalog-construction failures ([`ClusterError::Fleet`]) and
+/// configuration errors, including [`ClusterError::Net`] for an invalid
+/// network model.
+pub fn net_sweep(cfg: &NetSweepConfig) -> Result<NetSweepReport, ClusterError> {
+    cfg.verifier.validate().map_err(ClusterError::AttPlane)?;
+    let catalog = Catalog::build(cfg.seed, &cfg.classes)?;
+    let mut rows = Vec::new();
+
+    for arm in ["partition", "island", "blackout"] {
+        for resilient in [false, true] {
+            let mut config = base_config(cfg);
+            config.net = Some(net_for(cfg, cfg.windows(arm), resilient));
+            if arm == "blackout" {
+                config.attestation = Some(AttPlaneConfig {
+                    degrade: if resilient {
+                        FailMode::Open {
+                            staleness_budget: cfg.staleness_budget,
+                        }
+                    } else {
+                        FailMode::Closed
+                    },
+                    ..cfg.verifier
+                });
+                config.tcb_rollout = Some(cfg.rollout);
+            }
+            let report = ClusterService::new(catalog.clone(), config)?.run();
+            rows.push(row_from(
+                arm,
+                if resilient { "resilient" } else { "naive" },
+                &report,
+            ));
+        }
+    }
+
+    Ok(NetSweepReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(report: &NetSweepReport) -> Vec<(u64, u64, u64, u64)> {
+        report
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.completed as u64,
+                    r.shed + r.timeouts + r.failed,
+                    r.net_lost + r.net_timeouts + r.net_nacks,
+                    r.suspicions + r.lease_expiries + r.stale_completions,
+                )
+            })
+            .collect()
+    }
+
+    fn cell<'a>(report: &'a NetSweepReport, arm: &str, policy: &str) -> &'a NetRow {
+        report
+            .rows
+            .iter()
+            .find(|r| r.arm == arm && r.policy == policy)
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_conserves_and_is_deterministic() {
+        let cfg = NetSweepConfig::quick();
+        let a = net_sweep(&cfg).unwrap();
+        let b = net_sweep(&cfg).unwrap();
+        assert!(a.rows.iter().all(|r| r.conserved));
+        assert_eq!(a.rows.len(), 6);
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn resilient_beats_naive_in_every_arm() {
+        let report = net_sweep(&NetSweepConfig::quick()).unwrap();
+        for arm in ["partition", "island", "blackout"] {
+            let naive = cell(&report, arm, "naive");
+            let resilient = cell(&report, arm, "resilient");
+            assert!(
+                resilient.completed > naive.completed,
+                "{arm}: resilient {} must beat naive {}",
+                resilient.completed,
+                naive.completed
+            );
+        }
+    }
+
+    #[test]
+    fn partition_arm_detects_and_fences_the_cut_host() {
+        let report = net_sweep(&NetSweepConfig::quick()).unwrap();
+        let naive = cell(&report, "partition", "naive");
+        let resilient = cell(&report, "partition", "resilient");
+        // Without a detector the router keeps dispatching into the hole.
+        assert!(naive.net_lost > 0, "the cut must lose naive dispatches");
+        assert_eq!(naive.suspicions, 0);
+        assert_eq!(naive.lease_expiries, 0);
+        // The resilient plane suspects, parks, and routes around it.
+        assert!(resilient.suspicions > 0, "the cut host must be suspected");
+        assert!(
+            resilient.suspicions_cleared > 0,
+            "the heal must clear the suspicion"
+        );
+        assert!(resilient.lease_expiries > 0, "the cut host must park");
+    }
+
+    #[test]
+    fn island_arm_fences_late_completions_exactly_once() {
+        let report = net_sweep(&NetSweepConfig::quick()).unwrap();
+        let resilient = cell(&report, "island", "resilient");
+        assert!(resilient.conserved);
+        // The failover sweep re-dispatches the island's stranded work;
+        // whatever the island reports after the heal is epoch-fenced.
+        assert!(
+            resilient.failovers > 0 || resilient.net_nacks > 0,
+            "stranded island work must move or settle as nacks"
+        );
+    }
+
+    #[test]
+    fn blackout_arm_fails_open_within_budget() {
+        let report = net_sweep(&NetSweepConfig::quick()).unwrap();
+        let naive = cell(&report, "blackout", "naive");
+        let resilient = cell(&report, "blackout", "resilient");
+        assert!(
+            naive.unavailable_refusals > 0,
+            "fail-closed must refuse launches during the blackout"
+        );
+        assert!(
+            resilient.stale_serves > 0,
+            "fail-open must serve stale cached verdicts"
+        );
+        assert_eq!(
+            resilient.unavailable_refusals, 0,
+            "a generous staleness budget covers the whole blackout"
+        );
+    }
+}

@@ -36,7 +36,7 @@
 
 use std::collections::BTreeSet;
 
-use sevf_attplane::{AttPlane, AttPlaneConfig, AttPlaneMetrics};
+use sevf_attplane::{AttPlane, AttPlaneConfig, AttPlaneMetrics, Verdict};
 use sevf_fleet::admission::{Pending, SchedPolicy};
 use sevf_fleet::blueprint::{Blueprint, Catalog, LaunchCache};
 use sevf_fleet::metrics::FleetMetrics;
@@ -45,6 +45,7 @@ use sevf_fleet::recovery::{CircuitBreaker, RecoveryConfig};
 use sevf_fleet::service::{apply_launch_faults, ServingTier};
 use sevf_fleet::workload::{open_arrivals, Arrival, RequestMix};
 use sevf_fleet::{AdmissionConfig, BoundedQueue};
+use sevf_net::{LeaseLedger, LinkId, LinkPlan, NetConfig, PhiDetector};
 use sevf_obs::{MarkerKind, Outcome as ReqOutcome, Recorder, TraceLog};
 use sevf_psp::TemplateKey;
 use sevf_sim::fault::{FaultConfig, FaultKind, FaultPlan};
@@ -135,6 +136,10 @@ pub struct ClusterConfig {
     pub tcb_rollout: Option<TcbRollout>,
     /// Key-compromise revocation drill. Requires `attestation`.
     pub revocation: Option<RevocationDrill>,
+    /// Network between the router, the hosts, and the verifier. `None`
+    /// (or a [`NetConfig::none`] config) bypasses message indirection
+    /// entirely, replaying pre-net output byte for byte.
+    pub net: Option<NetConfig>,
 }
 
 /// A staggered TCB/firmware rollout: host `h` re-measures at
@@ -185,6 +190,7 @@ impl ClusterConfig {
             attestation: None,
             tcb_rollout: None,
             revocation: None,
+            net: None,
         }
     }
 
@@ -261,6 +267,9 @@ impl ClusterConfig {
                 ));
             }
         }
+        if let Some(net) = &self.net {
+            net.validate(self.hosts).map_err(ClusterError::Net)?;
+        }
         Ok(())
     }
 }
@@ -298,11 +307,13 @@ enum JobKind {
     /// Arrival marker for a request.
     Arrival { request: usize },
     /// A launch (or warm invocation) serving `request` on `host`. `psp_ns`
-    /// is the serialized PSP work this job holds on the host's backlog.
+    /// is the serialized PSP work this job holds on the host's backlog;
+    /// `epoch` is the request's dispatch epoch at injection (net mode).
     Launch {
         request: usize,
         class: usize,
         host: usize,
+        epoch: u32,
         fate: LaunchFate,
         fill: Option<TemplateKey>,
         psp: bool,
@@ -332,6 +343,53 @@ enum JobKind {
     TcbRollout { host: usize },
     /// `host`'s chip key is distrusted (key-compromise drill).
     Revoke { host: usize },
+    /// A dispatch message in flight from the router to `host`.
+    NetDispatch {
+        request: usize,
+        epoch: u32,
+        host: usize,
+    },
+    /// The router's dispatch timeout firing for a message the link lost.
+    NetDispatchLost {
+        request: usize,
+        epoch: u32,
+        host: usize,
+    },
+    /// An attempt outcome in flight from `host` back to the router.
+    /// Host→router messages ride a reliable transport: a partition
+    /// buffers them until the heal instead of dropping them.
+    NetCompletion {
+        request: usize,
+        epoch: u32,
+        host: usize,
+        ok: bool,
+    },
+    /// A refusal heading back to the router: the host was parked, fenced,
+    /// or dead when the dispatch arrived (transport-level errors are
+    /// router-visible). Carries the epoch it refuses — a buffered old
+    /// refusal must not cancel a fresh dispatch after the host rejoins.
+    NetNack {
+        request: usize,
+        epoch: u32,
+        host: usize,
+    },
+    /// A heartbeat from `host` that survived the lossy links.
+    Heartbeat { host: usize },
+    /// The router probes the failure detector's deadline for `host`.
+    SuspectCheck { host: usize },
+    /// The router's lease-renewal tick for `host`.
+    LeaseRenew { host: usize },
+    /// A lease grant delivered to `host`.
+    LeaseGrant { host: usize },
+    /// `host`'s lease lapses: it parks unless a grant extended it.
+    LeaseExpire { host: usize },
+    /// The router fails a suspected host's outstanding work over, once
+    /// every lease it ever granted that host has provably lapsed.
+    FailoverSweep { host: usize },
+    /// The router↔verifier link partitions (attestation blackout).
+    VerifierDown,
+    /// The router↔verifier link heals.
+    VerifierUp,
 }
 
 /// The cluster control plane.
@@ -340,6 +398,35 @@ pub struct ClusterService {
     catalog: Catalog,
     config: ClusterConfig,
 }
+
+/// Runtime state of the network layer. Present only when a real
+/// [`NetConfig`] is active; absent, the control plane calls hosts
+/// directly and replays pre-net output byte for byte.
+struct NetRuntime {
+    plan: LinkPlan,
+    detector: Option<PhiDetector>,
+    ledger: Option<LeaseLedger>,
+    /// Requests the router believes each host is currently serving.
+    outstanding: Vec<BTreeSet<usize>>,
+    /// The router's current suspicion verdict per host.
+    suspected: Vec<bool>,
+    /// Per-message token stream for stateless link draws.
+    seq: u64,
+    suspicions: u64,
+    suspicions_cleared: u64,
+    false_suspicions: u64,
+    lease_expiries: u64,
+    net_lost: u64,
+    net_timeouts: u64,
+    net_nacks: u64,
+    stale_completions: u64,
+    double_completion_attempts: u64,
+}
+
+/// Token offset for heartbeat draws on the host→router links, so the
+/// pre-scheduled heartbeat stream never correlates with the `seq`-tokened
+/// message draws sharing the link.
+const HB_TOKEN_BASE: u64 = 0x4845_0000_0000;
 
 /// Mutable serving state threaded through the DES completion hook.
 struct State<'a> {
@@ -359,6 +446,18 @@ struct State<'a> {
     /// Jobs whose host's PSP reset under them; completion is a
     /// [`FaultKind::PspReset`] failure.
     poisoned_reset: BTreeSet<usize>,
+    /// Jobs whose host parked on an expired lease under them; completion
+    /// is a [`FaultKind::NetPartition`] failure refused back to the router.
+    poisoned_lease: BTreeSet<usize>,
+    /// Whether each request has reached a terminal state. Maintained in
+    /// every mode (it never touches the RNG); consulted by the net layer
+    /// to fence stale messages, and asserted at every terminal site.
+    done: Vec<bool>,
+    /// Dispatch epoch per request: bumped on every routed send so stale
+    /// messages from earlier attempts are discarded, not double-counted.
+    epoch: Vec<u32>,
+    /// The network layer, when a real config is active.
+    net: Option<NetRuntime>,
     issued: usize,
     // Cluster-level terminal counters (per-host metrics keep what is
     // naturally host-scoped: completions, latencies, caches, faults).
@@ -405,6 +504,13 @@ impl ClusterService {
 
     fn run_with(self, rec: Recorder) -> (ClusterReport, TraceLog) {
         let mut engine = DesEngine::new();
+        let net_cfg = self.config.net.clone().filter(|n| !n.is_none());
+        // Hosts start the run holding a lease granted at time zero.
+        let initial_lease = net_cfg
+            .as_ref()
+            .and_then(|n| n.lease)
+            .map(|l| l.duration)
+            .unwrap_or(Nanos::from_nanos(u64::MAX));
         let mut hosts = Vec::with_capacity(self.config.hosts);
         for id in 0..self.config.hosts {
             let psp = engine.add_resource(format!("psp{id}"), 1);
@@ -458,6 +564,8 @@ impl ClusterService {
                 host_inflight: BTreeSet::new(),
                 launch_seq: 0,
                 inflight: 0,
+                lease_until: initial_lease,
+                parked: false,
                 committed_psp: Nanos::ZERO,
                 metrics: FleetMetrics::default(),
             });
@@ -485,6 +593,35 @@ impl ClusterService {
             attempts: Vec::new(),
             poisoned_host: BTreeSet::new(),
             poisoned_reset: BTreeSet::new(),
+            poisoned_lease: BTreeSet::new(),
+            done: Vec::new(),
+            epoch: Vec::new(),
+            net: net_cfg.map(|cfg| {
+                let plan = LinkPlan::generate(self.config.seed, cfg.clone(), self.config.hosts)
+                    .expect("net config validated in new()");
+                let margin = plan.max_delay();
+                NetRuntime {
+                    detector: cfg
+                        .detector
+                        .map(|d| PhiDetector::new(self.config.hosts, d, cfg.heartbeat_every)),
+                    ledger: cfg
+                        .lease
+                        .map(|l| LeaseLedger::new(self.config.hosts, l, margin)),
+                    plan,
+                    outstanding: vec![BTreeSet::new(); self.config.hosts],
+                    suspected: vec![false; self.config.hosts],
+                    seq: 0,
+                    suspicions: 0,
+                    suspicions_cleared: 0,
+                    false_suspicions: 0,
+                    lease_expiries: 0,
+                    net_lost: 0,
+                    net_timeouts: 0,
+                    net_nacks: 0,
+                    stale_completions: 0,
+                    double_completion_attempts: 0,
+                }
+            }),
             issued: 0,
             timeouts: 0,
             failed: 0,
@@ -593,6 +730,48 @@ impl ClusterService {
             state.meta.push(JobKind::Revoke { host: drill.host });
         }
 
+        // Network schedules: heartbeats, detector probes, lease ticks, and
+        // verifier blackout edges — all precomputed from the link plan so
+        // the message layer stays a pure function of the seed.
+        let mut net_jobs: Vec<(Nanos, JobKind)> = Vec::new();
+        if let Some(net) = &state.net {
+            let cfg = net.plan.config();
+            if let Some(det) = &net.detector {
+                let beats = cfg.horizon.as_nanos() / cfg.heartbeat_every.as_nanos();
+                for host in 0..self.config.hosts {
+                    for k in 1..=beats {
+                        let send = cfg.heartbeat_every.scale(k);
+                        let link = LinkId::HostToRouter(host);
+                        if net.plan.host_cut(host, send).is_some()
+                            || net.plan.lost(link, HB_TOKEN_BASE + k)
+                        {
+                            continue;
+                        }
+                        let at = send + net.plan.delay(link, HB_TOKEN_BASE + k);
+                        net_jobs.push((at, JobKind::Heartbeat { host }));
+                    }
+                    net_jobs.push((det.deadline(host), JobKind::SuspectCheck { host }));
+                }
+            }
+            if let Some(lease) = cfg.lease {
+                let renews = cfg.horizon.as_nanos() / lease.renew_every.as_nanos();
+                for host in 0..self.config.hosts {
+                    net_jobs.push((lease.duration, JobKind::LeaseExpire { host }));
+                    for k in 1..=renews {
+                        net_jobs.push((lease.renew_every.scale(k), JobKind::LeaseRenew { host }));
+                    }
+                }
+            }
+            for window in net.plan.verifier_windows() {
+                net_jobs.push((window.start, JobKind::VerifierDown));
+                net_jobs.push((window.end, JobKind::VerifierUp));
+            }
+        }
+        for (at, kind) in net_jobs {
+            seed_jobs.push(Job::released_at(at, vec![]));
+            state.meta.push(kind);
+        }
+
         let (_, trace) = engine.run_dynamic(seed_jobs, |outcome, inject| {
             state.on_event(outcome, inject);
         });
@@ -641,6 +820,17 @@ impl ClusterService {
         metrics.retries += state.retries;
         metrics.failovers = state.failovers;
         metrics.rebalances = state.rebalances;
+        if let Some(net) = &state.net {
+            metrics.suspicions = net.suspicions;
+            metrics.suspicions_cleared = net.suspicions_cleared;
+            metrics.false_suspicions = net.false_suspicions;
+            metrics.lease_expiries = net.lease_expiries;
+            metrics.net_lost = net.net_lost;
+            metrics.net_timeouts = net.net_timeouts;
+            metrics.net_nacks = net.net_nacks;
+            metrics.stale_completions = net.stale_completions;
+            metrics.double_completion_attempts = net.double_completion_attempts;
+        }
 
         (
             ClusterReport {
@@ -664,6 +854,8 @@ impl<'a> State<'a> {
         self.req_class.push(self.mix.sample(&mut self.rng));
         self.arrived.push(arrival_hint);
         self.attempts.push(0);
+        self.done.push(false);
+        self.epoch.push(0);
         self.issued += 1;
         request
     }
@@ -697,12 +889,13 @@ impl<'a> State<'a> {
                 request,
                 class,
                 host,
+                epoch,
                 fate,
                 fill,
                 psp,
                 psp_ns,
             } => self.on_launch_done(
-                outcome, request, class, host, fate, fill, psp, psp_ns, inject,
+                outcome, request, class, host, epoch, fate, fill, psp, psp_ns, inject,
             ),
             JobKind::Retry { request } => {
                 self.route(request, outcome.finish, inject);
@@ -716,6 +909,7 @@ impl<'a> State<'a> {
                 self.rec.background_end(outcome.job, outcome.finish);
                 let poisoned_host = self.poisoned_host.remove(&outcome.job);
                 let poisoned_reset = self.poisoned_reset.remove(&outcome.job);
+                let poisoned_lease = self.poisoned_lease.remove(&outcome.job);
                 let h = &mut self.hosts[host];
                 if psp {
                     h.psp_inflight.remove(&outcome.job);
@@ -732,6 +926,11 @@ impl<'a> State<'a> {
                     h.pool.refill_failed(class);
                     self.rec
                         .fault(FaultKind::PspReset, None, Some(host), outcome.finish);
+                } else if poisoned_lease {
+                    h.metrics.faults.record(FaultKind::NetPartition);
+                    h.pool.refill_failed(class);
+                    self.rec
+                        .fault(FaultKind::NetPartition, None, Some(host), outcome.finish);
                 } else {
                     h.pool.refill_done(class);
                 }
@@ -795,10 +994,56 @@ impl<'a> State<'a> {
                 }
                 self.on_host_down(host, false, outcome.finish, inject);
             }
+            JobKind::NetDispatch {
+                request,
+                epoch,
+                host,
+            } => self.on_net_dispatch(request, epoch, host, outcome.finish, inject),
+            JobKind::NetDispatchLost {
+                request,
+                epoch,
+                host,
+            } => self.on_net_dispatch_lost(request, epoch, host, outcome.finish, inject),
+            JobKind::NetCompletion {
+                request,
+                epoch,
+                host,
+                ok,
+            } => self.on_net_completion(request, epoch, host, ok, outcome.finish, inject),
+            JobKind::NetNack {
+                request,
+                epoch,
+                host,
+            } => self.on_net_nack(request, epoch, host, outcome.finish, inject),
+            JobKind::Heartbeat { host } => self.on_heartbeat(host, outcome.finish, inject),
+            JobKind::SuspectCheck { host } => self.on_suspect_check(host, outcome.finish, inject),
+            JobKind::LeaseRenew { host } => self.on_lease_renew(host, outcome.finish, inject),
+            JobKind::LeaseGrant { host } => self.on_lease_grant(host, outcome.finish, inject),
+            JobKind::LeaseExpire { host } => self.on_lease_expire(host, outcome.finish, inject),
+            JobKind::FailoverSweep { host } => self.on_failover_sweep(host, outcome.finish, inject),
+            JobKind::VerifierDown => {
+                // Attestation blackout: the plane degrades by its
+                // configured fail mode until the link heals.
+                self.rec
+                    .marker(MarkerKind::OutageStart, None, None, outcome.finish);
+                if let Some(plane) = self.plane.as_mut() {
+                    plane.set_reachable(false);
+                }
+            }
+            JobKind::VerifierUp => {
+                self.rec
+                    .marker(MarkerKind::OutageEnd, None, None, outcome.finish);
+                if let Some(plane) = self.plane.as_mut() {
+                    plane.set_reachable(true);
+                }
+            }
         }
     }
 
-    /// A launch finished: settle poisoning, then success or failure.
+    /// A launch finished: settle poisoning, then success or failure. With
+    /// the network active, the host settles its local state here and the
+    /// router-side settle (latency, terminal, recovery) waits for the
+    /// outcome message to cross the host→router link.
     #[allow(clippy::too_many_arguments)]
     fn on_launch_done(
         &mut self,
@@ -806,6 +1051,7 @@ impl<'a> State<'a> {
         request: usize,
         class: usize,
         host: usize,
+        epoch: u32,
         fate: LaunchFate,
         fill: Option<TemplateKey>,
         psp: bool,
@@ -815,6 +1061,7 @@ impl<'a> State<'a> {
         self.rec.attempt_end(outcome.job, outcome.finish);
         let poisoned_host = self.poisoned_host.remove(&outcome.job);
         let poisoned_reset = self.poisoned_reset.remove(&outcome.job);
+        let poisoned_lease = self.poisoned_lease.remove(&outcome.job);
         {
             let h = &mut self.hosts[host];
             if psp {
@@ -837,21 +1084,43 @@ impl<'a> State<'a> {
             LaunchFate::Fault(FaultKind::HostOutage)
         } else if poisoned_reset {
             LaunchFate::Fault(FaultKind::PspReset)
+        } else if poisoned_lease {
+            LaunchFate::Fault(FaultKind::NetPartition)
         } else {
             fate
         };
+        let net_active = self.net.is_some();
         match fate {
             LaunchFate::Ok => {
-                self.hosts[host]
-                    .metrics
-                    .record_latency(outcome.finish - self.arrived[request]);
-                self.rec
-                    .terminal(request, ReqOutcome::Completed, outcome.finish);
-                if let Some(breakers) = &mut self.hosts[host].breakers {
-                    breakers[class].on_success(outcome.finish);
+                if !net_active {
+                    self.mark_done(request);
+                    self.hosts[host]
+                        .metrics
+                        .record_latency(outcome.finish - self.arrived[request]);
+                    self.rec
+                        .terminal(request, ReqOutcome::Completed, outcome.finish);
+                    if let Some(breakers) = &mut self.hosts[host].breakers {
+                        breakers[class].on_success(outcome.finish);
+                    }
+                    self.drain_queue(host, outcome.finish, inject);
+                    self.issue_next_closed(outcome.finish, inject);
+                } else {
+                    if let Some(breakers) = &mut self.hosts[host].breakers {
+                        breakers[class].on_success(outcome.finish);
+                    }
+                    self.drain_queue(host, outcome.finish, inject);
+                    self.send_host_msg(
+                        host,
+                        outcome.finish,
+                        JobKind::NetCompletion {
+                            request,
+                            epoch,
+                            host,
+                            ok: true,
+                        },
+                        inject,
+                    );
                 }
-                self.drain_queue(host, outcome.finish, inject);
-                self.issue_next_closed(outcome.finish, inject);
             }
             LaunchFate::Fault(kind) => {
                 self.hosts[host].metrics.faults.record(kind);
@@ -872,8 +1141,32 @@ impl<'a> State<'a> {
                         );
                     }
                 }
-                self.handle_failure(request, outcome.finish, inject);
-                self.drain_queue(host, outcome.finish, inject);
+                if !net_active || poisoned_host {
+                    // The router already knows: the network is inert, or
+                    // the host machine itself died (host_left is global).
+                    self.handle_failure(request, outcome.finish, inject);
+                    self.drain_queue(host, outcome.finish, inject);
+                } else {
+                    self.drain_queue(host, outcome.finish, inject);
+                    // A lease-fenced settle is a refusal — the parked host
+                    // may no longer complete this epoch's work — while an
+                    // ordinary fault reports back as a failed completion.
+                    let kind = if poisoned_lease {
+                        JobKind::NetNack {
+                            request,
+                            epoch,
+                            host,
+                        }
+                    } else {
+                        JobKind::NetCompletion {
+                            request,
+                            epoch,
+                            host,
+                            ok: false,
+                        }
+                    };
+                    self.send_host_msg(host, outcome.finish, kind, inject);
+                }
             }
         }
     }
@@ -983,16 +1276,19 @@ impl<'a> State<'a> {
     fn route(&mut self, request: usize, now: Nanos, inject: &mut Vec<Job>) {
         let class = self.req_class[request];
         if self.past_deadline(request, now) {
+            self.mark_done(request);
             self.timeouts += 1;
             self.rec.terminal(request, ReqOutcome::Timeout, now);
             self.issue_next_closed(now, inject);
             return;
         }
+        let suspected = self.net.as_ref().map(|n| n.suspected.as_slice());
         let live: Vec<usize> = self
             .hosts
             .iter()
             .filter(|h| h.available())
             .map(|h| h.id)
+            .filter(|&h| suspected.is_none_or(|s| !s[h]))
             .collect();
         let key = self.catalog.class(class).key;
         let hosts = &self.hosts;
@@ -1000,6 +1296,7 @@ impl<'a> State<'a> {
         let Some(host) = placed else {
             // Nowhere to run: shed fast (clients of a fully-dark cluster
             // get an immediate error, not an unbounded queue).
+            self.mark_done(request);
             self.unroutable += 1;
             self.rec.terminal(request, ReqOutcome::Shed, now);
             self.issue_next_closed(now, inject);
@@ -1011,7 +1308,392 @@ impl<'a> State<'a> {
             Some(host),
             now,
         );
+        if self.net.is_some() {
+            self.send_dispatch(request, host, now, inject);
+            return;
+        }
         self.assign(request, class, host, now, inject);
+    }
+
+    /// Net mode: a routed request leaves the router as a message. Any
+    /// earlier attempt's outstanding entry is cleared (queue failovers
+    /// re-route without an outcome message), the request's epoch is
+    /// bumped so stale messages fence, and the link draws decide whether
+    /// and when the dispatch lands.
+    fn send_dispatch(&mut self, request: usize, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        self.epoch[request] += 1;
+        let epoch = self.epoch[request];
+        let net = self.net.as_mut().expect("net mode");
+        for set in &mut net.outstanding {
+            set.remove(&request);
+        }
+        net.outstanding[host].insert(request);
+        let token = net.seq;
+        net.seq += 1;
+        let link = LinkId::RouterToHost(host);
+        let lost = net.plan.host_cut(host, now).is_some() || net.plan.lost(link, token);
+        let kind;
+        let at;
+        if lost {
+            net.net_lost += 1;
+            at = now + net.plan.config().dispatch_timeout;
+            kind = JobKind::NetDispatchLost {
+                request,
+                epoch,
+                host,
+            };
+        } else {
+            at = now + net.plan.delay(link, token);
+            kind = JobKind::NetDispatch {
+                request,
+                epoch,
+                host,
+            };
+        }
+        inject.push(Job::released_at(at, vec![]));
+        self.meta.push(kind);
+    }
+
+    /// Host→router messages (outcomes, refusals) ride a reliable
+    /// transport: a partition buffers them until the heal instead of
+    /// dropping them.
+    fn send_host_msg(&mut self, host: usize, now: Nanos, kind: JobKind, inject: &mut Vec<Job>) {
+        let net = self.net.as_mut().expect("net mode");
+        let token = net.seq;
+        net.seq += 1;
+        let depart = net.plan.host_cut(host, now).unwrap_or(now);
+        let at = depart + net.plan.delay(LinkId::HostToRouter(host), token);
+        inject.push(Job::released_at(at, vec![]));
+        self.meta.push(kind);
+    }
+
+    /// Whether `host` is lease-fenced at `now`: leases are on and the
+    /// host is parked or past its expiry.
+    fn lease_blocked(&self, host: usize, now: Nanos) -> bool {
+        self.net.as_ref().is_some_and(|n| n.ledger.is_some())
+            && (self.hosts[host].parked || now >= self.hosts[host].lease_until)
+    }
+
+    /// Marks `request` terminal. Every terminal site calls this exactly
+    /// once — the conservation invariant in executable form.
+    fn mark_done(&mut self, request: usize) {
+        debug_assert!(
+            !self.done[request],
+            "request {request} reached two terminal states"
+        );
+        self.done[request] = true;
+    }
+
+    /// A dispatch message lands on `host`.
+    fn on_net_dispatch(
+        &mut self,
+        request: usize,
+        epoch: u32,
+        host: usize,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        if self.done[request] || self.epoch[request] != epoch {
+            return;
+        }
+        if !self.hosts[host].available() || self.lease_blocked(host, now) {
+            let kind = JobKind::NetNack {
+                request,
+                epoch,
+                host,
+            };
+            self.send_host_msg(host, now, kind, inject);
+            return;
+        }
+        let class = self.req_class[request];
+        self.assign(request, class, host, now, inject);
+    }
+
+    /// The router's dispatch timeout fires for a lost message.
+    fn on_net_dispatch_lost(
+        &mut self,
+        request: usize,
+        epoch: u32,
+        host: usize,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        if self.done[request] || self.epoch[request] != epoch {
+            return;
+        }
+        if let Some(net) = self.net.as_mut() {
+            net.outstanding[host].remove(&request);
+            net.net_timeouts += 1;
+        }
+        self.handle_failure(request, now, inject);
+    }
+
+    /// A refusal arrives back at the router.
+    fn on_net_nack(
+        &mut self,
+        request: usize,
+        epoch: u32,
+        host: usize,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        if self.done[request] || self.epoch[request] != epoch {
+            return;
+        }
+        let removed = self
+            .net
+            .as_mut()
+            .is_some_and(|n| n.outstanding[host].remove(&request));
+        if removed {
+            if let Some(net) = self.net.as_mut() {
+                net.net_nacks += 1;
+            }
+            self.handle_failure(request, now, inject);
+        }
+    }
+
+    /// An attempt outcome arrives back at the router. Epoch fencing is
+    /// what keeps conservation exact through split-brain: an outcome for
+    /// a request the router already failed over (or finished) is counted
+    /// as a suppressed duplicate, never as a second terminal state.
+    fn on_net_completion(
+        &mut self,
+        request: usize,
+        epoch: u32,
+        host: usize,
+        ok: bool,
+        now: Nanos,
+        inject: &mut Vec<Job>,
+    ) {
+        if let Some(net) = self.net.as_mut() {
+            net.outstanding[host].remove(&request);
+        }
+        if self.epoch[request] != epoch {
+            if let Some(net) = self.net.as_mut() {
+                net.stale_completions += 1;
+            }
+            return;
+        }
+        if self.done[request] {
+            if ok {
+                if let Some(net) = self.net.as_mut() {
+                    net.double_completion_attempts += 1;
+                }
+            }
+            return;
+        }
+        if ok {
+            self.mark_done(request);
+            self.hosts[host]
+                .metrics
+                .record_latency(now - self.arrived[request]);
+            self.rec.terminal(request, ReqOutcome::Completed, now);
+            self.issue_next_closed(now, inject);
+        } else {
+            self.handle_failure(request, now, inject);
+        }
+    }
+
+    /// A heartbeat survived the links: feed the detector, clear any
+    /// suspicion, and probe again at the new silence deadline.
+    fn on_heartbeat(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        if !self.hosts[host].available() {
+            return;
+        }
+        let (deadline, cleared) = {
+            let Some(net) = self.net.as_mut() else {
+                return;
+            };
+            let Some(det) = net.detector.as_mut() else {
+                return;
+            };
+            det.heartbeat(host, now);
+            let deadline = det.deadline(host);
+            let cleared = net.suspected[host];
+            if cleared {
+                net.suspected[host] = false;
+                net.suspicions_cleared += 1;
+            }
+            (deadline, cleared)
+        };
+        if cleared {
+            self.rec
+                .marker(MarkerKind::SuspicionCleared, None, Some(host), now);
+        }
+        inject.push(Job::released_at(deadline, vec![]));
+        self.meta.push(JobKind::SuspectCheck { host });
+    }
+
+    /// The silence deadline passed without a fresh heartbeat: suspect the
+    /// host and schedule the failover sweep for the instant every lease it
+    /// could hold has provably lapsed.
+    fn on_suspect_check(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        if !self.hosts[host].available() {
+            return;
+        }
+        let sweep_at = {
+            let Some(net) = self.net.as_mut() else {
+                return;
+            };
+            if now >= net.plan.config().horizon {
+                // The heartbeat schedule ends at the horizon; silence past
+                // it is the schedule running out, not a failure.
+                return;
+            }
+            if net.suspected[host] {
+                return;
+            }
+            let Some(det) = net.detector.as_ref() else {
+                return;
+            };
+            if !det.suspected(host, now) {
+                return;
+            }
+            net.suspected[host] = true;
+            net.suspicions += 1;
+            let safe = net.ledger.as_ref().map_or(now, |l| l.safe_at(host));
+            safe.max(now) + Nanos::from_nanos(1)
+        };
+        self.rec
+            .marker(MarkerKind::Suspected, None, Some(host), now);
+        inject.push(Job::released_at(sweep_at, vec![]));
+        self.meta.push(JobKind::FailoverSweep { host });
+    }
+
+    /// The sweep fires: if the suspicion still stands (and the lease
+    /// bound has truly passed), every outstanding request on the host
+    /// fails over through fresh placement.
+    fn on_failover_sweep(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        let doomed: Vec<usize> = {
+            let Some(net) = self.net.as_mut() else {
+                return;
+            };
+            if !net.suspected[host] {
+                // The host heartbeated before the sweep: a false
+                // suspicion that moved no work.
+                net.false_suspicions += 1;
+                return;
+            }
+            if net.ledger.as_ref().is_some_and(|l| l.safe_at(host) >= now) {
+                // A renewal between suspicion episodes pushed the lease
+                // bound past this sweep; the re-suspicion scheduled its
+                // own sweep at the new bound.
+                return;
+            }
+            std::mem::take(&mut net.outstanding[host])
+                .into_iter()
+                .collect()
+        };
+        for request in doomed {
+            if self.done[request] {
+                continue;
+            }
+            self.failovers += 1;
+            self.rec
+                .marker(MarkerKind::Failover, Some(request), Some(host), now);
+            self.route(request, now, inject);
+        }
+    }
+
+    /// The router's renewal tick: ledger the grant (safety bounds cover
+    /// delivery), then race it across the link.
+    fn on_lease_renew(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        if !self.hosts[host].available() {
+            return;
+        }
+        let delivery = {
+            let Some(net) = self.net.as_mut() else {
+                return;
+            };
+            if net.suspected[host] {
+                return;
+            }
+            let Some(ledger) = net.ledger.as_mut() else {
+                return;
+            };
+            ledger.on_grant(host, now);
+            let token = net.seq;
+            net.seq += 1;
+            let link = LinkId::RouterToHost(host);
+            if net.plan.host_cut(host, now).is_some() || net.plan.lost(link, token) {
+                None
+            } else {
+                Some(now + net.plan.delay(link, token))
+            }
+        };
+        if let Some(at) = delivery {
+            inject.push(Job::released_at(at, vec![]));
+            self.meta.push(JobKind::LeaseGrant { host });
+        }
+    }
+
+    /// A grant lands on the host: the lease is monotone under reordered
+    /// grants, and a parked host resumes serving.
+    fn on_lease_grant(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        let Some(duration) = self
+            .net
+            .as_ref()
+            .and_then(|n| n.plan.config().lease)
+            .map(|l| l.duration)
+        else {
+            return;
+        };
+        let until = now + duration;
+        if until > self.hosts[host].lease_until {
+            self.hosts[host].lease_until = until;
+            inject.push(Job::released_at(until, vec![]));
+            self.meta.push(JobKind::LeaseExpire { host });
+        }
+        if self.hosts[host].parked {
+            self.hosts[host].parked = false;
+            self.drain_queue(host, now, inject);
+        }
+    }
+
+    /// The lease lapses with no grant extending it: the host parks. It
+    /// purges its queue back to the router as refusals (buffered through
+    /// any partition — a fenced host may refuse, never complete) and
+    /// poisons its in-flight work the same way.
+    fn on_lease_expire(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        if self.net.as_ref().is_none_or(|n| n.ledger.is_none()) {
+            return;
+        }
+        // Renewal ticks end at the horizon; a lapse past it is the
+        // schedule running out, not a lost grant.
+        if self
+            .net
+            .as_ref()
+            .is_some_and(|n| now >= n.plan.config().horizon)
+        {
+            return;
+        }
+        {
+            let h = &self.hosts[host];
+            if h.parked || now < h.lease_until || !h.available() {
+                return;
+            }
+        }
+        self.hosts[host].parked = true;
+        if let Some(net) = self.net.as_mut() {
+            net.lease_expiries += 1;
+        }
+        self.rec
+            .marker(MarkerKind::LeaseExpired, None, Some(host), now);
+        while let Some(next) = self.hosts[host].queue.pick(SchedPolicy::Fifo, |_| false) {
+            self.hosts[host].committed_psp = self.hosts[host]
+                .committed_psp
+                .saturating_sub(next.expected_psp);
+            let kind = JobKind::NetNack {
+                request: next.request,
+                epoch: self.epoch[next.request],
+                host,
+            };
+            self.send_host_msg(host, now, kind, inject);
+        }
+        let doomed: Vec<usize> = self.hosts[host].host_inflight.iter().copied().collect();
+        for job in doomed {
+            self.poisoned_lease.insert(job);
+        }
     }
 
     /// Serves `request` on `host`: degradation ladder, warm pool, admission.
@@ -1025,6 +1707,7 @@ impl<'a> State<'a> {
     ) {
         let level = self.hosts[host].degrade_level(class, now);
         let Some(tier) = self.config.tier.degraded(level) else {
+            self.mark_done(request);
             self.breaker_sheds += 1;
             self.rec.terminal(request, ReqOutcome::BreakerShed, now);
             self.issue_next_closed(now, inject);
@@ -1086,6 +1769,7 @@ impl<'a> State<'a> {
             self.hosts[host].committed_psp += expected_psp;
             self.rec.queued(request);
         } else {
+            self.mark_done(request);
             self.rec.terminal(request, ReqOutcome::Shed, now);
             self.issue_next_closed(now, inject);
         }
@@ -1152,8 +1836,12 @@ impl<'a> State<'a> {
                     .verify_launch(host, now)
                     .expect("plane sized to cluster hosts");
                 blueprint.steps.extend(v.steps);
-                if !v.verdict.is_ok() {
-                    fate = LaunchFate::Fault(FaultKind::AttestError);
+                match v.verdict {
+                    Verdict::Ok => {}
+                    Verdict::Revoked => fate = LaunchFate::Fault(FaultKind::AttestError),
+                    // The verifier was unreachable and the plane ran
+                    // fail-closed: the launch is refused and retries.
+                    Verdict::Unavailable => fate = LaunchFate::Fault(FaultKind::AttestTimeout),
                 }
             }
         }
@@ -1178,6 +1866,7 @@ impl<'a> State<'a> {
             request,
             class,
             host,
+            epoch: self.epoch[request],
             fate,
             fill,
             psp,
@@ -1196,6 +1885,7 @@ impl<'a> State<'a> {
         let failures = self.attempts[request];
         match self.config.recovery.retry.backoff(failures, request as u64) {
             None => {
+                self.mark_done(request);
                 self.failed += 1;
                 self.rec.terminal(request, ReqOutcome::Failed, now);
                 self.issue_next_closed(now, inject);
@@ -1203,6 +1893,7 @@ impl<'a> State<'a> {
             Some(delay) => {
                 let at = now + delay;
                 if self.past_deadline(request, at) {
+                    self.mark_done(request);
                     self.timeouts += 1;
                     self.rec.terminal(request, ReqOutcome::Timeout, now);
                     self.issue_next_closed(now, inject);
@@ -1218,7 +1909,10 @@ impl<'a> State<'a> {
 
     /// Fills freed dispatch slots on `host` from its queue.
     fn drain_queue(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
-        if !self.hosts[host].available() || self.quiesce_hold(host, now) {
+        if !self.hosts[host].available()
+            || self.quiesce_hold(host, now)
+            || self.lease_blocked(host, now)
+        {
             return;
         }
         while self.hosts[host].inflight < self.config.admission.max_inflight {
@@ -1232,6 +1926,7 @@ impl<'a> State<'a> {
             let depth = h.queue.len();
             h.metrics.sample_queue_depth(now, depth);
             if self.past_deadline(next.request, now) {
+                self.mark_done(next.request);
                 self.timeouts += 1;
                 self.rec.terminal(next.request, ReqOutcome::Timeout, now);
                 self.issue_next_closed(now, inject);
@@ -1239,6 +1934,7 @@ impl<'a> State<'a> {
             }
             let level = self.hosts[host].degrade_level(next.class, now);
             let Some(tier) = self.config.tier.degraded(level) else {
+                self.mark_done(next.request);
                 self.breaker_sheds += 1;
                 self.rec
                     .terminal(next.request, ReqOutcome::BreakerShed, now);
@@ -1254,6 +1950,7 @@ impl<'a> State<'a> {
     fn start_refill(&mut self, host: usize, class: usize, now: Nanos, inject: &mut Vec<Job>) {
         if self.config.tier != ServingTier::WarmPool
             || !self.hosts[host].available()
+            || self.lease_blocked(host, now)
             || !self.hosts[host].pool.wants_refill(class)
         {
             return;

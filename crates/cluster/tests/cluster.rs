@@ -222,6 +222,86 @@ fn dark_cluster_sheds_unroutable_arrivals() {
 }
 
 #[test]
+fn inert_network_model_replays_byte_identically() {
+    // `net: Some(NetConfig::none())` must take the exact code paths of
+    // `net: None`: no message indirection, no heartbeats, no leases, and
+    // therefore the same RNG draws and the same report, byte for byte.
+    // This is the replay gate that keeps every pre-net experiment stable.
+    let config = ClusterConfig {
+        placement: PlacementPolicy::JsqPsp,
+        recovery: RecoveryConfig::resilient(7),
+        outages: vec![HostOutage {
+            host: 1,
+            start: Nanos::from_millis(400),
+            end: Nanos::from_millis(900),
+        }],
+        ..base(3, ServingTier::Template)
+    };
+    let without = run(config.clone());
+    let with = run(ClusterConfig {
+        net: Some(sevf_net::NetConfig::none()),
+        ..config
+    });
+    assert_eq!(
+        format!("{:?}", without.metrics),
+        format!("{:?}", with.metrics),
+        "an inert network model changed the run"
+    );
+    assert_eq!(without.metrics.makespan, with.metrics.makespan);
+    assert_eq!(with.metrics.net_lost, 0);
+    assert_eq!(with.metrics.suspicions, 0);
+}
+
+#[test]
+fn split_brain_conserves_with_zero_double_counted_completions() {
+    use sevf_net::{DetectorConfig, LeaseConfig, LinkSpec, NetConfig, Partition, PartitionScope};
+    // Two of three hosts fall into a minority island mid-stream and heal
+    // a second later: the island keeps serving work it cannot report,
+    // the router sweeps that work over to the survivor, and the island's
+    // late completions arrive after the failover. Epoch fencing must
+    // discard every one of them — each request reaches exactly one
+    // terminal state, so conservation is exact, not approximate.
+    let cut = |host| Partition {
+        scope: PartitionScope::Host(host),
+        start: Nanos::from_millis(400),
+        end: Nanos::from_millis(1400),
+    };
+    let config = ClusterConfig {
+        placement: PlacementPolicy::JsqPsp,
+        recovery: RecoveryConfig::resilient(0x4E37),
+        net: Some(NetConfig {
+            link: LinkSpec::datacenter(),
+            partitions: vec![cut(1), cut(2)],
+            horizon: Nanos::from_secs(20),
+            dispatch_timeout: Nanos::from_millis(50),
+            heartbeat_every: Nanos::from_millis(50),
+            detector: Some(DetectorConfig::default()),
+            lease: Some(LeaseConfig {
+                duration: Nanos::from_millis(300),
+                renew_every: Nanos::from_millis(100),
+            }),
+        }),
+        ..base(3, ServingTier::Template)
+    };
+    let report = run(config);
+    let m = &report.metrics;
+    // The exact ledger: zero double-counted completions means the five
+    // terminal states partition the issued stream with no remainder.
+    assert_eq!(
+        m.completed as u64 + m.shed + m.breaker_sheds + m.timeouts + m.failed,
+        m.issued as u64,
+        "split-brain broke conservation: {m:?}"
+    );
+    assert!(m.suspicions > 0, "the island must be suspected");
+    assert!(m.net_lost > 0, "the cut must lose messages");
+    assert!(
+        m.lease_expiries > 0,
+        "island hosts must park on expired leases"
+    );
+    assert!(m.completed > 0, "the survivor must keep serving");
+}
+
+#[test]
 fn invalid_configs_are_rejected_with_chained_errors() {
     use std::error::Error;
     let bad = ClusterConfig {

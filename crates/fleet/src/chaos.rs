@@ -219,6 +219,7 @@ pub fn chaos_sweep(cfg: &ChaosConfig) -> Result<ChaosReport, FleetError> {
                 fault,
                 recovery,
                 attestation: None,
+                verifier_net: None,
             };
             let report = FleetService::new(catalog.clone(), config).run();
             let m = &report.metrics;

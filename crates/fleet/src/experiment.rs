@@ -174,6 +174,7 @@ pub fn serving_sweep(cfg: &SweepConfig) -> Result<SweepReport, FleetError> {
                 fault: None,
                 recovery: crate::recovery::RecoveryConfig::none(),
                 attestation: None,
+                verifier_net: None,
             };
             let report = FleetService::new(catalog.clone(), config).run();
             let m = &report.metrics;

@@ -82,6 +82,8 @@ pub enum FleetError {
     Recovery(&'static str),
     /// The attestation control plane rejected its configuration.
     AttPlane(sevf_attplane::AttPlaneError),
+    /// The verifier network link rejected its configuration.
+    Net(sevf_net::NetError),
 }
 
 impl std::fmt::Display for FleetError {
@@ -92,6 +94,7 @@ impl std::fmt::Display for FleetError {
             FleetError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
             FleetError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
             FleetError::AttPlane(e) => write!(f, "attestation plane failed: {e}"),
+            FleetError::Net(e) => write!(f, "verifier link failed: {e}"),
         }
     }
 }
@@ -101,6 +104,7 @@ impl std::error::Error for FleetError {
         match self {
             FleetError::Boot(e) => Some(e),
             FleetError::AttPlane(e) => Some(e),
+            FleetError::Net(e) => Some(e),
             FleetError::NoClasses | FleetError::FaultPlan(_) | FleetError::Recovery(_) => None,
         }
     }
@@ -115,6 +119,12 @@ impl From<sevf_vmm::VmmError> for FleetError {
 impl From<sevf_attplane::AttPlaneError> for FleetError {
     fn from(e: sevf_attplane::AttPlaneError) -> Self {
         FleetError::AttPlane(e)
+    }
+}
+
+impl From<sevf_net::NetError> for FleetError {
+    fn from(e: sevf_net::NetError) -> Self {
+        FleetError::Net(e)
     }
 }
 
@@ -141,6 +151,15 @@ mod tests {
         let source = outer.source().expect("AttPlane must expose its cause");
         assert!(source.to_string().contains("sig_check"));
         assert!(outer.to_string().contains("attestation plane"));
+    }
+
+    #[test]
+    fn net_errors_chain_their_source() {
+        let inner = sevf_net::NetError::from(sevf_net::LeaseError::DurationZero);
+        let outer = FleetError::from(inner);
+        let source = outer.source().expect("Net must expose its cause");
+        assert!(source.to_string().contains("lease"));
+        assert!(outer.to_string().contains("verifier link"));
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub struct FaultCounters {
     /// Launches lost to whole-host outages (cluster fault domain died with
     /// the request in flight on it).
     pub host_outage: u64,
+    /// Launches aborted because the host's dispatch lease lapsed during a
+    /// network partition (fenced, not served — split-brain discipline).
+    pub net_partition: u64,
 }
 
 impl FaultCounters {
@@ -39,6 +42,7 @@ impl FaultCounters {
             FaultKind::AttestTimeout => self.attest_timeout += 1,
             FaultKind::AttestError => self.attest_error += 1,
             FaultKind::HostOutage => self.host_outage += 1,
+            FaultKind::NetPartition => self.net_partition += 1,
         }
     }
 
@@ -50,6 +54,7 @@ impl FaultCounters {
             + self.attest_timeout
             + self.attest_error
             + self.host_outage
+            + self.net_partition
     }
 }
 

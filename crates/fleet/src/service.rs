@@ -37,7 +37,8 @@
 
 use std::collections::BTreeSet;
 
-use sevf_attplane::{AttPlane, AttPlaneConfig, AttPlaneMetrics};
+use sevf_attplane::{AttPlane, AttPlaneConfig, AttPlaneMetrics, Verdict, STEP_RTT};
+use sevf_net::VerifierLink;
 use sevf_obs::{MarkerKind, Outcome as ReqOutcome, Recorder, TraceLog};
 use sevf_psp::TemplateKey;
 use sevf_sim::fault::{AttestFault, FaultKind, FaultPlan};
@@ -118,6 +119,9 @@ pub struct FleetConfig {
     /// Attestation control plane; `None` = no verifier in the path (the
     /// pre-attestation control plane, byte-identical to older runs).
     pub attestation: Option<AttPlaneConfig>,
+    /// Network link to the remote verifier; `None` = the verifier is
+    /// local and always reachable (byte-identical to older runs).
+    pub verifier_net: Option<VerifierLink>,
 }
 
 impl FleetConfig {
@@ -134,6 +138,7 @@ impl FleetConfig {
             fault: None,
             recovery: RecoveryConfig::none(),
             attestation: None,
+            verifier_net: None,
         }
     }
 
@@ -150,6 +155,7 @@ impl FleetConfig {
             fault: None,
             recovery: RecoveryConfig::none(),
             attestation: None,
+            verifier_net: None,
         }
     }
 
@@ -158,6 +164,9 @@ impl FleetConfig {
     pub fn validated(self) -> Result<Self, crate::FleetError> {
         if let Some(att) = &self.attestation {
             att.validate().map_err(crate::FleetError::AttPlane)?;
+        }
+        if let Some(link) = &self.verifier_net {
+            link.validate().map_err(crate::FleetError::Net)?;
         }
         Ok(self)
     }
@@ -284,6 +293,11 @@ impl FleetService {
         if let Some(att) = &config.attestation {
             if let Err(e) = att.validate() {
                 panic!("invalid attestation config: {e}");
+            }
+        }
+        if let Some(link) = &config.verifier_net {
+            if let Err(e) = link.validate() {
+                panic!("invalid verifier link: {e}");
             }
         }
         FleetService { catalog, config }
@@ -784,12 +798,30 @@ impl<'a> State<'a> {
         // revoked chip turns the dispatch into an attestation failure.
         if matches!(fate, LaunchFate::Ok) {
             if let Some(plane) = self.plane.as_mut() {
+                let link = self.config.verifier_net.as_ref();
+                if let Some(link) = link {
+                    plane.set_reachable(link.up(now));
+                }
                 let v = plane
                     .verify_launch(0, now)
                     .expect("fleet plane always holds host 0");
+                // The round trip is paid only when the verifier was
+                // actually consulted; blackout verdicts are local.
+                if let Some(link) = link {
+                    if plane.is_reachable() && link.rtt > Nanos::ZERO {
+                        blueprint.steps.push(sevf_obs::WorkStep::new(
+                            ResourceClass::Network,
+                            PhaseKind::Attestation,
+                            STEP_RTT,
+                            link.rtt,
+                        ));
+                    }
+                }
                 blueprint.steps.extend(v.steps);
-                if !v.verdict.is_ok() {
-                    fate = LaunchFate::Fault(FaultKind::AttestError);
+                match v.verdict {
+                    Verdict::Ok => {}
+                    Verdict::Revoked => fate = LaunchFate::Fault(FaultKind::AttestError),
+                    Verdict::Unavailable => fate = LaunchFate::Fault(FaultKind::AttestTimeout),
                 }
             }
         }
@@ -998,6 +1030,65 @@ mod tests {
 
     fn storm_plan(seed: u64) -> FaultPlan {
         FaultPlan::generate(seed, FaultConfig::storm(), Nanos::from_secs(10)).unwrap()
+    }
+
+    #[test]
+    fn verifier_blackout_degrades_by_the_configured_policy() {
+        use sevf_sim::fault::ResetWindow;
+        // The whole run fits in ~2s at 40 rps; black the verifier out for
+        // a stretch in the middle.
+        let blackout = ResetWindow {
+            start: Nanos::from_millis(400),
+            end: Nanos::from_millis(1200),
+        };
+        let arm = |att: AttPlaneConfig| {
+            let mut config = FleetConfig::open_loop(ServingTier::Cold, 40.0, 80);
+            config.attestation = Some(att);
+            config.verifier_net = Some(VerifierLink {
+                rtt: Nanos::from_micros(400),
+                blackouts: vec![blackout],
+            });
+            run(config)
+        };
+        // Fail-closed: every launch dispatched inside the window dies as
+        // an attestation timeout.
+        let closed = arm(AttPlaneConfig::cached());
+        assert!(closed.metrics.faults.attest_timeout > 0, "blackout missed");
+        assert_eq!(
+            closed.metrics.faults.attest_timeout,
+            closed.attestation.unwrap().unavailable_refusals
+        );
+        // Fail-open: the chip was verified before the blackout, so stale
+        // serves carry the window and strictly more launches survive.
+        let mut open = AttPlaneConfig::cached();
+        open.degrade = sevf_attplane::FailMode::Open {
+            staleness_budget: Nanos::from_secs(120),
+        };
+        let open = arm(open);
+        assert_eq!(open.metrics.faults.attest_timeout, 0);
+        let att = open.attestation.unwrap();
+        assert!(att.stale_serves > 0);
+        assert!(att.reverifies > 0, "heal must trigger re-verification");
+        assert!(open.metrics.completed > closed.metrics.completed);
+    }
+
+    #[test]
+    fn inert_verifier_link_replays_byte_identically() {
+        // `Some(VerifierLink::none())` must not perturb a run relative to
+        // `None`: no RTT steps, no reachability flips, same byte stream.
+        let arm = |link: Option<VerifierLink>| {
+            let mut config = FleetConfig::open_loop(ServingTier::Template, 60.0, 80);
+            config.attestation = Some(AttPlaneConfig::cached_batched());
+            config.verifier_net = link;
+            run(config)
+        };
+        let bare = arm(None);
+        let inert = arm(Some(VerifierLink::none()));
+        assert!(VerifierLink::none().is_none());
+        assert_eq!(
+            format!("{:?}", bare.metrics),
+            format!("{:?}", inert.metrics)
+        );
     }
 
     #[test]

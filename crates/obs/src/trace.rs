@@ -117,6 +117,12 @@ pub enum MarkerKind {
     TcbRollout,
     /// A chip key was distrusted mid-stream (key-compromise drill).
     Revocation,
+    /// The router's failure detector started suspecting a host.
+    Suspected,
+    /// A heartbeat got through and cleared a standing suspicion.
+    SuspicionCleared,
+    /// A host's dispatch lease lapsed and it parked itself.
+    LeaseExpired,
 }
 
 impl MarkerKind {
@@ -132,6 +138,9 @@ impl MarkerKind {
             MarkerKind::OutageEnd => "outage-end".to_string(),
             MarkerKind::TcbRollout => "tcb-rollout".to_string(),
             MarkerKind::Revocation => "revocation".to_string(),
+            MarkerKind::Suspected => "suspected".to_string(),
+            MarkerKind::SuspicionCleared => "suspicion-cleared".to_string(),
+            MarkerKind::LeaseExpired => "lease-expired".to_string(),
         }
     }
 }

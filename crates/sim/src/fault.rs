@@ -41,6 +41,10 @@ pub enum FaultKind {
     /// Whole-host outage: the machine (PSP, CPUs, warm pool, templates)
     /// drops off the cluster; everything in flight on it is lost.
     HostOutage,
+    /// Network partition: the host was alive but fenced — its dispatch
+    /// lease lapsed while it was unreachable, so work in flight on it is
+    /// aborted rather than completed (split-brain discipline).
+    NetPartition,
 }
 
 impl FaultKind {
@@ -53,6 +57,7 @@ impl FaultKind {
             FaultKind::AttestTimeout => "attest-timeout",
             FaultKind::AttestError => "attest-error",
             FaultKind::HostOutage => "host-outage",
+            FaultKind::NetPartition => "net-partition",
         }
     }
 }
@@ -639,6 +644,7 @@ mod tests {
             FaultKind::AttestTimeout,
             FaultKind::AttestError,
             FaultKind::HostOutage,
+            FaultKind::NetPartition,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {
