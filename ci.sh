@@ -1,20 +1,72 @@
 #!/usr/bin/env bash
 # Repo CI gate. Run from the repo root:
 #
-#   ./ci.sh          # full gate: build, tests, fmt, clippy
-#   ./ci.sh quick    # skip the release build (fast inner loop)
+#   ./ci.sh          # full gate: build, tests, replay, bench, perf gate, lints
+#   ./ci.sh quick    # fast inner loop: debug tests + one debug smoke replay
 #
 # Everything must pass offline — the workspace has no external
 # dependencies by design (see DESIGN.md §2, "External crates").
+#
+# Perf gate knobs:
+#   CI_PERF_TOLERANCE=25        allowed ± drift (percent) of
+#                               wall_us_per_simulated_request vs the
+#                               committed BENCH_baseline.json
+#   CI_PERF_BASELINE=accept     re-seed BENCH_baseline.json from this
+#                               run instead of gating (use after a real
+#                               perf change or a hardware move, then
+#                               commit the new baseline)
 set -euo pipefail
 cd "$(dirname "$0")"
 
-quick=${1:-}
+mode=${1:-full}
 
-if [[ "$quick" != quick ]]; then
-  echo "==> cargo build --release --workspace"
-  cargo build --release --workspace
+# replay_gate <example> [debug] — run the example twice with
+# `--quick --json` and byte-diff the outputs. The JSON arms emit only
+# seed-derived facts (no wall-clock), so any diff is a determinism bug.
+replay_gate() {
+  local ex=$1
+  local flag=--release
+  [[ "${2:-}" == debug ]] && flag=""
+  echo "==> deterministic replay: $ex --quick --json twice, byte-diffed"
+  cargo run $flag --quiet --example "$ex" -- --quick --json > "/tmp/ci_${ex}_a.json"
+  cargo run $flag --quiet --example "$ex" -- --quick --json > "/tmp/ci_${ex}_b.json"
+  diff "/tmp/ci_${ex}_a.json" "/tmp/ci_${ex}_b.json"
+  rm -f "/tmp/ci_${ex}_a.json" "/tmp/ci_${ex}_b.json"
+}
+
+# bench_snapshot <example> <outfile> [extra args...] — capture the
+# example's `--bench` snapshot (wall-clock; machine-dependent, so it is
+# recorded, not diffed).
+bench_snapshot() {
+  local ex=$1 out=$2
+  shift 2
+  echo "==> bench snapshot: $ex --bench -> $out (wall-clock; not diffed)"
+  cargo run --release --quiet --example "$ex" -- --bench "$@" > "$out"
+  cat "$out"
+}
+
+# json_field <file> <key> — pull one numeric field out of a
+# BenchSnapshot JSON file (pretty-printed, one field per line; no jq in
+# the base image, so plain awk).
+json_field() {
+  awk -v k="\"$2\":" '$1 == k { gsub(/,/, "", $2); print $2; exit }' "$1"
+}
+
+if [[ "$mode" == quick ]]; then
+  echo "==> cargo test -q (tier-1: root package, debug)"
+  cargo test -q
+
+  echo "==> cargo test -q --workspace (debug)"
+  cargo test -q --workspace
+
+  replay_gate fleet_chaos debug
+
+  echo "CI OK (quick)"
+  exit 0
 fi
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
@@ -22,43 +74,46 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> deterministic replay: fleet_chaos --quick --json twice, byte-diffed"
-cargo run --release --quiet --example fleet_chaos -- --quick --json > /tmp/ci_chaos_a.json
-cargo run --release --quiet --example fleet_chaos -- --quick --json > /tmp/ci_chaos_b.json
-diff /tmp/ci_chaos_a.json /tmp/ci_chaos_b.json
-rm -f /tmp/ci_chaos_a.json /tmp/ci_chaos_b.json
+for ex in fleet_chaos cluster_scaling trace_explorer attestation_storm \
+          partition_drill perf_sweep; do
+  replay_gate "$ex"
+done
 
-echo "==> deterministic replay: cluster_scaling --quick --json twice, byte-diffed"
-cargo run --release --quiet --example cluster_scaling -- --quick --json > /tmp/ci_cluster_a.json
-cargo run --release --quiet --example cluster_scaling -- --quick --json > /tmp/ci_cluster_b.json
-diff /tmp/ci_cluster_a.json /tmp/ci_cluster_b.json
-rm -f /tmp/ci_cluster_a.json /tmp/ci_cluster_b.json
+bench_snapshot partition_drill   BENCH_net.json      --quick
+bench_snapshot attestation_storm BENCH_attplane.json --quick
+bench_snapshot fleet_chaos       BENCH_chaos.json    --quick
+bench_snapshot cluster_scaling   BENCH_cluster.json  --quick
+# Full scale on purpose: the perf gate needs the 12M-job workload where
+# the calendar/heap gap is meaningful; quick scale fits in cache and
+# under-reports it.
+bench_snapshot perf_sweep BENCH_perf.json
 
-echo "==> deterministic replay: trace_explorer --quick --json twice, byte-diffed"
-cargo run --release --quiet --example trace_explorer -- --quick --json > /tmp/ci_trace_a.json
-cargo run --release --quiet --example trace_explorer -- --quick --json > /tmp/ci_trace_b.json
-diff /tmp/ci_trace_a.json /tmp/ci_trace_b.json
-rm -f /tmp/ci_trace_a.json /tmp/ci_trace_b.json
+echo "==> appending BENCH_perf.json to BENCH_trajectory.jsonl"
+tr -d '\n' < BENCH_perf.json | tr -s ' ' >> BENCH_trajectory.jsonl
+echo >> BENCH_trajectory.jsonl
 
-echo "==> deterministic replay: attestation_storm --quick --json twice, byte-diffed"
-cargo run --release --quiet --example attestation_storm -- --quick --json > /tmp/ci_att_a.json
-cargo run --release --quiet --example attestation_storm -- --quick --json > /tmp/ci_att_b.json
-diff /tmp/ci_att_a.json /tmp/ci_att_b.json
-rm -f /tmp/ci_att_a.json /tmp/ci_att_b.json
-
-echo "==> deterministic replay: partition_drill --quick --json twice, byte-diffed"
-cargo run --release --quiet --example partition_drill -- --quick --json > /tmp/ci_net_a.json
-cargo run --release --quiet --example partition_drill -- --quick --json > /tmp/ci_net_b.json
-diff /tmp/ci_net_a.json /tmp/ci_net_b.json
-rm -f /tmp/ci_net_a.json /tmp/ci_net_b.json
-
-echo "==> bench snapshot: partition_drill --quick --bench (wall-clock; not diffed)"
-cargo run --release --quiet --example partition_drill -- --quick --bench > BENCH_net.json
-cat BENCH_net.json
-
-echo "==> bench snapshot: attestation_storm --quick --bench (wall-clock; not diffed)"
-cargo run --release --quiet --example attestation_storm -- --quick --bench > BENCH_attplane.json
-cat BENCH_attplane.json
+tol=${CI_PERF_TOLERANCE:-25}
+cur=$(json_field BENCH_perf.json wall_us_per_simulated_request)
+if [[ "${CI_PERF_BASELINE:-}" == accept ]]; then
+  echo "==> perf gate: CI_PERF_BASELINE=accept — re-seeding BENCH_baseline.json"
+  cp BENCH_perf.json BENCH_baseline.json
+elif [[ ! -f BENCH_baseline.json ]]; then
+  echo "==> perf gate: no BENCH_baseline.json — seeding it from this run"
+  cp BENCH_perf.json BENCH_baseline.json
+else
+  base=$(json_field BENCH_baseline.json wall_us_per_simulated_request)
+  echo "==> perf gate: wall_us_per_simulated_request $cur vs baseline $base (±${tol}%)"
+  if ! awk -v cur="$cur" -v base="$base" -v tol="$tol" \
+      'BEGIN { exit !(cur <= base * (1 + tol / 100) &&
+                      cur >= base * (1 - tol / 100)) }'; then
+    echo "PERF GATE FAILED: wall_us_per_simulated_request drifted more than"
+    echo "${tol}% from the committed baseline. If the change is intentional"
+    echo "(real perf work, new hardware), rerun with CI_PERF_BASELINE=accept"
+    echo "and commit the refreshed BENCH_baseline.json; otherwise bisect the"
+    echo "regression before merging. CI_PERF_TOLERANCE widens the band."
+    exit 1
+  fi
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

@@ -65,6 +65,10 @@ const FIGURES: &[(&str, &str)] = &[
         "partition tolerance: link faults, failure detection, leases, and a verifier blackout",
     ),
     (
+        "perf",
+        "harness raw speed: calendar vs heap DES, full vs incremental hashing",
+    ),
+    (
         "headline",
         "cold-start reduction over the QEMU/OVMF baseline",
     ),
@@ -163,6 +167,7 @@ fn main() {
             "attplane" => attplane_table(&args.scale),
             "net" => net_table(&args.scale),
             "trace" => trace_table(&args.scale),
+            "perf" => perf_table(&args.scale),
             "headline" => headline(&args.scale),
             other => usage_error(&format!("unknown figure '{other}' (see --list)")),
         };
@@ -1157,6 +1162,67 @@ fn trace_table(scale: &ExperimentScale) -> FigureDump {
                 })
                 .collect(),
         ),
+    }
+}
+
+fn perf_table(scale: &ExperimentScale) -> FigureDump {
+    let cfg = if scale.kernel_div > 1 {
+        sevf_bench::perf::PerfConfig::quick()
+    } else {
+        sevf_bench::perf::PerfConfig::full()
+    };
+    let sweep = sevf_bench::perf::run_sweep(cfg);
+    assert!(
+        sweep.des.engines_agree,
+        "calendar and heap engines diverged"
+    );
+    assert!(
+        sweep.hash.incremental_matches_full,
+        "incremental measurement diverged from full re-hash"
+    );
+    println!("\n=== Perf: harness raw speed (calendar DES, batched SHA-384) ===");
+    println!("(same workload through both engines; same image through all three");
+    println!(" measurement paths — identical results, different wall-clock)\n");
+    let d = &sweep.des;
+    let des_rows = vec![
+        vec![
+            "heap (reference)".into(),
+            format!("{:.3}", d.us_per_request_heap()),
+            format!("{:.0}", d.events as f64 / d.heap_secs),
+            "1.00x".into(),
+        ],
+        vec![
+            "calendar".into(),
+            format!("{:.3}", d.us_per_request()),
+            format!("{:.0}", d.events_per_sec()),
+            format!("{:.2}x", d.speedup()),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["engine", "us/request", "events/s", "speedup"], &des_rows)
+    );
+    let h = &sweep.hash;
+    let hash_rows = vec![
+        vec!["full chain".into(), format!("{:.1}", h.full_mb_per_sec())],
+        vec![
+            format!("incremental ({} dirty)", h.dirty),
+            format!("{:.1}", h.incremental_mb_per_sec()),
+        ],
+        vec![
+            "paged, warm cache".into(),
+            format!("{:.1}", h.paged_warm_mb_per_sec()),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["measurement path", "effective MB/s"], &hash_rows)
+    );
+    println!("{}", sweep.snapshot().render());
+    FigureDump {
+        id: "perf".into(),
+        caption: "Harness raw speed: DES engines and measurement paths".into(),
+        data: sweep.snapshot().to_json(),
     }
 }
 

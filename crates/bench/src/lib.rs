@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -234,6 +236,97 @@ pub fn write_dumps(dir: &std::path::Path, dumps: &[FigureDump]) -> std::io::Resu
     Ok(())
 }
 
+/// The unified cross-arm benchmark snapshot (`BENCH_*.json` schema).
+///
+/// Every bench arm — net, attplane, fleet, cluster, perf — emits the same
+/// shape: which bench ran, under which seed, what it counted, total
+/// wall-clock, and the derived rates. ci.sh appends each snapshot to
+/// `BENCH_trajectory.jsonl` (so speedup claims have a history instead of an
+/// overwritten file) and diff-gates `BENCH_perf.json` against the committed
+/// `BENCH_baseline.json`.
+///
+/// # Example
+///
+/// ```
+/// let snap = sevf_bench::BenchSnapshot::new("net", 42)
+///     .count("requests_completed", 1000)
+///     .wall(0.5)
+///     .rate("wall_us_per_request", 500.0);
+/// let text = snap.render();
+/// assert!(text.contains("\"bench\": \"net\""));
+/// assert!(text.contains("\"requests_completed\": 1000"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchSnapshot {
+    /// Bench arm name ("net", "attplane", "fleet", "cluster", "perf").
+    pub bench: String,
+    /// Seed the workload was generated from.
+    pub seed: u64,
+    /// What the run processed (requests, events, pages, ...).
+    pub counts: Vec<(String, u64)>,
+    /// Total wall-clock for the measured section, in seconds.
+    pub wall_secs: f64,
+    /// Derived rates (us-per-request, MB/s, events/s, speedups, ...).
+    pub rates: Vec<(String, f64)>,
+}
+
+impl BenchSnapshot {
+    /// Starts a snapshot for `bench` under `seed`.
+    pub fn new(bench: impl Into<String>, seed: u64) -> Self {
+        BenchSnapshot {
+            bench: bench.into(),
+            seed,
+            counts: Vec::new(),
+            wall_secs: 0.0,
+            rates: Vec::new(),
+        }
+    }
+
+    /// Adds a count (builder style).
+    pub fn count(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.counts.push((name.into(), value));
+        self
+    }
+
+    /// Sets the measured wall-clock seconds (builder style).
+    pub fn wall(mut self, secs: f64) -> Self {
+        self.wall_secs = secs;
+        self
+    }
+
+    /// Adds a derived rate (builder style).
+    pub fn rate(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.rates.push((name.into(), value));
+        self
+    }
+
+    /// The snapshot as a [`Json`] object (deterministic key order).
+    pub fn to_json(&self) -> Json {
+        let counts: BTreeMap<String, Json> = self
+            .counts
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from(*v)))
+            .collect();
+        let rates: BTreeMap<String, Json> = self
+            .rates
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from(*v)))
+            .collect();
+        Json::obj([
+            ("bench", Json::Str(self.bench.clone())),
+            ("seed", Json::from(self.seed)),
+            ("counts", Json::Obj(counts)),
+            ("wall_secs", Json::from(self.wall_secs)),
+            ("rates", Json::Obj(rates)),
+        ])
+    }
+
+    /// Pretty-printed JSON, ready to write to a `BENCH_*.json` file.
+    pub fn render(&self) -> String {
+        self.to_json().to_pretty()
+    }
+}
+
 /// Formats a byte count in MiB with one decimal.
 pub fn mib(bytes: u64) -> String {
     format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
@@ -315,5 +408,25 @@ mod tests {
         let mut calls = 0;
         time_it("noop", 3, || calls += 1);
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn snapshot_schema_is_stable() {
+        let snap = BenchSnapshot::new("perf", 7)
+            .count("jobs", 100)
+            .count("events", 350)
+            .wall(1.25)
+            .rate("events_per_sec", 280.0);
+        let text = snap.render();
+        // Top-level keys in BTreeMap order; nested maps deterministic too.
+        let bench_pos = text.find("\"bench\"").unwrap();
+        let counts_pos = text.find("\"counts\"").unwrap();
+        let rates_pos = text.find("\"rates\"").unwrap();
+        let seed_pos = text.find("\"seed\"").unwrap();
+        let wall_pos = text.find("\"wall_secs\"").unwrap();
+        assert!(bench_pos < counts_pos && counts_pos < rates_pos);
+        assert!(rates_pos < seed_pos && seed_pos < wall_pos);
+        assert!(text.contains("\"events\": 350"));
+        assert!(text.contains("1.25"));
     }
 }

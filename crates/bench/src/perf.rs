@@ -1,0 +1,452 @@
+//! The `perf_sweep` bench arm: raw-speed microbenchmarks for the two hot
+//! paths the simulator lives on.
+//!
+//! * **DES engine** — one workload, two engines: the calendar-queue
+//!   [`sevf_sim::DesEngine`] against the heap-based
+//!   [`sevf_sim::reference::HeapEngine`] it replaced. Both must produce
+//!   identical outcomes (checked every run, and checksummed so the `--json`
+//!   replay gate pins the workload); the wall-clock ratio is the honest
+//!   speedup number that `BENCH_perf.json` reports and ci.sh gates.
+//! * **Measurement path** — full SHA-384 launch-digest chaining over a page
+//!   set, against [`sevf_psp::IncrementalChain`] re-measuring with a small
+//!   dirty suffix (the §6.2 template-hit shape) and against the two-level
+//!   [`sevf_psp::paged_measure`] with a warm [`sevf_psp::PageDigestCache`].
+//!
+//! Everything here is deterministic in the seed *except* the wall-clock
+//! fields, which is why the example splits output: `--json` prints only the
+//! deterministic facts (byte-diffable in CI), `--bench` prints the
+//! wall-clock snapshot (appended to the trajectory, gated with a tolerance
+//! band).
+
+use std::time::Instant;
+
+use sevf_psp::{
+    paged_measure, IncrementalChain, MeasurementChain, PageDigestCache, PageRef, PageType,
+};
+use sevf_sim::reference::HeapEngine;
+use sevf_sim::rng::XorShift64;
+use sevf_sim::{DesEngine, Job, JobOutcome, Nanos, Segment};
+
+/// Workload sizes for one perf sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    /// Jobs in the DES microbench.
+    pub jobs: usize,
+    /// 4 KiB pages in the measurement microbench.
+    pub pages: usize,
+    /// Pages dirtied between measurements (template-hit shape).
+    pub dirty: usize,
+    /// Timed iterations per engine; the minimum wall-clock is reported,
+    /// which damps first-touch page-fault and scheduling noise.
+    pub iters: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl PerfConfig {
+    /// Full-size sweep (the committed baseline's scale).
+    pub fn full() -> Self {
+        PerfConfig {
+            jobs: 12_000_000,
+            pages: 1024,
+            dirty: 32,
+            iters: 2,
+            seed: 42,
+        }
+    }
+
+    /// Quick sweep for the CI inner loop.
+    pub fn quick() -> Self {
+        PerfConfig {
+            jobs: 20_000,
+            pages: 256,
+            dirty: 8,
+            iters: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of the DES engine microbench.
+#[derive(Debug, Clone, Copy)]
+pub struct DesPerf {
+    /// Jobs simulated.
+    pub jobs: u64,
+    /// Events the scheduler processed (releases + segment completions).
+    pub events: u64,
+    /// Wall-clock of the calendar-queue engine run.
+    pub calendar_secs: f64,
+    /// Wall-clock of the heap reference engine run.
+    pub heap_secs: f64,
+    /// Order-sensitive checksum over every outcome (deterministic in the
+    /// seed; the `--json` replay gate diffs it).
+    pub outcome_checksum: u64,
+    /// Whether both engines produced identical outcome sequences.
+    pub engines_agree: bool,
+}
+
+impl DesPerf {
+    /// Microseconds of wall-clock per simulated request, calendar engine.
+    pub fn us_per_request(&self) -> f64 {
+        self.calendar_secs * 1e6 / self.jobs as f64
+    }
+
+    /// Microseconds per simulated request on the heap reference engine.
+    pub fn us_per_request_heap(&self) -> f64 {
+        self.heap_secs * 1e6 / self.jobs as f64
+    }
+
+    /// Heap-time over calendar-time: the engine-swap speedup.
+    pub fn speedup(&self) -> f64 {
+        self.heap_secs / self.calendar_secs
+    }
+
+    /// Events per second through the calendar engine.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.calendar_secs
+    }
+}
+
+/// Builds one engine of each kind with identical resource tables. Resource
+/// ids are index-based, so both engines hand out the same ids and one job
+/// vec drives both.
+fn fresh_engines() -> (DesEngine, HeapEngine) {
+    let mut cal = DesEngine::new();
+    let mut heap = HeapEngine::new();
+    let psp_a = cal.add_resource("psp", 1);
+    let cpu_a = cal.add_resource("cpu", 16);
+    let psp_b = heap.add_resource("psp", 1);
+    let cpu_b = heap.add_resource("cpu", 16);
+    assert_eq!(psp_a, psp_b);
+    assert_eq!(cpu_a, cpu_b);
+    (cal, heap)
+}
+
+/// Builds the DES microbench workload: delay-dominated attestation round
+/// trips plus a slice of PSP/CPU launches, with releases spread across the
+/// calendar window so the pending-event set stays in the millions (the
+/// regime where the heap engine's log-depth, cache-missing sifts dominate).
+fn build_workload(cfg: PerfConfig) -> Vec<Job> {
+    let mut scratch = DesEngine::new();
+    let psp_a = scratch.add_resource("psp", 1);
+    let cpu_a = scratch.add_resource("cpu", 16);
+
+    let mut rng = XorShift64::new(cfg.seed);
+    // Releases spread across half the calendar window and delays up to 2 s:
+    // at full scale the pending-event set holds millions of future releases
+    // plus every in-flight delay, which is where the heap's log-depth,
+    // cache-missing sifts dominate and the calendar's O(1) pushes do not.
+    let span_ns = 4_000_000_000u64;
+    (0..cfg.jobs)
+        .map(|_| {
+            let release = Nanos::from_nanos(rng.next_below(span_ns));
+            let segments = match rng.next_below(10) {
+                // 80%: attestation round trips — two network delays.
+                0..=7 => vec![
+                    Segment::delay(
+                        Nanos::from_nanos(1_000_000 + rng.next_below(2_000_000_000)),
+                        "net",
+                    ),
+                    Segment::delay(
+                        Nanos::from_nanos(1_000_000 + rng.next_below(2_000_000_000)),
+                        "net",
+                    ),
+                ],
+                // 10%: template-hit launch (cpu setup, short psp).
+                8 => vec![
+                    Segment::on(cpu_a, Nanos::from_nanos(500 + rng.next_below(2_000)), "cpu"),
+                    Segment::on(psp_a, Nanos::from_nanos(200 + rng.next_below(800)), "psp"),
+                ],
+                // 10%: warm invoke (pure cpu).
+                _ => vec![Segment::on(
+                    cpu_a,
+                    Nanos::from_nanos(300 + rng.next_below(700)),
+                    "cpu",
+                )],
+            };
+            Job::released_at(release, segments)
+        })
+        .collect()
+}
+
+fn checksum(outcomes: &[JobOutcome]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for o in outcomes {
+        for v in [
+            o.job as u64,
+            o.release.as_nanos(),
+            o.finish.as_nanos(),
+            o.queued.as_nanos(),
+        ] {
+            acc = (acc ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    acc
+}
+
+/// Runs the DES microbench: the same workload through both engines,
+/// `cfg.iters` times each, keeping the minimum wall-clock per engine.
+pub fn des_perf(cfg: PerfConfig) -> DesPerf {
+    let jobs = build_workload(cfg);
+    let events: u64 = jobs.iter().map(|j| 1 + j.segments.len() as u64).sum();
+
+    let mut calendar_secs = f64::INFINITY;
+    let mut heap_secs = f64::INFINITY;
+    let mut engines_agree = true;
+    let mut outcome_checksum = 0u64;
+    for _ in 0..cfg.iters.max(1) {
+        let (mut cal, mut heap) = fresh_engines();
+        // Clone outside the timed regions: both engines consume an
+        // identical, pre-built job vec, so neither is charged for the
+        // allocator work of building it.
+        let jobs_for_cal = jobs.clone();
+        let jobs_for_heap = jobs.clone();
+
+        let start = Instant::now();
+        let fast = cal.run(jobs_for_cal);
+        calendar_secs = calendar_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let slow = heap.run(jobs_for_heap);
+        heap_secs = heap_secs.min(start.elapsed().as_secs_f64());
+
+        engines_agree &= fast == slow;
+        outcome_checksum = checksum(&fast);
+    }
+
+    DesPerf {
+        jobs: jobs.len() as u64,
+        events,
+        calendar_secs,
+        heap_secs,
+        outcome_checksum,
+        engines_agree,
+    }
+}
+
+/// Result of the measurement-path microbench.
+#[derive(Debug, Clone)]
+pub struct HashPerf {
+    /// Pages measured.
+    pub pages: u64,
+    /// Bytes in the measured image.
+    pub bytes: u64,
+    /// Pages dirtied before the incremental re-measure.
+    pub dirty: u64,
+    /// Wall-clock of the full chain measurement.
+    pub full_secs: f64,
+    /// Wall-clock of the incremental re-measure (dirty suffix only).
+    pub incremental_secs: f64,
+    /// Wall-clock of the warm two-level paged re-measure.
+    pub paged_warm_secs: f64,
+    /// Full-chain digest (hex; deterministic, replay-gated).
+    pub full_digest_hex: String,
+    /// Whether the incremental digest equals the full re-hash.
+    pub incremental_matches_full: bool,
+    /// Page-digest cache hits during the warm paged measure.
+    pub paged_cache_hits: u64,
+}
+
+impl HashPerf {
+    /// MB/s of the full-chain measurement (the PSP-model hot loop).
+    pub fn full_mb_per_sec(&self) -> f64 {
+        self.bytes as f64 / 1e6 / self.full_secs
+    }
+
+    /// Effective MB/s of the incremental re-measure, counted over the whole
+    /// image it re-validated (the §6.2 payoff metric).
+    pub fn incremental_mb_per_sec(&self) -> f64 {
+        self.bytes as f64 / 1e6 / self.incremental_secs
+    }
+
+    /// Effective MB/s of the warm paged re-measure.
+    pub fn paged_warm_mb_per_sec(&self) -> f64 {
+        self.bytes as f64 / 1e6 / self.paged_warm_secs
+    }
+}
+
+fn refs(pages: &[[u8; 4096]]) -> Vec<PageRef<'_>> {
+    pages
+        .iter()
+        .enumerate()
+        .map(|(i, data)| PageRef {
+            gpa: i as u64 * 4096,
+            page_type: PageType::Normal,
+            data,
+        })
+        .collect()
+}
+
+fn hex48(d: &[u8; 48]) -> String {
+    let mut s = String::with_capacity(96);
+    for b in d {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Runs the measurement microbench: full chain vs incremental vs paged.
+pub fn hash_perf(cfg: PerfConfig) -> HashPerf {
+    let mut rng = XorShift64::new(cfg.seed ^ 0xda7a);
+    let mut pages: Vec<[u8; 4096]> = (0..cfg.pages)
+        .map(|_| {
+            let mut p = [0u8; 4096];
+            for chunk in p.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+            }
+            p
+        })
+        .collect();
+    let dirty = cfg.dirty.min(cfg.pages);
+
+    // Full chain over the clean image.
+    let start = Instant::now();
+    let mut chain = MeasurementChain::new();
+    for r in refs(&pages) {
+        chain.add_page(r.gpa, r.data);
+    }
+    let full_secs = start.elapsed().as_secs_f64();
+    let full_digest = chain.finalize();
+
+    // Incremental: prime on the clean image, dirty the tail (boot params /
+    // CPUID pages in a template hit), re-measure.
+    let mut inc = IncrementalChain::new();
+    inc.measure(&refs(&pages));
+    // Paged: prime the content cache on the clean image too.
+    let mut cache = PageDigestCache::new();
+    paged_measure(&refs(&pages), &mut cache);
+
+    for p in pages.iter_mut().rev().take(dirty) {
+        p[0] = p[0].wrapping_add(1);
+        p[4095] ^= 0x5a;
+    }
+
+    let start = Instant::now();
+    let inc_digest = inc.measure(&refs(&pages));
+    let incremental_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    paged_measure(&refs(&pages), &mut cache);
+    let paged_warm_secs = start.elapsed().as_secs_f64();
+
+    // The incremental digest must equal a from-scratch chain of the dirtied
+    // image.
+    let mut verify = MeasurementChain::new();
+    for r in refs(&pages) {
+        verify.add_page(r.gpa, r.data);
+    }
+
+    HashPerf {
+        pages: cfg.pages as u64,
+        bytes: cfg.pages as u64 * 4096,
+        dirty: dirty as u64,
+        full_secs,
+        incremental_secs,
+        paged_warm_secs,
+        full_digest_hex: hex48(&full_digest),
+        incremental_matches_full: inc_digest == verify.finalize(),
+        paged_cache_hits: cache.hits(),
+    }
+}
+
+/// One full perf sweep: both microbenches.
+#[derive(Debug, Clone)]
+pub struct PerfSweep {
+    /// The config it ran under.
+    pub cfg: PerfConfig,
+    /// DES engine results.
+    pub des: DesPerf,
+    /// Measurement-path results.
+    pub hash: HashPerf,
+}
+
+/// Runs the whole sweep.
+pub fn run_sweep(cfg: PerfConfig) -> PerfSweep {
+    PerfSweep {
+        cfg,
+        des: des_perf(cfg),
+        hash: hash_perf(cfg),
+    }
+}
+
+impl PerfSweep {
+    /// The unified wall-clock snapshot (`BENCH_perf.json`).
+    pub fn snapshot(&self) -> crate::BenchSnapshot {
+        crate::BenchSnapshot::new("perf", self.cfg.seed)
+            .count("des_jobs", self.des.jobs)
+            .count("des_events", self.des.events)
+            .count("pages", self.hash.pages)
+            .count("dirty_pages", self.hash.dirty)
+            .wall(
+                self.des.calendar_secs
+                    + self.des.heap_secs
+                    + self.hash.full_secs
+                    + self.hash.incremental_secs
+                    + self.hash.paged_warm_secs,
+            )
+            .rate("wall_us_per_simulated_request", self.des.us_per_request())
+            .rate(
+                "wall_us_per_simulated_request_heap",
+                self.des.us_per_request_heap(),
+            )
+            .rate("des_speedup", self.des.speedup())
+            .rate("des_events_per_sec", self.des.events_per_sec())
+            .rate("hashed_mb_per_sec_full", self.hash.full_mb_per_sec())
+            .rate(
+                "hashed_mb_per_sec_incremental",
+                self.hash.incremental_mb_per_sec(),
+            )
+            .rate(
+                "hashed_mb_per_sec_paged_warm",
+                self.hash.paged_warm_mb_per_sec(),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PerfConfig {
+        PerfConfig {
+            jobs: 500,
+            pages: 16,
+            dirty: 3,
+            iters: 1,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn des_perf_engines_agree_and_checksum_is_stable() {
+        let a = des_perf(tiny());
+        let b = des_perf(tiny());
+        assert!(a.engines_agree);
+        assert_eq!(a.outcome_checksum, b.outcome_checksum);
+        assert_eq!(a.jobs, 500);
+        assert!(a.events > a.jobs);
+    }
+
+    #[test]
+    fn hash_perf_incremental_is_exact() {
+        let h = hash_perf(tiny());
+        assert!(h.incremental_matches_full);
+        assert_eq!(h.pages, 16);
+        assert_eq!(h.dirty, 3);
+        // Warm paged measure re-hashes only the dirty pages: the clean ones
+        // all hit the cache.
+        assert_eq!(h.paged_cache_hits, 16 - 3);
+        assert_eq!(h.full_digest_hex.len(), 96);
+        // Digest is deterministic in the seed.
+        assert_eq!(h.full_digest_hex, hash_perf(tiny()).full_digest_hex);
+    }
+
+    #[test]
+    fn snapshot_carries_the_gated_rates() {
+        let sweep = run_sweep(tiny());
+        let text = sweep.snapshot().render();
+        assert!(text.contains("wall_us_per_simulated_request"));
+        assert!(text.contains("hashed_mb_per_sec_full"));
+        assert!(text.contains("des_speedup"));
+    }
+}

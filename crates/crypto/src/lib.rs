@@ -49,7 +49,7 @@ pub use bigint::BigUint;
 pub use ctr::AesCtr;
 pub use dh::{DhKeyPair, DhPublicKey, DhSharedSecret};
 pub use hmac::{hmac_sha256, hmac_sha384};
-pub use sha2::{sha256, sha384, sha512, Sha256, Sha384, Sha512};
+pub use sha2::{sha256, sha384, sha384_batch, sha384_x4, sha512, Sha256, Sha384, Sha512};
 pub use xex::XexCipher;
 
 /// A 256-bit digest produced by [`Sha256`].

@@ -150,20 +150,20 @@ impl Sha256 {
             self.buffer_len += take;
             data = &data[take..];
             if self.buffer_len == 64 {
-                let block = self.buffer;
-                self.compress(&block);
+                compress256(&mut self.state, &self.buffer);
                 self.buffer_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
+        // Aligned input compresses straight from the caller's slice — no
+        // staging copy per block.
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            compress256(&mut self.state, block.try_into().expect("64-byte chunk"));
         }
-        if !data.is_empty() {
-            self.buffer[..data.len()].copy_from_slice(data);
-            self.buffer_len = data.len();
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffer_len = rest.len();
         }
     }
 
@@ -177,58 +177,58 @@ impl Sha256 {
         }
         let mut block = self.buffer;
         block[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        self.compress(&block);
+        compress256(&mut self.state, &block);
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
         out
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let k = sha256_k();
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(k[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+fn compress256(state: &mut [u32; 8], block: &[u8; 64]) {
+    let k = sha256_k();
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
     }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(k[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 /// Core SHA-512 family state (SHA-512 and SHA-384 differ only in the IV and
@@ -260,20 +260,21 @@ impl Sha512Core {
             self.buffer_len += take;
             data = &data[take..];
             if self.buffer_len == 128 {
-                let block = self.buffer;
-                self.compress(&block);
+                compress512(&mut self.state, &self.buffer);
                 self.buffer_len = 0;
             }
         }
-        while data.len() >= 128 {
-            let mut block = [0u8; 128];
-            block.copy_from_slice(&data[..128]);
-            self.compress(&block);
-            data = &data[128..];
+        // Aligned input compresses straight from the caller's slice — no
+        // staging copy per block. On the measurement path (one 4 KiB page
+        // per update) this removes 32 × 128-byte copies per page.
+        let mut chunks = data.chunks_exact(128);
+        for block in &mut chunks {
+            compress512(&mut self.state, block.try_into().expect("128-byte chunk"));
         }
-        if !data.is_empty() {
-            self.buffer[..data.len()].copy_from_slice(data);
-            self.buffer_len = data.len();
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffer_len = rest.len();
         }
     }
 
@@ -285,56 +286,206 @@ impl Sha512Core {
         }
         let mut block = self.buffer;
         block[112..128].copy_from_slice(&bit_len.to_be_bytes());
-        self.compress(&block);
+        compress512(&mut self.state, &block);
         self.state
     }
+}
 
-    fn compress(&mut self, block: &[u8; 128]) {
-        let k = sha512_k();
-        let mut w = [0u64; 80];
+fn compress512(state: &mut [u64; 8], block: &[u8; 128]) {
+    let k = sha512_k();
+    let mut w = [0u64; 80];
+    for (i, chunk) in block.chunks_exact(8).enumerate() {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(chunk);
+        w[i] = u64::from_be_bytes(bytes);
+    }
+    for i in 16..80 {
+        let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+        let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..80 {
+        let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+        let ch = (e & f) ^ ((!e) & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(k[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Lanes processed together by the multi-buffer compressor. Four 64-bit
+/// lanes fill a 256-bit vector register; the per-round loops below are
+/// written lane-innermost so the compiler can autovectorize them.
+const LANES: usize = 4;
+
+/// Compresses one 128-byte block into each of four independent SHA-512
+/// states. The message schedule and round state are kept transposed
+/// (`[round][lane]`) so each line of the round function is four independent
+/// u64 operations.
+fn compress512x4(states: &mut [[u64; 8]; LANES], blocks: [&[u8; 128]; LANES]) {
+    let k = sha512_k();
+    let mut w = [[0u64; LANES]; 80];
+    for (l, block) in blocks.iter().enumerate() {
         for (i, chunk) in block.chunks_exact(8).enumerate() {
             let mut bytes = [0u8; 8];
             bytes.copy_from_slice(chunk);
-            w[i] = u64::from_be_bytes(bytes);
+            w[i][l] = u64::from_be_bytes(bytes);
         }
-        for i in 16..80 {
-            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
-            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
-            w[i] = w[i - 16]
+    }
+    for i in 16..80 {
+        let mut row = [0u64; LANES];
+        for (l, slot) in row.iter_mut().enumerate() {
+            let w15 = w[i - 15][l];
+            let w2 = w[i - 2][l];
+            let s0 = w15.rotate_right(1) ^ w15.rotate_right(8) ^ (w15 >> 7);
+            let s1 = w2.rotate_right(19) ^ w2.rotate_right(61) ^ (w2 >> 6);
+            *slot = w[i - 16][l]
                 .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
+                .wrapping_add(w[i - 7][l])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..80 {
-            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
+        w[i] = row;
+    }
+    let mut v = [[0u64; LANES]; 8];
+    for (j, row) in v.iter_mut().enumerate() {
+        for l in 0..LANES {
+            row[l] = states[l][j];
+        }
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = v;
+    for i in 0..80 {
+        for l in 0..LANES {
+            let s1 = e[l].rotate_right(14) ^ e[l].rotate_right(18) ^ e[l].rotate_right(41);
+            let ch = (e[l] & f[l]) ^ ((!e[l]) & g[l]);
+            let t1 = h[l]
                 .wrapping_add(s1)
                 .wrapping_add(ch)
                 .wrapping_add(k[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
+                .wrapping_add(w[i][l]);
+            let s0 = a[l].rotate_right(28) ^ a[l].rotate_right(34) ^ a[l].rotate_right(39);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
             let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+            h[l] = g[l];
+            g[l] = f[l];
+            f[l] = e[l];
+            e[l] = d[l].wrapping_add(t1);
+            d[l] = c[l];
+            c[l] = b[l];
+            b[l] = a[l];
+            a[l] = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
     }
+    let rows = [a, b, c, d, e, f, g, h];
+    for (j, row) in rows.iter().enumerate() {
+        for l in 0..LANES {
+            states[l][j] = states[l][j].wrapping_add(row[l]);
+        }
+    }
+}
+
+/// SHA-384 over four equal-length messages at once through the multi-buffer
+/// compressor. Bit-exact with four scalar [`sha384`] calls.
+///
+/// # Panics
+///
+/// Panics unless all four messages have the same length (lanes must share
+/// one block schedule).
+pub fn sha384_x4(msgs: [&[u8]; LANES]) -> [[u8; 48]; LANES] {
+    let len = msgs[0].len();
+    assert!(
+        msgs.iter().all(|m| m.len() == len),
+        "multi-buffer lanes must have equal lengths"
+    );
+    let mut states = [*sha384_iv(); LANES];
+    let full = len / 128;
+    for b in 0..full {
+        compress512x4(
+            &mut states,
+            [
+                msgs[0][b * 128..(b + 1) * 128].try_into().expect("block"),
+                msgs[1][b * 128..(b + 1) * 128].try_into().expect("block"),
+                msgs[2][b * 128..(b + 1) * 128].try_into().expect("block"),
+                msgs[3][b * 128..(b + 1) * 128].try_into().expect("block"),
+            ],
+        );
+    }
+    // Padding tail: equal lengths mean every lane has the same tail shape
+    // (one block when the 0x80 + 16 length bytes fit, two otherwise).
+    let rem = len % 128;
+    let tail_blocks = if rem < 112 { 1 } else { 2 };
+    let bit_len = (len as u128).wrapping_mul(8);
+    let mut tails = [[0u8; 256]; LANES];
+    for (l, tail) in tails.iter_mut().enumerate() {
+        tail[..rem].copy_from_slice(&msgs[l][full * 128..]);
+        tail[rem] = 0x80;
+        let end = tail_blocks * 128;
+        tail[end - 16..end].copy_from_slice(&bit_len.to_be_bytes());
+    }
+    for b in 0..tail_blocks {
+        compress512x4(
+            &mut states,
+            [
+                tails[0][b * 128..(b + 1) * 128].try_into().expect("block"),
+                tails[1][b * 128..(b + 1) * 128].try_into().expect("block"),
+                tails[2][b * 128..(b + 1) * 128].try_into().expect("block"),
+                tails[3][b * 128..(b + 1) * 128].try_into().expect("block"),
+            ],
+        );
+    }
+    let mut out = [[0u8; 48]; LANES];
+    for (l, state) in states.iter().enumerate() {
+        for (i, word) in state.iter().take(6).enumerate() {
+            out[l][i * 8..i * 8 + 8].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// SHA-384 over a batch of messages. Runs of four equal-length messages go
+/// through the 4-lane multi-buffer path ([`sha384_x4`]); stragglers and
+/// mixed lengths fall back to the scalar hasher. Output order matches input
+/// order and every digest is bit-exact with [`sha384`].
+pub fn sha384_batch(msgs: &[&[u8]]) -> Vec<[u8; 48]> {
+    let mut out = Vec::with_capacity(msgs.len());
+    let mut i = 0;
+    while i < msgs.len() {
+        if i + LANES <= msgs.len() {
+            let len = msgs[i].len();
+            if msgs[i + 1..i + LANES].iter().all(|m| m.len() == len) {
+                out.extend_from_slice(&sha384_x4([msgs[i], msgs[i + 1], msgs[i + 2], msgs[i + 3]]));
+                i += LANES;
+                continue;
+            }
+        }
+        out.push(sha384(msgs[i]));
+        i += 1;
+    }
+    out
 }
 
 /// Streaming SHA-512 hasher.
@@ -538,6 +689,45 @@ mod tests {
             h.update(&data[split..]);
             assert_eq!(h.finalize(), sha384(&data), "sha384 split at {split}");
         }
+    }
+
+    #[test]
+    fn multi_buffer_matches_scalar_across_lengths() {
+        // Cover both tail shapes (1 and 2 padding blocks), the empty
+        // message, exact block multiples, and the measurement-path length
+        // (48 + 4096 + 8 + 1 and 4096 + 8 + 1).
+        for len in [0usize, 1, 111, 112, 127, 128, 129, 255, 256, 4105, 4153] {
+            let msgs: Vec<Vec<u8>> = (0..4u8)
+                .map(|l| {
+                    (0..len)
+                        .map(|i| (i as u8).wrapping_mul(3).wrapping_add(l))
+                        .collect()
+                })
+                .collect();
+            let refs: [&[u8]; 4] = [&msgs[0], &msgs[1], &msgs[2], &msgs[3]];
+            let wide = sha384_x4(refs);
+            for l in 0..4 {
+                assert_eq!(wide[l], sha384(refs[l]), "len {len} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_mixed_lengths_and_stragglers() {
+        let msgs: Vec<Vec<u8>> = (0..11usize).map(|i| vec![i as u8; i * 37]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let out = sha384_batch(&refs);
+        assert_eq!(out.len(), refs.len());
+        for (i, d) in out.iter().enumerate() {
+            assert_eq!(*d, sha384(refs[i]), "msg {i}");
+        }
+        // Equal-length batch exercises the wide path end to end.
+        let eq: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 4105]).collect();
+        let eq_refs: Vec<&[u8]> = eq.iter().map(|m| m.as_slice()).collect();
+        for (i, d) in sha384_batch(&eq_refs).iter().enumerate() {
+            assert_eq!(*d, sha384(eq_refs[i]), "eq msg {i}");
+        }
+        assert!(sha384_batch(&[]).is_empty());
     }
 
     #[test]

@@ -129,14 +129,18 @@ impl Blueprint {
     }
 
     /// Converts the blueprint into a DES job released at `release`.
+    ///
+    /// Segment labels are static class names, not the blueprint label: the
+    /// engine never reads them, and this runs once per dispatched request —
+    /// a per-segment `String` clone here was the fleet's hottest allocation.
     pub fn to_job(&self, release: Nanos, cpu: ResourceId, psp: ResourceId) -> Job {
         let segments = self
             .steps
             .iter()
             .map(|step| match step.class {
-                ResourceClass::Psp => Segment::on(psp, step.duration, self.label.clone()),
-                ResourceClass::HostCpu => Segment::on(cpu, step.duration, self.label.clone()),
-                ResourceClass::Network => Segment::delay(step.duration, self.label.clone()),
+                ResourceClass::Psp => Segment::on(psp, step.duration, "psp"),
+                ResourceClass::HostCpu => Segment::on(cpu, step.duration, "cpu"),
+                ResourceClass::Network => Segment::delay(step.duration, "net"),
             })
             .collect();
         Job::released_at(release, segments)

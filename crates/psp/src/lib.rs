@@ -46,6 +46,9 @@ mod template;
 
 pub use error::PspError;
 pub use launch::{CommandRecord, FinishOutcome, GuestHandle, LaunchOutcome, Psp, PspWork};
-pub use measurement::{measure_region, MeasurementChain, PageType};
+pub use measurement::{
+    measure_region, paged_measure, IncrementalChain, MeasurementChain, PageDigestCache, PageRef,
+    PageType,
+};
 pub use report::{AmdRootRegistry, AttestationReport, ChipIdentity, GuestPolicy};
 pub use template::TemplateKey;

@@ -9,17 +9,49 @@
 //!
 //! Scheduling is FIFO per resource with deterministic tie-breaking by job
 //! arrival order, so results are exactly reproducible.
+//!
+//! # Engine internals (the raw-speed pass)
+//!
+//! The event scheduler is an indexed calendar queue
+//! ([`crate::calendar::CalendarQueue`]) instead of a binary heap: pushes into
+//! the active window are O(1) and only the bucket being drained is ever
+//! sorted. Job segments are flattened into one arena of `(resource,
+//! duration)` pairs at submission, so the inner loop walks a flat `Vec`
+//! instead of chasing per-job `Vec<Segment>` allocations, and [`Segment`]
+//! labels are `Cow<'static, str>` so the common static-label case allocates
+//! nothing per dispatch. [`DesEngine::run`] skips occupancy-trace collection
+//! entirely — callers that need utilization accounting use
+//! [`DesEngine::run_traced`] / [`DesEngine::run_dynamic`].
+//!
+//! The pre-calendar heap implementation survives as
+//! [`crate::reference::HeapEngine`]; `tests/engine_equivalence.rs` proves the
+//! two produce identical outcomes (including tie-breaking order) on seeded
+//! random job sets, and the `perf_sweep` bench arm times them against each
+//! other.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::fmt;
 
+use crate::calendar::{CalEvent, CalendarQueue};
 use crate::time::Nanos;
 
 /// Identifies a resource registered with a [`DesEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceId(usize);
+
+impl ResourceId {
+    /// Builds an id from a raw index (crate-internal; used by the reference
+    /// engine so both engines hand out identical ids).
+    pub(crate) fn from_index(index: usize) -> Self {
+        ResourceId(index)
+    }
+
+    /// Raw index of this id.
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// One step of a job: `duration` of work on `resource` (or a pure delay when
 /// `resource` is `None`).
@@ -29,13 +61,14 @@ pub struct Segment {
     pub resource: Option<ResourceId>,
     /// Amount of virtual time the segment takes once running.
     pub duration: Nanos,
-    /// Label for reports.
-    pub label: String,
+    /// Label for reports. `Cow` so the common static-label case is
+    /// allocation-free on the dispatch path.
+    pub label: Cow<'static, str>,
 }
 
 impl Segment {
     /// Creates a resource-bound segment.
-    pub fn on(resource: ResourceId, duration: Nanos, label: impl Into<String>) -> Self {
+    pub fn on(resource: ResourceId, duration: Nanos, label: impl Into<Cow<'static, str>>) -> Self {
         Segment {
             resource: Some(resource),
             duration,
@@ -44,7 +77,7 @@ impl Segment {
     }
 
     /// Creates a pure-delay segment.
-    pub fn delay(duration: Nanos, label: impl Into<String>) -> Self {
+    pub fn delay(duration: Nanos, label: impl Into<Cow<'static, str>>) -> Self {
         Segment {
             resource: None,
             duration,
@@ -84,7 +117,7 @@ impl Job {
 }
 
 /// Completion record for one job.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobOutcome {
     /// Index of the job in the submitted batch.
     pub job: usize,
@@ -137,6 +170,16 @@ impl RunTrace {
         self.makespan
     }
 
+    /// Records an occupancy (crate-internal; engines only).
+    pub(crate) fn push_entry(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Sets the makespan (crate-internal; engines only).
+    pub(crate) fn set_makespan(&mut self, makespan: Nanos) {
+        self.makespan = makespan;
+    }
+
     /// Total busy time accumulated on `resource` across all its slots.
     pub fn busy_time(&self, resource: ResourceId) -> Nanos {
         self.entries
@@ -182,8 +225,46 @@ struct Resource {
     name: String,
     capacity: usize,
     busy: usize,
-    waiting: VecDeque<usize>, // job indices
+    waiting: VecDeque<u32>, // job indices
 }
+
+/// Arena form of a segment: just what the scheduler needs, flat in memory.
+/// `resource == DELAY` marks a pure delay.
+#[derive(Debug, Clone, Copy)]
+struct SegLite {
+    resource: u32,
+    duration: Nanos,
+}
+
+const DELAY: u32 = u32::MAX;
+
+/// Sentinel for "not currently queued".
+const NOT_QUEUED: Nanos = Nanos::from_nanos(u64::MAX);
+
+/// Per-job scheduler state, struct-of-everything so the hot loop touches one
+/// cache line per job instead of five parallel `Vec`s.
+#[derive(Debug, Clone, Copy)]
+struct JobState {
+    /// Arena index of the segment the job is currently on (or about to
+    /// start); advances to `seg_hi` as segments complete.
+    cursor: u32,
+    /// One past the job's last arena segment.
+    seg_hi: u32,
+    /// Release time the job was submitted with.
+    release: Nanos,
+    /// Instant the job entered a resource queue (`NOT_QUEUED` when running).
+    queued_since: Nanos,
+    /// Accumulated queue wait.
+    queued_total: Nanos,
+    /// Completion instant (valid once `done`).
+    finish: Nanos,
+    /// Whether the job has completed.
+    done: bool,
+}
+
+/// Event payloads pack `(job index << 1) | kind`; kind 0 = release,
+/// kind 1 = segment-done.
+const KIND_SEGMENT_DONE: u64 = 1;
 
 /// The discrete-event engine.
 ///
@@ -204,12 +285,6 @@ struct Resource {
 #[derive(Debug, Default)]
 pub struct DesEngine {
     resources: Vec<Resource>,
-}
-
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum EventKind {
-    Release,
-    SegmentDone,
 }
 
 impl DesEngine {
@@ -245,14 +320,15 @@ impl DesEngine {
     }
 
     /// Runs a batch of jobs to completion and returns their outcomes in job
-    /// order.
+    /// order. Skips occupancy-trace collection entirely; use
+    /// [`DesEngine::run_traced`] when utilization accounting is needed.
     ///
     /// # Panics
     ///
     /// Panics if a segment references a resource not registered with this
     /// engine.
     pub fn run(&mut self, jobs: Vec<Job>) -> Vec<JobOutcome> {
-        self.run_traced(jobs).0
+        self.run_inner(jobs, |_, _| {}, false).0
     }
 
     /// Like [`DesEngine::run`], but also returns the resource-occupancy
@@ -278,161 +354,184 @@ impl DesEngine {
     pub fn run_dynamic(
         &mut self,
         jobs: Vec<Job>,
+        on_complete: impl FnMut(&JobOutcome, &mut Vec<Job>),
+    ) -> (Vec<JobOutcome>, RunTrace) {
+        self.run_inner(jobs, on_complete, true)
+    }
+
+    /// The engine loop. Event order is exactly `(time, seq)` — identical to
+    /// the heap reference engine — so every downstream byte-diff replay gate
+    /// holds across the scheduler swap.
+    fn run_inner(
+        &mut self,
+        jobs: Vec<Job>,
         mut on_complete: impl FnMut(&JobOutcome, &mut Vec<Job>),
+        collect_trace: bool,
     ) -> (Vec<JobOutcome>, RunTrace) {
         for r in &mut self.resources {
             r.busy = 0;
             r.waiting.clear();
         }
-        let mut jobs = jobs;
-        let mut next_segment = vec![0usize; jobs.len()];
-        let mut queued_since = vec![None::<Nanos>; jobs.len()];
-        let mut queued_total = vec![Nanos::ZERO; jobs.len()];
-        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        let mut arena: Vec<SegLite> = Vec::new();
+        let mut states: Vec<JobState> = Vec::with_capacity(jobs.len());
         let mut trace = RunTrace::default();
-
-        // (time, sequence, job, kind); sequence keeps ordering deterministic.
-        let mut calendar: BinaryHeap<Reverse<(Nanos, u64, usize, EventKind)>> = BinaryHeap::new();
+        let mut queue = CalendarQueue::new();
         let mut seq = 0u64;
-        for (i, job) in jobs.iter().enumerate() {
-            calendar.push(Reverse((job.release, seq, i, EventKind::Release)));
-            seq += 1;
+        // Reused across completions so dynamic injection is allocation-free
+        // in the steady state.
+        let mut injected: Vec<Job> = Vec::new();
+
+        for job in jobs {
+            admit(job, &mut arena, &mut states, &mut queue, &mut seq);
         }
 
-        while let Some(Reverse((now, _, job_idx, kind))) = calendar.pop() {
-            if kind == EventKind::SegmentDone {
-                let seg_idx = next_segment[job_idx];
-                let segment = &jobs[job_idx].segments[seg_idx];
-                if let Some(rid) = segment.resource {
-                    let resource = &mut self.resources[rid.0];
+        while let Some(ev) = queue.pop() {
+            let now = ev.time;
+            let job_idx = (ev.payload >> 1) as usize;
+            if ev.payload & 1 == KIND_SEGMENT_DONE {
+                let seg = arena[states[job_idx].cursor as usize];
+                if seg.resource != DELAY {
+                    let resource = &mut self.resources[seg.resource as usize];
                     resource.busy -= 1;
                     // Wake the longest-waiting job for this resource.
                     if let Some(waiter) = resource.waiting.pop_front() {
+                        let waiter = waiter as usize;
                         resource.busy += 1;
-                        if let Some(since) = queued_since[waiter].take() {
-                            queued_total[waiter] += now - since;
+                        let ws = &mut states[waiter];
+                        if ws.queued_since != NOT_QUEUED {
+                            ws.queued_total += now - ws.queued_since;
+                            ws.queued_since = NOT_QUEUED;
                         }
-                        let dur = jobs[waiter].segments[next_segment[waiter]].duration;
-                        trace.entries.push(TraceEntry {
-                            resource: rid,
-                            job: waiter,
-                            start: now,
-                            end: now + dur,
+                        let dur = arena[ws.cursor as usize].duration;
+                        if collect_trace {
+                            trace.entries.push(TraceEntry {
+                                resource: ResourceId(seg.resource as usize),
+                                job: waiter,
+                                start: now,
+                                end: now + dur,
+                            });
+                        }
+                        queue.push(CalEvent {
+                            time: now + dur,
+                            seq,
+                            payload: ((waiter as u64) << 1) | KIND_SEGMENT_DONE,
                         });
-                        calendar.push(Reverse((now + dur, seq, waiter, EventKind::SegmentDone)));
                         seq += 1;
                     }
                 }
-                next_segment[job_idx] += 1;
+                states[job_idx].cursor += 1;
             }
-            let completed = self.start_next_segment(
-                now,
-                job_idx,
-                &jobs,
-                &mut next_segment,
-                &mut queued_since,
-                &queued_total,
-                &mut calendar,
-                &mut seq,
-                &mut outcomes,
-                &mut trace,
-            );
-            if completed {
+
+            // Start the job's next segment, or complete it.
+            let st = states[job_idx];
+            if st.cursor == st.seg_hi {
+                let s = &mut states[job_idx];
+                s.finish = now;
+                s.done = true;
                 if now > trace.makespan {
                     trace.makespan = now;
                 }
-                let outcome = outcomes[job_idx].clone().expect("just completed");
-                let mut injected = Vec::new();
+                let outcome = JobOutcome {
+                    job: job_idx,
+                    release: st.release,
+                    finish: now,
+                    queued: st.queued_total,
+                };
                 on_complete(&outcome, &mut injected);
-                for mut job in injected {
+                for mut job in injected.drain(..) {
                     if job.release < now {
                         job.release = now;
                     }
-                    let idx = jobs.len();
-                    calendar.push(Reverse((job.release, seq, idx, EventKind::Release)));
-                    seq += 1;
-                    jobs.push(job);
-                    next_segment.push(0);
-                    queued_since.push(None);
-                    queued_total.push(Nanos::ZERO);
-                    outcomes.push(None);
+                    admit(job, &mut arena, &mut states, &mut queue, &mut seq);
                 }
+                continue;
             }
-        }
-
-        let outcomes = outcomes
-            .into_iter()
-            .map(|o| o.expect("all jobs completed"))
-            .collect();
-        (outcomes, trace)
-    }
-
-    /// Starts the job's next segment (or records its completion when none
-    /// remain). Returns `true` if the job just completed.
-    #[allow(clippy::too_many_arguments)]
-    fn start_next_segment(
-        &mut self,
-        now: Nanos,
-        job_idx: usize,
-        jobs: &[Job],
-        next_segment: &mut [usize],
-        queued_since: &mut [Option<Nanos>],
-        queued_total: &[Nanos],
-        calendar: &mut BinaryHeap<Reverse<(Nanos, u64, usize, EventKind)>>,
-        seq: &mut u64,
-        outcomes: &mut [Option<JobOutcome>],
-        trace: &mut RunTrace,
-    ) -> bool {
-        let seg_idx = next_segment[job_idx];
-        let job = &jobs[job_idx];
-        if seg_idx >= job.segments.len() {
-            outcomes[job_idx] = Some(JobOutcome {
-                job: job_idx,
-                release: job.release,
-                finish: now,
-                queued: queued_total[job_idx],
-            });
-            return true;
-        }
-        let segment = &job.segments[seg_idx];
-        match segment.resource {
-            None => {
-                calendar.push(Reverse((
-                    now + segment.duration,
-                    *seq,
-                    job_idx,
-                    EventKind::SegmentDone,
-                )));
-                *seq += 1;
-            }
-            Some(rid) => {
+            let seg = arena[st.cursor as usize];
+            if seg.resource == DELAY {
+                queue.push(CalEvent {
+                    time: now + seg.duration,
+                    seq,
+                    payload: ((job_idx as u64) << 1) | KIND_SEGMENT_DONE,
+                });
+                seq += 1;
+            } else {
                 let resource = self
                     .resources
-                    .get_mut(rid.0)
+                    .get_mut(seg.resource as usize)
                     .expect("segment references unknown resource");
                 if resource.busy < resource.capacity {
                     resource.busy += 1;
-                    trace.entries.push(TraceEntry {
-                        resource: rid,
-                        job: job_idx,
-                        start: now,
-                        end: now + segment.duration,
+                    if collect_trace {
+                        trace.entries.push(TraceEntry {
+                            resource: ResourceId(seg.resource as usize),
+                            job: job_idx,
+                            start: now,
+                            end: now + seg.duration,
+                        });
+                    }
+                    queue.push(CalEvent {
+                        time: now + seg.duration,
+                        seq,
+                        payload: ((job_idx as u64) << 1) | KIND_SEGMENT_DONE,
                     });
-                    calendar.push(Reverse((
-                        now + segment.duration,
-                        *seq,
-                        job_idx,
-                        EventKind::SegmentDone,
-                    )));
-                    *seq += 1;
+                    seq += 1;
                 } else {
-                    resource.waiting.push_back(job_idx);
-                    queued_since[job_idx] = Some(now);
+                    resource.waiting.push_back(job_idx as u32);
+                    states[job_idx].queued_since = now;
                 }
             }
         }
-        false
+
+        let outcomes = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                assert!(s.done, "all jobs completed");
+                JobOutcome {
+                    job: i,
+                    release: s.release,
+                    finish: s.finish,
+                    queued: s.queued_total,
+                }
+            })
+            .collect();
+        (outcomes, trace)
     }
+}
+
+/// Flattens a job's segments into the arena, records its state, and
+/// schedules its release event.
+fn admit(
+    job: Job,
+    arena: &mut Vec<SegLite>,
+    states: &mut Vec<JobState>,
+    queue: &mut CalendarQueue,
+    seq: &mut u64,
+) {
+    let lo = arena.len() as u32;
+    for s in &job.segments {
+        arena.push(SegLite {
+            resource: s.resource.map_or(DELAY, |r| r.0 as u32),
+            duration: s.duration,
+        });
+    }
+    let idx = states.len();
+    debug_assert!(idx < u32::MAX as usize, "job count exceeds u32 index space");
+    states.push(JobState {
+        cursor: lo,
+        seg_hi: arena.len() as u32,
+        release: job.release,
+        queued_since: NOT_QUEUED,
+        queued_total: Nanos::ZERO,
+        finish: Nanos::ZERO,
+        done: false,
+    });
+    queue.push(CalEvent {
+        time: job.release,
+        seq: *seq,
+        payload: (idx as u64) << 1,
+    });
+    *seq += 1;
 }
 
 impl fmt::Display for ResourceId {
@@ -573,6 +672,30 @@ mod tests {
     }
 
     #[test]
+    fn untraced_run_matches_traced_outcomes() {
+        let build = || -> Vec<Job> {
+            (0..6)
+                .map(|i| {
+                    Job::released_at(
+                        Nanos::from_millis(i % 3),
+                        vec![
+                            Segment::delay(Nanos::from_millis(2), "net"),
+                            Segment::on(ResourceId(0), Nanos::from_millis(7 + i), "psp"),
+                        ],
+                    )
+                })
+                .collect()
+        };
+        let mut a = DesEngine::new();
+        a.add_resource("psp", 1);
+        let mut b = DesEngine::new();
+        b.add_resource("psp", 1);
+        let fast = a.run(build());
+        let (slow, _) = b.run_traced(build());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
     fn dynamic_injection_chains_jobs() {
         let mut engine = DesEngine::new();
         let cpu = engine.add_resource("cpu", 1);
@@ -649,5 +772,16 @@ mod tests {
         assert_eq!(job.service_time(), Nanos::from_millis(12));
         let outcomes = engine.run(vec![job]);
         assert_eq!(outcomes[0].finish, Nanos::from_millis(12));
+    }
+
+    #[test]
+    fn owned_labels_still_accepted() {
+        let mut engine = DesEngine::new();
+        let cpu = engine.add_resource("cpu", 1);
+        let label = format!("dispatch-{}", 7);
+        let job = Job::new(vec![Segment::on(cpu, Nanos::from_millis(1), label)]);
+        assert_eq!(job.segments[0].label, "dispatch-7");
+        let outcomes = engine.run(vec![job]);
+        assert_eq!(outcomes[0].finish, Nanos::from_millis(1));
     }
 }

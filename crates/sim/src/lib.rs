@@ -14,7 +14,9 @@
 //!   reproducing the instrumentation methodology of §6.1.
 //! * [`des`] — a discrete-event engine with FIFO resources, used for the
 //!   Fig. 12 concurrency experiment where every launch serializes on the
-//!   single-core PSP.
+//!   single-core PSP. Its scheduler is an indexed [`calendar`] queue; the
+//!   original heap engine survives in [`reference`] for differential tests
+//!   and as the perf baseline.
 //! * [`fault`] — seed-deterministic fault schedules (PSP firmware resets,
 //!   transient command failures, warm-guest crashes, flaky attestation) for
 //!   the chaos experiments.
@@ -35,9 +37,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod cost;
 pub mod des;
 pub mod fault;
+pub mod reference;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -26,9 +26,11 @@ pub fn boot_job(report: &BootReport, cpu: sevf_sim::ResourceId, psp: sevf_sim::R
         .spans()
         .iter()
         .map(|span| match span.class {
-            ResourceClass::Psp => Segment::on(psp, span.duration, span.label.clone()),
-            ResourceClass::HostCpu => Segment::on(cpu, span.duration, span.label.clone()),
-            ResourceClass::Network => Segment::delay(span.duration, span.label.clone()),
+            // Static labels: the engine never reads them, and cloning the
+            // span label per segment allocated on every replicated job.
+            ResourceClass::Psp => Segment::on(psp, span.duration, "psp"),
+            ResourceClass::HostCpu => Segment::on(cpu, span.duration, "cpu"),
+            ResourceClass::Network => Segment::delay(span.duration, "net"),
         })
         .collect();
     Job::new(segments)

@@ -28,6 +28,7 @@
 //! them). `--bench` instead prints wall-clock throughput JSON, which is
 //! machine-dependent and deliberately excluded from the replay gate.
 
+use sevf_bench::BenchSnapshot;
 use sevf_cluster::attsweep::{att_sweep, AttSweepConfig, AttSweepReport};
 
 fn main() {
@@ -47,7 +48,20 @@ fn main() {
         let elapsed = started.elapsed().as_secs_f64();
         let requests: usize = report.rows.iter().map(|r| r.completed).sum();
         let verifications: u64 = report.rows.iter().map(|r| r.verifications).sum();
-        println!("{}", render_bench(&cfg, requests, verifications, elapsed));
+        let snap = BenchSnapshot::new("attplane", cfg.seed)
+            .count("hosts", cfg.hosts as u64)
+            .count("requests_completed", requests as u64)
+            .count("verifications", verifications)
+            .wall(elapsed)
+            .rate(
+                "wall_us_per_request",
+                1e6 * elapsed / requests.max(1) as f64,
+            )
+            .rate(
+                "verifications_per_sec",
+                verifications as f64 / elapsed.max(1e-9),
+            );
+        println!("{}", snap.render());
         return;
     }
 
@@ -170,20 +184,4 @@ fn render_json(report: &AttSweepReport) -> String {
     }
     out.push_str("  ]\n}");
     out
-}
-
-/// Wall-clock throughput JSON for `BENCH_attplane.json`. Machine-dependent
-/// by design; never part of the byte-diff replay gate.
-fn render_bench(cfg: &AttSweepConfig, requests: usize, verifications: u64, secs: f64) -> String {
-    format!(
-        "{{\n  \"bench\": \"attplane\",\n  \"hosts\": {},\n  \"requests_completed\": {},\n  \
-         \"verifications\": {},\n  \"wall_secs\": {:.3},\n  \
-         \"wall_us_per_request\": {:.3},\n  \"verifications_per_sec\": {:.0}\n}}",
-        cfg.hosts,
-        requests,
-        verifications,
-        secs,
-        1e6 * secs / requests.max(1) as f64,
-        verifications as f64 / secs.max(1e-9)
-    )
 }

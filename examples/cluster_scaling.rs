@@ -23,18 +23,48 @@
 //!
 //! `--json` prints the full result as deterministic JSON: two runs with the
 //! same flags emit byte-identical output (the CI replay gate diffs them).
+//! `--bench` instead prints wall-clock throughput JSON, which is
+//! machine-dependent and deliberately excluded from the replay gate.
 
+use sevf_bench::BenchSnapshot;
 use sevf_cluster::experiment::{cluster_sweep, ClusterSweepConfig, ClusterSweepReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let bench = args.iter().any(|a| a == "--bench");
     let cfg = if quick {
         ClusterSweepConfig::quick()
     } else {
         ClusterSweepConfig::paper_cluster()
     };
+
+    if bench {
+        let started = std::time::Instant::now();
+        let report = cluster_sweep(&cfg).expect("cluster sweep");
+        let elapsed = started.elapsed().as_secs_f64();
+        let requests: u64 = report.rows.iter().map(|r| r.completed as u64).sum();
+        let failovers: u64 = report.rows.iter().map(|r| r.failovers).sum();
+        let hosts: u64 = report
+            .rows
+            .iter()
+            .map(|r| r.hosts as u64)
+            .max()
+            .unwrap_or(0);
+        let snap = BenchSnapshot::new("cluster", cfg.seed)
+            .count("hosts", hosts)
+            .count("requests_completed", requests)
+            .count("failovers", failovers)
+            .wall(elapsed)
+            .rate(
+                "wall_us_per_request",
+                1e6 * elapsed / requests.max(1) as f64,
+            );
+        println!("{}", snap.render());
+        return;
+    }
+
     let report = cluster_sweep(&cfg).expect("cluster sweep");
     for row in &report.rows {
         assert!(

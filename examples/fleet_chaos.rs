@@ -20,18 +20,43 @@
 //!
 //! `--json` prints the full result as deterministic JSON: two runs with the
 //! same flags emit byte-identical output (the CI replay gate diffs them).
+//! `--bench` instead prints wall-clock throughput JSON, which is
+//! machine-dependent and deliberately excluded from the replay gate.
 
+use sevf_bench::BenchSnapshot;
 use sevf_fleet::chaos::{chaos_sweep, ChaosConfig, ChaosReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let bench = args.iter().any(|a| a == "--bench");
     let cfg = if quick {
         ChaosConfig::quick()
     } else {
         ChaosConfig::paper_chaos()
     };
+
+    if bench {
+        let started = std::time::Instant::now();
+        let report = chaos_sweep(&cfg).expect("chaos sweep");
+        let elapsed = started.elapsed().as_secs_f64();
+        let requests: u64 = report.rows.iter().map(|r| r.completed as u64).sum();
+        let faults: u64 = report.rows.iter().map(|r| r.faults).sum();
+        let retries: u64 = report.rows.iter().map(|r| r.retries).sum();
+        let snap = BenchSnapshot::new("chaos", cfg.seed)
+            .count("requests_completed", requests)
+            .count("faults", faults)
+            .count("retries", retries)
+            .wall(elapsed)
+            .rate(
+                "wall_us_per_request",
+                1e6 * elapsed / requests.max(1) as f64,
+            );
+        println!("{}", snap.render());
+        return;
+    }
+
     let report = chaos_sweep(&cfg).expect("chaos sweep");
 
     if json {

@@ -29,6 +29,7 @@
 //! them). `--bench` instead prints wall-clock throughput JSON, which is
 //! machine-dependent and deliberately excluded from the replay gate.
 
+use sevf_bench::BenchSnapshot;
 use sevf_cluster::netsweep::{net_sweep, NetSweepConfig, NetSweepReport};
 
 fn main() {
@@ -52,7 +53,16 @@ fn main() {
             .iter()
             .map(|r| r.net_lost + r.net_nacks + r.stale_completions)
             .sum();
-        println!("{}", render_bench(&cfg, requests, messages, elapsed));
+        let snap = BenchSnapshot::new("net", cfg.seed)
+            .count("hosts", cfg.hosts as u64)
+            .count("requests_completed", requests as u64)
+            .count("net_events", messages)
+            .wall(elapsed)
+            .rate(
+                "wall_us_per_request",
+                1e6 * elapsed / requests.max(1) as f64,
+            );
+        println!("{}", snap.render());
         return;
     }
 
@@ -198,19 +208,4 @@ fn render_json(report: &NetSweepReport) -> String {
     }
     out.push_str("  ]\n}");
     out
-}
-
-/// Wall-clock throughput JSON for `BENCH_net.json`. Machine-dependent by
-/// design; never part of the byte-diff replay gate.
-fn render_bench(cfg: &NetSweepConfig, requests: usize, messages: u64, secs: f64) -> String {
-    format!(
-        "{{\n  \"bench\": \"net\",\n  \"hosts\": {},\n  \"requests_completed\": {},\n  \
-         \"net_events\": {},\n  \"wall_secs\": {:.3},\n  \
-         \"wall_us_per_request\": {:.3}\n}}",
-        cfg.hosts,
-        requests,
-        messages,
-        secs,
-        1e6 * secs / requests.max(1) as f64
-    )
 }
