@@ -14,6 +14,7 @@ use sevf_bench::{fmt_ms, mib, render_table, write_dumps, FigureDump, Json};
 use sevf_cluster::attsweep as att_exp;
 use sevf_cluster::experiment as cluster_exp;
 use sevf_cluster::netsweep as net_exp;
+use sevf_cluster::policysweep as policy_exp;
 use sevf_fleet::chaos as fleet_chaos;
 use sevf_fleet::experiment as fleet_exp;
 use sevf_sim::stats::cdf;
@@ -63,6 +64,10 @@ const FIGURES: &[(&str, &str)] = &[
     (
         "net",
         "partition tolerance: link faults, failure detection, leases, and a verifier blackout",
+    ),
+    (
+        "policy",
+        "multi-tenant QoS: FIFO vs weighted-fair PSP scheduling, quotas, posture placement",
     ),
     (
         "perf",
@@ -166,6 +171,7 @@ fn main() {
             "cluster" => cluster_table(&args.scale),
             "attplane" => attplane_table(&args.scale),
             "net" => net_table(&args.scale),
+            "policy" => policy_table(&args.scale),
             "trace" => trace_table(&args.scale),
             "perf" => perf_table(&args.scale),
             "headline" => headline(&args.scale),
@@ -1096,6 +1102,161 @@ fn net_table(scale: &ExperimentScale) -> FigureDump {
                 })
                 .collect(),
         ),
+    }
+}
+
+fn policy_table(scale: &ExperimentScale) -> FigureDump {
+    let cfg = if scale.kernel_div > 1 {
+        policy_exp::PolicySweepConfig::quick()
+    } else {
+        policy_exp::PolicySweepConfig::paper_policy()
+    };
+    let report = policy_exp::policy_sweep(&cfg).expect("policy sweep");
+    for arm in &report.arms {
+        assert!(
+            arm.conserved,
+            "policy conservation broke in arm {}",
+            arm.arm
+        );
+        if arm.posture {
+            assert_eq!(
+                arm.posture_violations, 0,
+                "a strict launch landed below its TCB floor"
+            );
+        }
+    }
+    for t in &report.tenants {
+        assert!(
+            t.conserved,
+            "per-tenant conservation broke for {}/{}",
+            t.arm, t.tenant
+        );
+    }
+    println!("\n=== Policy: multi-tenant QoS over the shared PSPs ===");
+    println!("(three tenants, one cluster: a premium latency-sensitive trickle, a");
+    println!(" quota-capped batch flood of heavyweight SNP classes, and a posture-");
+    println!(" strict tenant that refuses hosts below the patched TCB floor while a");
+    println!(" staggered firmware rollout sweeps the fleet. FIFO lets the flood");
+    println!(" queue ahead of the trickle; WFQ holds premium's tail without");
+    println!(" starving batch; posture placement keeps strict off old firmware)\n");
+    let table: Vec<Vec<String>> = report
+        .tenants
+        .iter()
+        .map(|t| {
+            vec![
+                t.arm.into(),
+                t.tenant.into(),
+                t.issued.to_string(),
+                t.completed.to_string(),
+                (t.shed + t.failed).to_string(),
+                t.rejected.to_string(),
+                t.timeouts.to_string(),
+                fmt_ms(t.p50_ms),
+                fmt_ms(t.p99_ms),
+                fmt_ms(t.deadline_ms),
+                if t.slo_met { "ok" } else { "MISS" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "arm", "tenant", "issued", "done", "shed", "rej", "t/o", "p50 ms", "p99 ms",
+                "target", "slo"
+            ],
+            &table
+        )
+    );
+    let arm_rows: Vec<Vec<String>> = report
+        .arms
+        .iter()
+        .map(|a| {
+            vec![
+                a.arm.into(),
+                a.scheduler.into(),
+                a.quotas.to_string(),
+                a.posture.to_string(),
+                a.completed.to_string(),
+                a.rejected.to_string(),
+                a.posture_checks.to_string(),
+                a.posture_violations.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "arm",
+                "sched",
+                "quotas",
+                "posture",
+                "done",
+                "rej",
+                "checks",
+                "violations"
+            ],
+            &arm_rows
+        )
+    );
+    FigureDump {
+        id: "policy".into(),
+        caption: "Multi-tenant QoS: FIFO vs WFQ scheduling with quotas and posture".into(),
+        data: Json::obj([
+            (
+                "arms",
+                Json::Arr(
+                    report
+                        .arms
+                        .iter()
+                        .map(|a| {
+                            Json::obj([
+                                ("arm", Json::from(a.arm)),
+                                ("scheduler", Json::from(a.scheduler)),
+                                ("quotas", Json::Bool(a.quotas)),
+                                ("posture", Json::Bool(a.posture)),
+                                ("completed", Json::from(a.completed)),
+                                ("lost", Json::from(a.lost)),
+                                ("rejected", Json::from(a.rejected)),
+                                ("p50_ms", Json::from(a.p50_ms)),
+                                ("p99_ms", Json::from(a.p99_ms)),
+                                ("posture_checks", Json::from(a.posture_checks)),
+                                ("posture_redirects", Json::from(a.posture_redirects)),
+                                ("posture_violations", Json::from(a.posture_violations)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "tenants",
+                Json::Arr(
+                    report
+                        .tenants
+                        .iter()
+                        .map(|t| {
+                            Json::obj([
+                                ("arm", Json::from(t.arm)),
+                                ("tenant", Json::from(t.tenant)),
+                                ("issued", Json::from(t.issued)),
+                                ("completed", Json::from(t.completed)),
+                                ("shed", Json::from(t.shed)),
+                                ("timeouts", Json::from(t.timeouts)),
+                                ("failed", Json::from(t.failed)),
+                                ("rejected", Json::from(t.rejected)),
+                                ("degraded", Json::from(t.degraded)),
+                                ("p50_ms", Json::from(t.p50_ms)),
+                                ("p99_ms", Json::from(t.p99_ms)),
+                                ("deadline_ms", Json::from(t.deadline_ms)),
+                                ("slo_met", Json::Bool(t.slo_met)),
+                                ("goodput_rps", Json::from(t.goodput_rps)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
     }
 }
 

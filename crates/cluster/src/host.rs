@@ -11,11 +11,12 @@
 
 use std::collections::BTreeSet;
 
-use sevf_fleet::admission::BoundedQueue;
+use sevf_fleet::admission::{BoundedQueue, Pending};
 use sevf_fleet::blueprint::LaunchCache;
 use sevf_fleet::metrics::FleetMetrics;
 use sevf_fleet::pool::WarmPool;
 use sevf_fleet::recovery::CircuitBreaker;
+use sevf_policy::WfqQueue;
 use sevf_sim::fault::FaultPlan;
 use sevf_sim::{Nanos, ResourceId};
 
@@ -32,8 +33,12 @@ pub struct Host {
     pub out: bool,
     /// Whether the host has gracefully left the cluster.
     pub departed: bool,
-    /// Bounded admission queue.
+    /// Bounded admission queue (FIFO; unused when [`Host::wfq`] is active).
     pub queue: BoundedQueue,
+    /// Per-tenant weighted-fair queue, when the cluster runs a
+    /// [`sevf_policy::Scheduler::Wfq`] policy. Replaces [`Host::queue`] in
+    /// front of this host's PSP.
+    pub wfq: Option<WfqQueue<Pending>>,
     /// §7.1 warm pool.
     pub pool: WarmPool,
     /// §6.2 content-addressed template cache. Dies with the host: an outage

@@ -44,6 +44,7 @@ pub mod host;
 pub mod metrics;
 pub mod netsweep;
 pub mod placement;
+pub mod policysweep;
 pub mod ring;
 pub mod service;
 pub mod tracedemo;
@@ -53,6 +54,7 @@ pub use experiment::{cluster_sweep, ClusterRow, ClusterSweepConfig, ClusterSweep
 pub use metrics::{ClusterMetrics, HostRollup};
 pub use netsweep::{net_sweep, NetRow, NetSweepConfig, NetSweepReport};
 pub use placement::{PlacementPolicy, Router};
+pub use policysweep::{policy_sweep, ArmRow, PolicySweepConfig, PolicySweepReport, TenantRow};
 pub use ring::HashRing;
 pub use service::{
     ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind, HostOutage,
@@ -77,6 +79,8 @@ pub enum ClusterError {
     AttPlane(sevf_attplane::AttPlaneError),
     /// The network model rejected its configuration.
     Net(sevf_net::NetError),
+    /// The multi-tenant policy engine rejected its configuration.
+    Policy(sevf_policy::PolicyError),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -88,6 +92,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Fleet(e) => write!(f, "fleet layer failed: {e}"),
             ClusterError::AttPlane(e) => write!(f, "attestation plane failed: {e}"),
             ClusterError::Net(e) => write!(f, "network model failed: {e}"),
+            ClusterError::Policy(e) => write!(f, "policy engine failed: {e}"),
         }
     }
 }
@@ -98,6 +103,7 @@ impl std::error::Error for ClusterError {
             ClusterError::Fleet(e) => Some(e),
             ClusterError::AttPlane(e) => Some(e),
             ClusterError::Net(e) => Some(e),
+            ClusterError::Policy(e) => Some(e),
             ClusterError::Config(_) | ClusterError::FaultPlan(_) | ClusterError::Recovery(_) => {
                 None
             }
@@ -123,6 +129,12 @@ impl From<sevf_net::NetError> for ClusterError {
     }
 }
 
+impl From<sevf_policy::PolicyError> for ClusterError {
+    fn from(e: sevf_policy::PolicyError) -> Self {
+        ClusterError::Policy(e)
+    }
+}
+
 /// The common imports for working with the cluster control plane.
 pub mod prelude {
     pub use crate::attsweep::{att_sweep, AttSweepConfig, AttSweepReport};
@@ -130,12 +142,14 @@ pub mod prelude {
     pub use crate::metrics::ClusterMetrics;
     pub use crate::netsweep::{net_sweep, NetSweepConfig, NetSweepReport};
     pub use crate::placement::PlacementPolicy;
+    pub use crate::policysweep::{policy_sweep, PolicySweepConfig, PolicySweepReport};
     pub use crate::service::{
         ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind, HostOutage,
         RevocationDrill, TcbRollout,
     };
     pub use crate::ClusterError;
     pub use sevf_fleet::service::ServingTier;
+    pub use sevf_policy::prelude::*;
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! hit-rate, and the conservation invariant every run must satisfy:
 //!
 //! ```text
-//! completed + shed + breaker_sheds + timeouts + failed == issued
+//! completed + shed + breaker_sheds + timeouts + failed + rejected == issued
 //! ```
 
 use sevf_fleet::metrics::FleetMetrics;
@@ -55,6 +55,9 @@ pub struct ClusterMetrics {
     pub timeouts: u64,
     /// Requests permanently failed after exhausting retries.
     pub failed: u64,
+    /// Requests the policy engine turned away at the router (quota,
+    /// isolation, or no posture-eligible host).
+    pub rejected: u64,
     /// Retry launches dispatched cluster-wide.
     pub retries: u64,
     /// Requests displaced off a dead or departing host and re-routed
@@ -88,6 +91,15 @@ pub struct ClusterMetrics {
     pub double_completion_attempts: u64,
     /// Injected-fault occurrences across all hosts.
     pub faults: u64,
+    /// Posture eligibility checks the policy filter ran (placement plus
+    /// dispatch-time re-checks).
+    pub posture_checks: u64,
+    /// Queued requests re-routed because their host's posture changed
+    /// between enqueue and pop.
+    pub posture_redirects: u64,
+    /// Launches dispatched onto a posture-ineligible host. The policy
+    /// filter plus the dispatch-time re-check must keep this at zero.
+    pub posture_violations: u64,
     /// Merged request latencies (ms), in completion order per host.
     pub latencies_ms: Vec<f64>,
     /// End of the last completion on the shared clock.
@@ -150,6 +162,7 @@ impl ClusterMetrics {
         reg.inc("cluster_breaker_sheds_total", self.breaker_sheds);
         reg.inc("cluster_timeouts_total", self.timeouts);
         reg.inc("cluster_failed_total", self.failed);
+        reg.inc("cluster_rejected_total", self.rejected);
         reg.inc("cluster_retries_total", self.retries);
         reg.inc("cluster_failovers_total", self.failovers);
         reg.inc("cluster_rebalances_total", self.rebalances);
@@ -166,6 +179,9 @@ impl ClusterMetrics {
             self.double_completion_attempts,
         );
         reg.inc("cluster_faults_total", self.faults);
+        reg.inc("cluster_posture_checks_total", self.posture_checks);
+        reg.inc("cluster_posture_redirects_total", self.posture_redirects);
+        reg.inc("cluster_posture_violations_total", self.posture_violations);
         reg.set_gauge("cluster_psp_skew", self.psp_skew());
         reg.set_gauge("cluster_cache_hit_rate", self.cache_hit_rate());
         reg.set_gauge("cluster_makespan_ms", self.makespan.as_millis_f64());
@@ -216,7 +232,7 @@ impl ClusterMetrics {
 
     /// Requests that left the system without completing.
     pub fn lost(&self) -> u64 {
-        self.shed + self.breaker_sheds + self.timeouts + self.failed
+        self.shed + self.breaker_sheds + self.timeouts + self.failed + self.rejected
     }
 
     /// The cluster conservation invariant: every issued request reaches

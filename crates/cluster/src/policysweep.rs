@@ -1,0 +1,480 @@
+//! The multi-tenant QoS experiment: one mixed workload, three policy arms.
+//!
+//! The workload is the collision the policy layer exists for: a **premium**
+//! latency-sensitive tenant trickling interactive launches, a **batch**
+//! tenant flooding the cluster with heavyweight (SNP-skewed) classes, and a
+//! **posture-strict** tenant that refuses any host below the patched TCB
+//! floor — while a staggered firmware rollout sweeps the fleet mid-run.
+//! All three tenants share the same hosts, the same PSPs, and the same
+//! arrival process; only the policy arm changes:
+//!
+//! * **fifo** — tenants are tagged and accounted but share one FIFO line
+//!   per PSP and nothing is enforced. The batch flood queues ahead of the
+//!   premium trickle, so premium p99 inflates past its deadline target:
+//!   the head-of-line-blocking baseline.
+//! * **wfq** — virtual-finish-time weighted-fair queueing over per-tenant
+//!   backlogs plus token-bucket quotas. Premium's weight buys it a
+//!   protected share of each PSP, so its p99 holds while batch keeps its
+//!   throughput (quota rejects replace queue sheds at saturation).
+//! * **wfq+posture** — full enforcement: WFQ + quotas + posture-aware
+//!   placement. The strict tenant is only ever placed on hosts at or above
+//!   its TCB floor — rejected outright while no such host exists, then
+//!   steered to patched hosts as the rollout lands. The run counts posture
+//!   violations (a launch dispatched onto an ineligible host); the
+//!   invariant is that this stays zero.
+//!
+//! Per-tenant conservation (`completed + shed + breaker_sheds + timeouts +
+//! failed + rejected == issued`) must hold for every tenant in every arm,
+//! and identical configs replay byte-identically (the CI replay gate diffs
+//! two `--quick --json` runs of `examples/tenant_qos.rs`).
+
+use sevf_attplane::AttPlaneConfig;
+use sevf_fleet::admission::AdmissionConfig;
+use sevf_fleet::blueprint::{Catalog, ClassSpec};
+use sevf_fleet::recovery::RecoveryConfig;
+use sevf_fleet::service::ServingTier;
+use sevf_policy::{
+    IsolationTier, PolicyConfig, PolicySpec, Posture, QuotaSpec, Scheduler, SloClass, Tenant,
+};
+use sevf_sim::Nanos;
+
+use crate::placement::PlacementPolicy;
+use crate::service::{ClusterConfig, ClusterReport, ClusterService, TcbRollout};
+use crate::ClusterError;
+
+const MB: u64 = 1024 * 1024;
+
+/// Knobs of one policy sweep.
+#[derive(Debug, Clone)]
+pub struct PolicySweepConfig {
+    /// Seed for catalog machines, arrivals, tenancy tagging, placement,
+    /// and WFQ tie-breaks.
+    pub seed: u64,
+    /// Request classes to serve (shared catalog for all arms).
+    pub classes: Vec<ClassSpec>,
+    /// Hosts in every arm.
+    pub hosts: usize,
+    /// Aggregate offered load (req/s), split across tenants by share.
+    pub rps: f64,
+    /// Requests per arm.
+    pub requests: usize,
+    /// Per-host admission knobs (queue bound is also the WFQ bound).
+    pub admission: AdmissionConfig,
+    /// Recovery policy shared by all arms.
+    pub recovery: RecoveryConfig,
+    /// Verifier cost model (the posture arm needs an attestation plane;
+    /// all arms run it so the substrate is identical).
+    pub verifier: AttPlaneConfig,
+    /// The staggered TCB rollout the strict tenant rides.
+    pub rollout: TcbRollout,
+    /// Premium tenant's p99 deadline target (ms) — the SLO the sweep
+    /// scores FIFO and WFQ against.
+    pub premium_deadline_ms: u64,
+    /// Batch tenant's token-bucket quota.
+    pub batch_quota: QuotaSpec,
+    /// Per-tenant class mixes as `(class, weight)` pairs over
+    /// [`PolicySweepConfig::classes`]: premium, batch, strict.
+    pub premium_mix: Vec<(usize, u64)>,
+    /// Batch flood's class mix (Zipf-skewed toward the heaviest class).
+    pub batch_mix: Vec<(usize, u64)>,
+    /// Strict tenant's class mix.
+    pub strict_mix: Vec<(usize, u64)>,
+}
+
+impl PolicySweepConfig {
+    /// The headline sweep over the paper mix.
+    pub fn paper_policy() -> Self {
+        PolicySweepConfig {
+            seed: 0x7E4A,
+            classes: ClassSpec::paper_classes(16, 256 * MB),
+            hosts: 4,
+            rps: 140.0,
+            requests: 420,
+            admission: AdmissionConfig {
+                queue_bound: 256,
+                max_inflight: 2,
+                ..AdmissionConfig::default()
+            },
+            recovery: RecoveryConfig::resilient(0x7E4A),
+            verifier: AttPlaneConfig::cached_batched(),
+            rollout: TcbRollout {
+                start: Nanos::from_millis(500),
+                stagger: Nanos::from_millis(150),
+            },
+            premium_deadline_ms: 1800,
+            batch_quota: QuotaSpec {
+                rate_per_sec: 90.0,
+                burst: 24.0,
+            },
+            // Premium trickles light classes; the batch flood is
+            // Zipf-skewed toward the heaviest SNP class; the strict
+            // tenant runs SNP only.
+            premium_mix: vec![(3, 3), (4, 1)],
+            batch_mix: vec![(0, 8), (1, 4), (2, 2), (3, 1), (4, 1)],
+            strict_mix: vec![(0, 1)],
+        }
+    }
+
+    /// A fast sweep over the tiny test classes (tests, `--quick`).
+    pub fn quick() -> Self {
+        PolicySweepConfig {
+            seed: 0x7E4A,
+            classes: ClassSpec::quick_test_classes(),
+            hosts: 3,
+            rps: 200.0,
+            requests: 420,
+            // A tight in-flight window keeps the scheduling decision in
+            // the queue (the PSP serializes launches anyway); with a deep
+            // window every arrival dispatches immediately and the
+            // scheduler never gets to order anything.
+            admission: AdmissionConfig {
+                queue_bound: 192,
+                max_inflight: 2,
+                ..AdmissionConfig::default()
+            },
+            recovery: RecoveryConfig::resilient(0x7E4A),
+            verifier: AttPlaneConfig::cached_batched(),
+            rollout: TcbRollout {
+                start: Nanos::from_millis(400),
+                stagger: Nanos::from_millis(100),
+            },
+            premium_deadline_ms: 400,
+            batch_quota: QuotaSpec {
+                rate_per_sec: 130.0,
+                burst: 16.0,
+            },
+            premium_mix: vec![(1, 1)],
+            batch_mix: vec![(0, 3), (1, 1)],
+            strict_mix: vec![(0, 1)],
+        }
+    }
+
+    /// The three-tenant registry every arm shares: a premium
+    /// latency-sensitive trickle (weight 8), a batch flood (weight 1,
+    /// quota-capped, sheds first), and a posture-strict tenant pinned to
+    /// TCB ≥ 1 hosts.
+    pub fn tenants(&self) -> Vec<Tenant> {
+        let premium = Tenant {
+            name: "premium",
+            share: 2,
+            spec: PolicySpec {
+                isolation: IsolationTier::SevSnp,
+                accept_degrade: true,
+                posture: Posture::None,
+                min_tcb: 0,
+                slo: SloClass::LatencySensitive,
+                deadline: Nanos::from_millis(self.premium_deadline_ms),
+                weight: 8,
+                quota: None,
+            },
+            class_mix: self.premium_mix.clone(),
+        };
+        let batch = Tenant {
+            name: "batch",
+            share: 9,
+            spec: PolicySpec {
+                isolation: IsolationTier::Sev,
+                accept_degrade: true,
+                posture: Posture::None,
+                min_tcb: 0,
+                slo: SloClass::Batch,
+                deadline: Nanos::from_secs(2),
+                weight: 1,
+                quota: Some(self.batch_quota),
+            },
+            class_mix: self.batch_mix.clone(),
+        };
+        let strict = Tenant {
+            name: "strict",
+            share: 1,
+            spec: PolicySpec {
+                isolation: IsolationTier::SevSnp,
+                accept_degrade: false,
+                posture: Posture::Fresh,
+                min_tcb: 1,
+                slo: SloClass::LatencySensitive,
+                deadline: Nanos::from_millis(400),
+                weight: 4,
+                quota: None,
+            },
+            class_mix: self.strict_mix.clone(),
+        };
+        vec![premium, batch, strict]
+    }
+}
+
+/// One per-tenant cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// Which arm produced the row ("fifo", "wfq", "wfq+posture").
+    pub arm: &'static str,
+    /// Tenant name.
+    pub tenant: &'static str,
+    /// Requests attributed to the tenant.
+    pub issued: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Queue-overflow / unroutable sheds.
+    pub shed: u64,
+    /// Deadline expirations.
+    pub timeouts: u64,
+    /// Permanent failures (including breaker sheds).
+    pub failed: u64,
+    /// Turned away by policy (quota / isolation / posture).
+    pub rejected: u64,
+    /// Admitted at a degraded isolation tier.
+    pub degraded: u64,
+    /// Median completed latency (ms).
+    pub p50_ms: f64,
+    /// Tail completed latency (ms).
+    pub p99_ms: f64,
+    /// The tenant's SLO deadline target (ms).
+    pub deadline_ms: f64,
+    /// Whether the tail held the deadline target (`p99 <= deadline`,
+    /// only meaningful with completions).
+    pub slo_met: bool,
+    /// Completed requests per second of cluster makespan.
+    pub goodput_rps: f64,
+    /// Whether the tenant's conservation invariant held.
+    pub conserved: bool,
+}
+
+/// Cluster-level summary of one arm.
+#[derive(Debug, Clone)]
+pub struct ArmRow {
+    /// Arm name ("fifo", "wfq", "wfq+posture").
+    pub arm: &'static str,
+    /// Scheduler fronting each PSP.
+    pub scheduler: &'static str,
+    /// Whether quotas were enforced.
+    pub quotas: bool,
+    /// Whether posture placement was enforced.
+    pub posture: bool,
+    /// Requests served to completion, cluster-wide.
+    pub completed: usize,
+    /// Requests that left without completing (all shed/reject terms).
+    pub lost: u64,
+    /// Requests the policy engine rejected.
+    pub rejected: u64,
+    /// Cluster-wide median latency (ms).
+    pub p50_ms: f64,
+    /// Cluster-wide 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Posture eligibility checks the filter ran.
+    pub posture_checks: u64,
+    /// Queued requests re-routed on a posture change.
+    pub posture_redirects: u64,
+    /// Launches dispatched onto an ineligible host — must stay 0.
+    pub posture_violations: u64,
+    /// Whether the cluster conservation invariant held.
+    pub conserved: bool,
+}
+
+/// The sweep's result: one [`ArmRow`] per arm plus per-tenant rows.
+#[derive(Debug, Clone)]
+pub struct PolicySweepReport {
+    /// Arm summaries, in arm order.
+    pub arms: Vec<ArmRow>,
+    /// Per-tenant cells: arm-major, tenant order premium/batch/strict.
+    pub tenants: Vec<TenantRow>,
+}
+
+impl PolicySweepReport {
+    /// The per-tenant row for `(arm, tenant)`, if present.
+    pub fn tenant(&self, arm: &str, tenant: &str) -> Option<&TenantRow> {
+        self.tenants
+            .iter()
+            .find(|r| r.arm == arm && r.tenant == tenant)
+    }
+}
+
+fn arm_row(arm: &'static str, policy: &PolicyConfig, report: &ClusterReport) -> ArmRow {
+    let m = &report.metrics;
+    ArmRow {
+        arm,
+        scheduler: policy.scheduler.name(),
+        quotas: policy.quotas,
+        posture: policy.posture,
+        completed: m.completed,
+        lost: m.lost(),
+        rejected: m.rejected,
+        p50_ms: m.p50_ms(),
+        p99_ms: m.p99_ms(),
+        posture_checks: m.posture_checks,
+        posture_redirects: m.posture_redirects,
+        posture_violations: m.posture_violations,
+        conserved: m.conserved(),
+    }
+}
+
+fn tenant_rows(
+    arm: &'static str,
+    tenants: &[Tenant],
+    report: &ClusterReport,
+    out: &mut Vec<TenantRow>,
+) {
+    let rollup = report
+        .tenants
+        .as_ref()
+        .expect("policy arms report per-tenant rollups");
+    let makespan = report.metrics.makespan;
+    for (t, r) in tenants.iter().zip(rollup.iter()) {
+        let m = &r.metrics;
+        let deadline_ms = t.spec.deadline.as_millis_f64();
+        out.push(TenantRow {
+            arm,
+            tenant: r.name,
+            issued: m.issued,
+            completed: m.completed,
+            shed: m.shed,
+            timeouts: m.timeouts,
+            failed: m.failed + m.breaker_sheds,
+            rejected: m.rejected,
+            degraded: m.degraded,
+            p50_ms: m.p50_ms(),
+            p99_ms: m.p99_ms(),
+            deadline_ms,
+            slo_met: m.completed > 0 && m.p99_ms() <= deadline_ms,
+            goodput_rps: m.goodput_rps(makespan),
+            conserved: m.conserved(),
+        });
+    }
+}
+
+/// Runs the three-arm policy sweep over one catalog.
+///
+/// # Errors
+///
+/// Propagates catalog-construction failures ([`ClusterError::Fleet`]),
+/// invalid verifier models ([`ClusterError::AttPlane`]), and tenant
+/// registry mistakes ([`ClusterError::Policy`]).
+pub fn policy_sweep(cfg: &PolicySweepConfig) -> Result<PolicySweepReport, ClusterError> {
+    cfg.verifier.validate().map_err(ClusterError::AttPlane)?;
+    let catalog = Catalog::build(cfg.seed, &cfg.classes)?;
+    let tenants = cfg.tenants();
+
+    let arms: [(&'static str, PolicyConfig); 3] = [
+        ("fifo", PolicyConfig::tagged(tenants.clone())),
+        (
+            "wfq",
+            PolicyConfig {
+                tenants: tenants.clone(),
+                scheduler: Scheduler::Wfq,
+                quotas: true,
+                posture: false,
+            },
+        ),
+        ("wfq+posture", PolicyConfig::enforced(tenants.clone())),
+    ];
+
+    let mut report = PolicySweepReport {
+        arms: Vec::new(),
+        tenants: Vec::new(),
+    };
+    for (arm, policy) in arms {
+        let config = ClusterConfig {
+            seed: cfg.seed,
+            admission: cfg.admission,
+            placement: PlacementPolicy::JsqPsp,
+            recovery: cfg.recovery,
+            attestation: Some(cfg.verifier),
+            tcb_rollout: Some(cfg.rollout),
+            policy: Some(policy.clone()),
+            ..ClusterConfig::open_loop(cfg.hosts, ServingTier::Template, cfg.rps, cfg.requests)
+        };
+        let run = ClusterService::new(catalog.clone(), config)?.run();
+        report.arms.push(arm_row(arm, &policy, &run));
+        tenant_rows(arm, &tenants, &run, &mut report.tenants);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(report: &PolicySweepReport) -> Vec<(usize, u64, u64, String)> {
+        report
+            .tenants
+            .iter()
+            .map(|r| {
+                (
+                    r.completed,
+                    r.shed + r.timeouts + r.failed,
+                    r.rejected,
+                    format!("{:.3}/{:.3}", r.p50_ms, r.p99_ms),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_conserves_every_tenant_in_every_arm_and_replays() {
+        let cfg = PolicySweepConfig::quick();
+        let a = policy_sweep(&cfg).unwrap();
+        let b = policy_sweep(&cfg).unwrap();
+        assert_eq!(a.arms.len(), 3);
+        assert_eq!(a.tenants.len(), 9);
+        assert!(a.arms.iter().all(|r| r.conserved));
+        assert!(a.tenants.iter().all(|r| r.conserved), "{:#?}", a.tenants);
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn fifo_violates_premium_deadline_and_wfq_holds_it() {
+        let report = policy_sweep(&PolicySweepConfig::quick()).unwrap();
+        let fifo = report.tenant("fifo", "premium").unwrap();
+        let wfq = report.tenant("wfq", "premium").unwrap();
+        assert!(
+            !fifo.slo_met,
+            "the batch flood must blow premium's p99 past {} ms under FIFO, got {:.2} ms",
+            fifo.deadline_ms, fifo.p99_ms
+        );
+        assert!(
+            wfq.slo_met,
+            "WFQ must hold premium's p99 under {} ms, got {:.2} ms",
+            wfq.deadline_ms, wfq.p99_ms
+        );
+        assert!(wfq.p99_ms < fifo.p99_ms);
+    }
+
+    #[test]
+    fn batch_keeps_its_throughput_under_wfq() {
+        let report = policy_sweep(&PolicySweepConfig::quick()).unwrap();
+        let fifo = report.tenant("fifo", "batch").unwrap();
+        let wfq = report.tenant("wfq", "batch").unwrap();
+        // Protecting premium must not starve batch: goodput within 20%
+        // of the FIFO baseline (quota rejects replace queue sheds).
+        assert!(
+            wfq.goodput_rps >= 0.8 * fifo.goodput_rps,
+            "batch goodput {:.1} rps vs FIFO {:.1} rps",
+            wfq.goodput_rps,
+            fifo.goodput_rps
+        );
+        // The quota actually bites in the enforced arm.
+        assert!(
+            wfq.rejected > 0,
+            "batch quota must reject some of the flood"
+        );
+    }
+
+    #[test]
+    fn posture_arm_never_violates_the_tcb_floor() {
+        let report = policy_sweep(&PolicySweepConfig::quick()).unwrap();
+        let arm = report.arms.iter().find(|r| r.arm == "wfq+posture").unwrap();
+        assert!(arm.posture_checks > 0, "the filter must actually run");
+        assert_eq!(
+            arm.posture_violations, 0,
+            "a strict launch landed on a host below its TCB floor"
+        );
+        let strict = report.tenant("wfq+posture", "strict").unwrap();
+        // Arrivals before any host reaches TCB 1 are rejected, the rest
+        // complete on patched hosts only.
+        assert!(strict.completed > 0, "{strict:#?}");
+        assert!(strict.conserved);
+        // The non-posture arms place strict anywhere (nothing enforced),
+        // so no rejects for eligibility there.
+        let lax = report.tenant("fifo", "strict").unwrap();
+        assert_eq!(lax.rejected, 0);
+    }
+}

@@ -47,6 +47,10 @@ use sevf_fleet::workload::{open_arrivals, Arrival, RequestMix};
 use sevf_fleet::{AdmissionConfig, BoundedQueue};
 use sevf_net::{LeaseLedger, LinkId, LinkPlan, NetConfig, PhiDetector};
 use sevf_obs::{MarkerKind, Outcome as ReqOutcome, Recorder, TraceLog};
+use sevf_policy::{
+    HostPosture, IsolationTier, Offer, PolicyConfig, PolicyDecision, PolicyEngine, Scheduler,
+    TenantMetrics, TenantRollup, WfqQueue,
+};
 use sevf_psp::TemplateKey;
 use sevf_sim::fault::{FaultConfig, FaultKind, FaultPlan};
 use sevf_sim::rng::XorShift64;
@@ -140,6 +144,10 @@ pub struct ClusterConfig {
     /// (or a [`NetConfig::none`] config) bypasses message indirection
     /// entirely, replaying pre-net output byte for byte.
     pub net: Option<NetConfig>,
+    /// Multi-tenant policy: tenant registry, QoS scheduler, quotas, and
+    /// attestation-posture placement. `None` consumes zero randomness and
+    /// replays pre-policy output byte for byte.
+    pub policy: Option<PolicyConfig>,
 }
 
 /// A staggered TCB/firmware rollout: host `h` re-measures at
@@ -191,6 +199,18 @@ impl ClusterConfig {
             tcb_rollout: None,
             revocation: None,
             net: None,
+            policy: None,
+        }
+    }
+
+    /// The isolation tier the cluster substrate actually provides: SEV-SNP
+    /// when an attestation plane vouches for the hosts (SNP reports, VCEK
+    /// chains), plain SEV otherwise.
+    pub fn substrate_isolation(&self) -> IsolationTier {
+        if self.attestation.is_some() {
+            IsolationTier::SevSnp
+        } else {
+            IsolationTier::Sev
         }
     }
 
@@ -270,6 +290,16 @@ impl ClusterConfig {
         if let Some(net) = &self.net {
             net.validate(self.hosts).map_err(ClusterError::Net)?;
         }
+        if let Some(policy) = &self.policy {
+            policy
+                .validate(catalog_classes)
+                .map_err(ClusterError::Policy)?;
+            if policy.posture && self.attestation.is_none() {
+                return Err(ClusterError::Config(
+                    "posture enforcement needs an attestation plane",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -289,6 +319,8 @@ pub struct ClusterReport {
     pub metrics: ClusterMetrics,
     /// Attestation-plane counters, when a verifier was configured.
     pub attestation: Option<AttPlaneMetrics>,
+    /// Per-tenant terminal accounting, when a policy was configured.
+    pub tenants: Option<Vec<TenantRollup>>,
     /// Resource-occupancy trace (per-host PSP/CPU ids interleaved).
     pub trace: RunTrace,
 }
@@ -428,6 +460,31 @@ struct NetRuntime {
 /// message draws sharing the link.
 const HB_TOKEN_BASE: u64 = 0x4845_0000_0000;
 
+/// Salt for the dedicated tenant-tagging RNG stream (same constant the
+/// fleet uses, so a 1-host cluster and the fleet tag identically).
+const TENANT_SALT: u64 = 0x7E4A_917E_5EF0_11AD;
+
+/// Live policy-layer state: the engine (specs + quota buckets), tenant
+/// tags, per-tenant terminal accounting, and the posture counters.
+///
+/// Tenant tagging draws from its own RNG stream (`seed ^ TENANT_SALT`), so
+/// the arrival, class, and placement streams the no-policy path consumes
+/// are untouched — FIFO and WFQ arms of a sweep serve the *same* request
+/// stream, and disabling policy replays older runs byte-identically.
+struct PolicyState {
+    engine: PolicyEngine,
+    tenant_rng: XorShift64,
+    /// Per-tenant class mixes (`None` = the cluster-wide mix).
+    mixes: Vec<Option<RequestMix>>,
+    /// Tenant tag per request id.
+    req_tenant: Vec<usize>,
+    /// Per-tenant terminal accounting.
+    tenants: Vec<TenantMetrics>,
+    posture_checks: u64,
+    posture_redirects: u64,
+    posture_violations: u64,
+}
+
 /// Mutable serving state threaded through the DES completion hook.
 struct State<'a> {
     catalog: &'a Catalog,
@@ -468,9 +525,13 @@ struct State<'a> {
     unroutable: u64,
     failovers: u64,
     rebalances: u64,
+    rejected: u64,
     /// Attestation control plane, when configured: every fault-free
     /// dispatch is verified and carries the verifier's latency.
     plane: Option<AttPlane>,
+    /// Policy layer, when configured: the admission choke point every
+    /// routed dispatch flows through.
+    policy: Option<PolicyState>,
     /// Observability recorder. Never touches the RNG, the metrics, or the
     /// fault plans, so enabling it cannot change a run's results.
     rec: Recorder,
@@ -505,6 +566,16 @@ impl ClusterService {
     fn run_with(self, rec: Recorder) -> (ClusterReport, TraceLog) {
         let mut engine = DesEngine::new();
         let net_cfg = self.config.net.clone().filter(|n| !n.is_none());
+        // The policy engine (and its per-host WFQ lane specs) build before
+        // the hosts so each host can own its fair queue.
+        let policy_engine = self.config.policy.as_ref().map(|pcfg| {
+            PolicyEngine::new(pcfg, self.config.substrate_isolation(), self.catalog.len())
+                .expect("policy config validated in new()")
+        });
+        let lane_specs = match (&self.config.policy, &policy_engine) {
+            (Some(pcfg), Some(eng)) if pcfg.scheduler == Scheduler::Wfq => Some(eng.lane_specs()),
+            _ => None,
+        };
         // Hosts start the run holding a lease granted at time zero.
         let initial_lease = net_cfg
             .as_ref()
@@ -544,6 +615,14 @@ impl ClusterService {
                 out: false,
                 departed: false,
                 queue: BoundedQueue::new(self.config.admission.queue_bound),
+                wfq: lane_specs.as_ref().map(|specs| {
+                    WfqQueue::new(
+                        self.config.admission.queue_bound,
+                        specs,
+                        self.config.seed.wrapping_add(id as u64),
+                    )
+                    .expect("policy config validated in new()")
+                }),
                 pool: WarmPool::prewarmed(
                     self.catalog.len(),
                     warm,
@@ -630,9 +709,33 @@ impl ClusterService {
             unroutable: 0,
             failovers: 0,
             rebalances: 0,
+            rejected: 0,
             plane: self.config.attestation.map(|cfg| {
                 AttPlane::new(cfg, self.config.hosts)
                     .expect("attestation config validated in new()")
+            }),
+            policy: policy_engine.map(|engine| {
+                let pcfg = self.config.policy.as_ref().expect("engine implies config");
+                PolicyState {
+                    engine,
+                    tenant_rng: XorShift64::new(self.config.seed ^ TENANT_SALT),
+                    mixes: pcfg
+                        .tenants
+                        .iter()
+                        .map(|t| {
+                            if t.class_mix.is_empty() {
+                                None
+                            } else {
+                                Some(RequestMix::weighted(t.class_mix.clone()))
+                            }
+                        })
+                        .collect(),
+                    req_tenant: Vec::new(),
+                    tenants: vec![TenantMetrics::default(); pcfg.tenants.len()],
+                    posture_checks: 0,
+                    posture_redirects: 0,
+                    posture_violations: 0,
+                }
             }),
             rec,
         };
@@ -796,8 +899,16 @@ impl ClusterService {
             ..ClusterMetrics::default()
         };
         for host in &mut state.hosts {
-            host.metrics.shed = host.queue.shed();
-            host.metrics.max_queue_depth = host.queue.max_depth();
+            match &host.wfq {
+                Some(wfq) => {
+                    host.metrics.shed = wfq.shed();
+                    host.metrics.max_queue_depth = wfq.max_depth();
+                }
+                None => {
+                    host.metrics.shed = host.queue.shed();
+                    host.metrics.max_queue_depth = host.queue.max_depth();
+                }
+            }
             host.metrics.cache_hits = host.cache.hits();
             host.metrics.cache_misses = host.cache.misses();
             host.metrics.warm_hits = host.pool.hits();
@@ -816,10 +927,16 @@ impl ClusterService {
         metrics.unroutable = state.unroutable;
         metrics.timeouts += state.timeouts;
         metrics.failed += state.failed;
+        metrics.rejected = state.rejected;
         metrics.breaker_sheds += state.breaker_sheds;
         metrics.retries += state.retries;
         metrics.failovers = state.failovers;
         metrics.rebalances = state.rebalances;
+        if let Some(ps) = &state.policy {
+            metrics.posture_checks = ps.posture_checks;
+            metrics.posture_redirects = ps.posture_redirects;
+            metrics.posture_violations = ps.posture_violations;
+        }
         if let Some(net) = &state.net {
             metrics.suspicions = net.suspicions;
             metrics.suspicions_cleared = net.suspicions_cleared;
@@ -840,6 +957,17 @@ impl ClusterService {
                 offered_rps: self.config.arrival.offered_rps(),
                 metrics,
                 attestation: state.plane.as_ref().map(|p| *p.metrics()),
+                tenants: state.policy.as_ref().map(|ps| {
+                    let pcfg = self.config.policy.as_ref().expect("state implies config");
+                    pcfg.tenants
+                        .iter()
+                        .zip(&ps.tenants)
+                        .map(|(t, m)| TenantRollup {
+                            name: t.name,
+                            metrics: m.clone(),
+                        })
+                        .collect()
+                }),
                 trace,
             },
             log,
@@ -848,10 +976,25 @@ impl ClusterService {
 }
 
 impl<'a> State<'a> {
-    /// Allocates a request id, sampling its class.
+    /// Allocates a request id, sampling its tenant (policy runs only; from
+    /// the dedicated tenant stream) and class (always exactly one draw from
+    /// the main stream, so tagging never perturbs the shared streams).
     fn new_request(&mut self, arrival_hint: Nanos) -> usize {
         let request = self.req_class.len();
-        self.req_class.push(self.mix.sample(&mut self.rng));
+        let class = match self.policy.as_mut() {
+            Some(ps) => {
+                let pcfg = self.config.policy.as_ref().expect("state implies config");
+                let tenant = pcfg.sample_tenant(&mut ps.tenant_rng);
+                ps.req_tenant.push(tenant);
+                ps.tenants[tenant].issued += 1;
+                match &ps.mixes[tenant] {
+                    Some(mix) => mix.sample(&mut self.rng),
+                    None => self.mix.sample(&mut self.rng),
+                }
+            }
+            None => self.mix.sample(&mut self.rng),
+        };
+        self.req_class.push(class);
         self.arrived.push(arrival_hint);
         self.attempts.push(0);
         self.done.push(false);
@@ -1093,7 +1236,7 @@ impl<'a> State<'a> {
         match fate {
             LaunchFate::Ok => {
                 if !net_active {
-                    self.mark_done(request);
+                    self.mark_done(request, ReqOutcome::Completed, outcome.finish);
                     self.hosts[host]
                         .metrics
                         .record_latency(outcome.finish - self.arrived[request]);
@@ -1198,7 +1341,7 @@ impl<'a> State<'a> {
         }
         // Fail over the queue: every waiter re-enters the router and lands
         // on a surviving host (or sheds there).
-        while let Some(next) = self.hosts[host].queue.pick(SchedPolicy::Fifo, |_| false) {
+        for next in self.purge_backlog(host) {
             self.hosts[host].committed_psp = self.hosts[host]
                 .committed_psp
                 .saturating_sub(next.expected_psp);
@@ -1276,9 +1419,18 @@ impl<'a> State<'a> {
     fn route(&mut self, request: usize, now: Nanos, inject: &mut Vec<Job>) {
         let class = self.req_class[request];
         if self.past_deadline(request, now) {
-            self.mark_done(request);
+            self.mark_done(request, ReqOutcome::Timeout, now);
             self.timeouts += 1;
             self.rec.terminal(request, ReqOutcome::Timeout, now);
+            self.issue_next_closed(now, inject);
+            return;
+        }
+        // The policy choke point: every routed dispatch (arrival, retry,
+        // failover) is one admission decision. Rejects never reach a host.
+        if let Some(PolicyDecision::Reject { .. }) = self.policy_evaluate(request, now) {
+            self.mark_done(request, ReqOutcome::Rejected, now);
+            self.rejected += 1;
+            self.rec.terminal(request, ReqOutcome::Rejected, now);
             self.issue_next_closed(now, inject);
             return;
         }
@@ -1290,13 +1442,31 @@ impl<'a> State<'a> {
             .map(|h| h.id)
             .filter(|&h| suspected.is_none_or(|s| !s[h]))
             .collect();
+        // Posture filter: shrink the candidate set to hosts the tenant's
+        // min-TCB / revocation requirements accept, *before* the router
+        // runs. An empty result with live hosts present is a policy
+        // reject, not an unroutable shed.
+        let had_live = !live.is_empty();
+        let live: Vec<usize> = live
+            .into_iter()
+            .filter(|&h| self.posture_ok(request, h))
+            .collect();
+        if live.is_empty() && had_live && self.posture_enforced() {
+            self.rec
+                .marker(MarkerKind::PolicyReject, Some(request), None, now);
+            self.mark_done(request, ReqOutcome::Rejected, now);
+            self.rejected += 1;
+            self.rec.terminal(request, ReqOutcome::Rejected, now);
+            self.issue_next_closed(now, inject);
+            return;
+        }
         let key = self.catalog.class(class).key;
         let hosts = &self.hosts;
         let placed = self.router.place(&key, &live, |h| hosts[h].committed_psp);
         let Some(host) = placed else {
             // Nowhere to run: shed fast (clients of a fully-dark cluster
             // get an immediate error, not an unbounded queue).
-            self.mark_done(request);
+            self.mark_done(request, ReqOutcome::Shed, now);
             self.unroutable += 1;
             self.rec.terminal(request, ReqOutcome::Shed, now);
             self.issue_next_closed(now, inject);
@@ -1367,6 +1537,21 @@ impl<'a> State<'a> {
         self.meta.push(kind);
     }
 
+    /// Empties `host`'s backlog (WFQ lanes in pop order, or the FIFO
+    /// queue) for failover or lease purge.
+    fn purge_backlog(&mut self, host: usize) -> Vec<Pending> {
+        match &mut self.hosts[host].wfq {
+            Some(wfq) => wfq.drain().into_iter().map(|(_, p)| p).collect(),
+            None => {
+                let mut out = Vec::new();
+                while let Some(next) = self.hosts[host].queue.pick(SchedPolicy::Fifo, |_| false) {
+                    out.push(next);
+                }
+                out
+            }
+        }
+    }
+
     /// Whether `host` is lease-fenced at `now`: leases are on and the
     /// host is parked or past its expiry.
     fn lease_blocked(&self, host: usize, now: Nanos) -> bool {
@@ -1374,14 +1559,86 @@ impl<'a> State<'a> {
             && (self.hosts[host].parked || now >= self.hosts[host].lease_until)
     }
 
-    /// Marks `request` terminal. Every terminal site calls this exactly
-    /// once — the conservation invariant in executable form.
-    fn mark_done(&mut self, request: usize) {
+    /// Marks `request` terminal with its outcome. Every terminal site calls
+    /// this exactly once — the conservation invariant in executable form —
+    /// and the outcome is attributed to the request's tenant when a policy
+    /// is active, so conservation also holds per tenant.
+    fn mark_done(&mut self, request: usize, outcome: ReqOutcome, now: Nanos) {
         debug_assert!(
             !self.done[request],
             "request {request} reached two terminal states"
         );
         self.done[request] = true;
+        let latency = now - self.arrived[request];
+        let Some(ps) = self.policy.as_mut() else {
+            return;
+        };
+        let m = &mut ps.tenants[ps.req_tenant[request]];
+        match outcome {
+            ReqOutcome::Completed => m.complete(latency),
+            ReqOutcome::Shed => m.shed += 1,
+            ReqOutcome::BreakerShed => m.breaker_sheds += 1,
+            ReqOutcome::Timeout => m.timeouts += 1,
+            ReqOutcome::Failed => m.failed += 1,
+            ReqOutcome::Rejected => m.rejected += 1,
+        }
+    }
+
+    /// Evaluates the policy engine for `request` at the router — the
+    /// single choke point — recording the decision as a trace marker.
+    /// `None` when no policy is configured.
+    fn policy_evaluate(&mut self, request: usize, now: Nanos) -> Option<PolicyDecision> {
+        let ps = self.policy.as_mut()?;
+        let tenant = ps.req_tenant[request];
+        let decision = ps.engine.evaluate(tenant, now);
+        let kind = match decision {
+            PolicyDecision::Admit { .. } => MarkerKind::PolicyAdmit,
+            PolicyDecision::Degrade { .. } => {
+                ps.tenants[tenant].degraded += 1;
+                MarkerKind::PolicyDegrade
+            }
+            PolicyDecision::Reject { .. } => MarkerKind::PolicyReject,
+        };
+        self.rec.marker(kind, Some(request), None, now);
+        Some(decision)
+    }
+
+    /// Whether posture placement filtering is on (policy with `posture`
+    /// enforcement; validation guarantees an attestation plane exists).
+    fn posture_enforced(&self) -> bool {
+        self.config.policy.as_ref().is_some_and(|p| p.posture)
+    }
+
+    /// What the attestation plane currently knows about `host`.
+    fn host_posture(&self, host: usize) -> HostPosture {
+        match self.plane.as_ref() {
+            Some(plane) => HostPosture {
+                tcb_version: plane
+                    .tcb_version(host)
+                    .expect("plane sized to cluster hosts"),
+                revoked: plane
+                    .is_revoked(host)
+                    .expect("plane sized to cluster hosts"),
+            },
+            None => HostPosture {
+                tcb_version: u32::MAX,
+                revoked: false,
+            },
+        }
+    }
+
+    /// Posture check for one (request, host) pair: placement filter and
+    /// dispatch-time re-check both land here.
+    fn posture_ok(&mut self, request: usize, host: usize) -> bool {
+        if !self.posture_enforced() {
+            return true;
+        }
+        let posture = self.host_posture(host);
+        let Some(ps) = self.policy.as_mut() else {
+            return true;
+        };
+        ps.posture_checks += 1;
+        ps.engine.host_eligible(ps.req_tenant[request], posture)
     }
 
     /// A dispatch message lands on `host`.
@@ -1483,7 +1740,7 @@ impl<'a> State<'a> {
             return;
         }
         if ok {
-            self.mark_done(request);
+            self.mark_done(request, ReqOutcome::Completed, now);
             self.hosts[host]
                 .metrics
                 .record_latency(now - self.arrived[request]);
@@ -1679,7 +1936,7 @@ impl<'a> State<'a> {
         }
         self.rec
             .marker(MarkerKind::LeaseExpired, None, Some(host), now);
-        while let Some(next) = self.hosts[host].queue.pick(SchedPolicy::Fifo, |_| false) {
+        for next in self.purge_backlog(host) {
             self.hosts[host].committed_psp = self.hosts[host]
                 .committed_psp
                 .saturating_sub(next.expected_psp);
@@ -1707,7 +1964,7 @@ impl<'a> State<'a> {
     ) {
         let level = self.hosts[host].degrade_level(class, now);
         let Some(tier) = self.config.tier.degraded(level) else {
-            self.mark_done(request);
+            self.mark_done(request, ReqOutcome::BreakerShed, now);
             self.breaker_sheds += 1;
             self.rec.terminal(request, ReqOutcome::BreakerShed, now);
             self.issue_next_closed(now, inject);
@@ -1757,19 +2014,61 @@ impl<'a> State<'a> {
             return;
         }
         let key = self.catalog.class(class).key;
-        let admitted = self.hosts[host].queue.offer(Pending {
+        let pending = Pending {
             request,
             class,
             expected_psp,
             key,
-        });
+        };
+        if self.hosts[host].wfq.is_some() {
+            // WFQ admission: enqueue on the tenant's lane; overflow runs
+            // policy-aware shed (batch before latency-sensitive,
+            // quota-violators first) instead of refusing the newcomer.
+            let (tenant, over) = match self.policy.as_ref() {
+                Some(ps) => {
+                    let t = ps.req_tenant[request];
+                    (t, ps.engine.over_quota(t, now))
+                }
+                None => (0, false),
+            };
+            let offer = {
+                let wfq = self.hosts[host].wfq.as_mut().expect("checked above");
+                wfq.set_over_quota(tenant, over);
+                wfq.offer(tenant, pending, expected_psp)
+            };
+            let depth = self.hosts[host].wfq.as_ref().expect("checked above").len();
+            self.hosts[host].metrics.sample_queue_depth(now, depth);
+            match offer {
+                Offer::Queued => {
+                    self.hosts[host].committed_psp += expected_psp;
+                    self.rec.queued(request);
+                }
+                Offer::Displaced { item, .. } => {
+                    self.hosts[host].committed_psp += expected_psp;
+                    self.hosts[host].committed_psp = self.hosts[host]
+                        .committed_psp
+                        .saturating_sub(item.expected_psp);
+                    self.rec.queued(request);
+                    self.mark_done(item.request, ReqOutcome::Shed, now);
+                    self.rec.terminal(item.request, ReqOutcome::Shed, now);
+                    self.issue_next_closed(now, inject);
+                }
+                Offer::Refused(item) => {
+                    self.mark_done(item.request, ReqOutcome::Shed, now);
+                    self.rec.terminal(item.request, ReqOutcome::Shed, now);
+                    self.issue_next_closed(now, inject);
+                }
+            }
+            return;
+        }
+        let admitted = self.hosts[host].queue.offer(pending);
         let depth = self.hosts[host].queue.len();
         self.hosts[host].metrics.sample_queue_depth(now, depth);
         if admitted {
             self.hosts[host].committed_psp += expected_psp;
             self.rec.queued(request);
         } else {
-            self.mark_done(request);
+            self.mark_done(request, ReqOutcome::Shed, now);
             self.rec.terminal(request, ReqOutcome::Shed, now);
             self.issue_next_closed(now, inject);
         }
@@ -1815,6 +2114,14 @@ impl<'a> State<'a> {
         now: Nanos,
         inject: &mut Vec<Job>,
     ) {
+        // The acceptance invariant in executable form: a posture-strict
+        // tenant's launch must never reach an ineligible host. The
+        // placement filter and the dispatch-time re-check keep this zero.
+        if !self.posture_ok(request, host) {
+            if let Some(ps) = self.policy.as_mut() {
+                ps.posture_violations += 1;
+            }
+        }
         let mut fate = LaunchFate::Ok;
         let mut blueprint = blueprint;
         if let Some(plan) = &self.hosts[host].plan {
@@ -1885,7 +2192,7 @@ impl<'a> State<'a> {
         let failures = self.attempts[request];
         match self.config.recovery.retry.backoff(failures, request as u64) {
             None => {
-                self.mark_done(request);
+                self.mark_done(request, ReqOutcome::Failed, now);
                 self.failed += 1;
                 self.rec.terminal(request, ReqOutcome::Failed, now);
                 self.issue_next_closed(now, inject);
@@ -1893,7 +2200,7 @@ impl<'a> State<'a> {
             Some(delay) => {
                 let at = now + delay;
                 if self.past_deadline(request, at) {
-                    self.mark_done(request);
+                    self.mark_done(request, ReqOutcome::Timeout, now);
                     self.timeouts += 1;
                     self.rec.terminal(request, ReqOutcome::Timeout, now);
                     self.issue_next_closed(now, inject);
@@ -1918,23 +2225,40 @@ impl<'a> State<'a> {
         while self.hosts[host].inflight < self.config.admission.max_inflight {
             let policy = self.config.admission.policy;
             let h = &mut self.hosts[host];
-            let Host { queue, cache, .. } = &mut *h;
-            let Some(next) = queue.pick(policy, |key| cache.contains(key)) else {
+            let (next, depth) = match &mut h.wfq {
+                Some(wfq) => (wfq.pop().map(|(_, p)| p), wfq.len()),
+                None => {
+                    let Host { queue, cache, .. } = &mut *h;
+                    let next = queue.pick(policy, |key| cache.contains(key));
+                    (next, queue.len())
+                }
+            };
+            let Some(next) = next else {
                 break;
             };
             h.committed_psp = h.committed_psp.saturating_sub(next.expected_psp);
-            let depth = h.queue.len();
             h.metrics.sample_queue_depth(now, depth);
             if self.past_deadline(next.request, now) {
-                self.mark_done(next.request);
+                self.mark_done(next.request, ReqOutcome::Timeout, now);
                 self.timeouts += 1;
                 self.rec.terminal(next.request, ReqOutcome::Timeout, now);
                 self.issue_next_closed(now, inject);
                 continue;
             }
+            // Posture re-check at dispatch: a TCB rollout or revocation can
+            // change the host between enqueue and pop, so a queued request
+            // whose host fell below its floor re-routes through the filter
+            // instead of launching here.
+            if !self.posture_ok(next.request, host) {
+                if let Some(ps) = self.policy.as_mut() {
+                    ps.posture_redirects += 1;
+                }
+                self.route(next.request, now, inject);
+                continue;
+            }
             let level = self.hosts[host].degrade_level(next.class, now);
             let Some(tier) = self.config.tier.degraded(level) else {
-                self.mark_done(next.request);
+                self.mark_done(next.request, ReqOutcome::BreakerShed, now);
                 self.breaker_sheds += 1;
                 self.rec
                     .terminal(next.request, ReqOutcome::BreakerShed, now);

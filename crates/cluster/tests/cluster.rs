@@ -325,3 +325,126 @@ fn invalid_configs_are_rejected_with_chained_errors() {
     let from_fleet = ClusterError::from(sevf_fleet::FleetError::NoClasses);
     assert!(from_fleet.source().is_some());
 }
+
+#[test]
+fn tagged_policy_replays_the_no_policy_run_byte_identically() {
+    // A tag-only policy draws tenancy from its own salted RNG stream, so
+    // arrivals, class sampling, placement, and every latency must match
+    // the policy-free run byte for byte.
+    let arm = |policy: Option<PolicyConfig>| {
+        let config = ClusterConfig {
+            placement: PlacementPolicy::JsqPsp,
+            policy,
+            ..base(3, ServingTier::Template)
+        };
+        run(config)
+    };
+    let bare = arm(None);
+    let tagged = arm(Some(PolicyConfig::tagged(vec![
+        Tenant::new("a", 3, PolicySpec::permissive()),
+        Tenant::new("b", 1, PolicySpec::permissive()),
+    ])));
+    assert_eq!(
+        format!("{:?}", bare.metrics),
+        format!("{:?}", tagged.metrics)
+    );
+    assert!(bare.tenants.is_none());
+    let rollup = tagged.tenants.unwrap();
+    assert_eq!(rollup.len(), 2);
+    let issued: usize = rollup.iter().map(|t| t.metrics.issued).sum();
+    assert_eq!(issued, tagged.metrics.issued);
+    assert!(rollup.iter().all(|t| t.metrics.conserved()));
+}
+
+#[test]
+fn wfq_policy_conserves_per_tenant_and_quota_rejects() {
+    let mut flood = PolicySpec::permissive();
+    flood.slo = SloClass::Batch;
+    flood.quota = Some(QuotaSpec {
+        rate_per_sec: 20.0,
+        burst: 4.0,
+    });
+    let mut premium = PolicySpec::permissive();
+    premium.weight = 8;
+    let config = ClusterConfig {
+        placement: PlacementPolicy::JsqPsp,
+        admission: sevf_fleet::AdmissionConfig {
+            max_inflight: 2,
+            ..sevf_fleet::AdmissionConfig::default()
+        },
+        policy: Some(PolicyConfig {
+            tenants: vec![
+                Tenant::new("premium", 1, premium),
+                Tenant::new("flood", 3, flood),
+            ],
+            scheduler: Scheduler::Wfq,
+            quotas: true,
+            posture: false,
+        }),
+        ..base(3, ServingTier::Template)
+    };
+    let report = run(config);
+    let m = &report.metrics;
+    assert!(m.conserved(), "{m:?}");
+    assert!(m.rejected > 0, "the flood must exceed its bucket");
+    let rollup = report.tenants.unwrap();
+    let issued: usize = rollup.iter().map(|t| t.metrics.issued).sum();
+    assert_eq!(issued, m.issued);
+    assert!(rollup.iter().all(|t| t.metrics.conserved()), "{rollup:#?}");
+    let flood = rollup.iter().find(|t| t.name == "flood").unwrap();
+    assert!(flood.metrics.rejected > 0);
+    let premium = rollup.iter().find(|t| t.name == "premium").unwrap();
+    assert_eq!(premium.metrics.rejected, 0);
+}
+
+#[test]
+fn posture_placement_needs_an_attestation_plane() {
+    let mut strict = PolicySpec::permissive();
+    strict.posture = Posture::Fresh;
+    strict.min_tcb = 1;
+    let config = ClusterConfig {
+        policy: Some(PolicyConfig::enforced(vec![Tenant::new(
+            "strict", 1, strict,
+        )])),
+        ..base(2, ServingTier::Template)
+    };
+    let err = ClusterService::new(catalog(), config).unwrap_err();
+    assert!(matches!(err, ClusterError::Config(_)));
+    assert!(err.to_string().contains("attestation plane"));
+}
+
+#[test]
+fn posture_enforcement_rejects_until_the_rollout_lands_and_never_violates() {
+    use sevf_attplane::AttPlaneConfig;
+    let mut strict = PolicySpec::permissive();
+    strict.isolation = IsolationTier::SevSnp;
+    strict.posture = Posture::Fresh;
+    strict.min_tcb = 1;
+    let config = ClusterConfig {
+        placement: PlacementPolicy::JsqPsp,
+        attestation: Some(AttPlaneConfig::cached_batched()),
+        tcb_rollout: Some(TcbRollout {
+            start: Nanos::from_millis(500),
+            stagger: Nanos::from_millis(100),
+        }),
+        policy: Some(PolicyConfig::enforced(vec![
+            Tenant::new("strict", 1, strict),
+            Tenant::new("lax", 3, PolicySpec::permissive()),
+        ])),
+        ..base(3, ServingTier::Template)
+    };
+    let report = run(config);
+    let m = &report.metrics;
+    assert!(m.conserved(), "{m:?}");
+    assert!(m.posture_checks > 0, "the filter must run");
+    assert_eq!(m.posture_violations, 0, "{m:?}");
+    let rollup = report.tenants.unwrap();
+    let strict = rollup.iter().find(|t| t.name == "strict").unwrap();
+    // Arrivals before any host reaches TCB 1 find no eligible host and
+    // are rejected; later ones complete on patched hosts only.
+    assert!(strict.metrics.rejected > 0, "{:#?}", strict.metrics);
+    assert!(strict.metrics.completed > 0, "{:#?}", strict.metrics);
+    assert!(strict.metrics.conserved());
+    let lax = rollup.iter().find(|t| t.name == "lax").unwrap();
+    assert_eq!(lax.metrics.rejected, 0);
+}

@@ -220,6 +220,7 @@ pub fn chaos_sweep(cfg: &ChaosConfig) -> Result<ChaosReport, FleetError> {
                 recovery,
                 attestation: None,
                 verifier_net: None,
+                policy: None,
             };
             let report = FleetService::new(catalog.clone(), config).run();
             let m = &report.metrics;

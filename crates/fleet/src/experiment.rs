@@ -175,6 +175,7 @@ pub fn serving_sweep(cfg: &SweepConfig) -> Result<SweepReport, FleetError> {
                 recovery: crate::recovery::RecoveryConfig::none(),
                 attestation: None,
                 verifier_net: None,
+                policy: None,
             };
             let report = FleetService::new(catalog.clone(), config).run();
             let m = &report.metrics;

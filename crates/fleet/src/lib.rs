@@ -84,6 +84,8 @@ pub enum FleetError {
     AttPlane(sevf_attplane::AttPlaneError),
     /// The verifier network link rejected its configuration.
     Net(sevf_net::NetError),
+    /// The multi-tenant policy engine rejected its configuration.
+    Policy(sevf_policy::PolicyError),
 }
 
 impl std::fmt::Display for FleetError {
@@ -95,6 +97,7 @@ impl std::fmt::Display for FleetError {
             FleetError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
             FleetError::AttPlane(e) => write!(f, "attestation plane failed: {e}"),
             FleetError::Net(e) => write!(f, "verifier link failed: {e}"),
+            FleetError::Policy(e) => write!(f, "policy engine failed: {e}"),
         }
     }
 }
@@ -105,6 +108,7 @@ impl std::error::Error for FleetError {
             FleetError::Boot(e) => Some(e),
             FleetError::AttPlane(e) => Some(e),
             FleetError::Net(e) => Some(e),
+            FleetError::Policy(e) => Some(e),
             FleetError::NoClasses | FleetError::FaultPlan(_) | FleetError::Recovery(_) => None,
         }
     }
@@ -128,6 +132,12 @@ impl From<sevf_net::NetError> for FleetError {
     }
 }
 
+impl From<sevf_policy::PolicyError> for FleetError {
+    fn from(e: sevf_policy::PolicyError) -> Self {
+        FleetError::Policy(e)
+    }
+}
+
 /// The common imports for working with the fleet control plane.
 pub mod prelude {
     pub use crate::admission::{AdmissionConfig, SchedPolicy};
@@ -137,6 +147,7 @@ pub mod prelude {
     pub use crate::service::{FleetConfig, FleetReport, FleetService, ServingTier};
     pub use crate::workload::{Arrival, RequestMix};
     pub use crate::FleetError;
+    pub use sevf_policy::prelude::*;
 }
 
 #[cfg(test)]

@@ -73,6 +73,9 @@ pub struct FleetMetrics {
     pub timeouts: u64,
     /// Requests permanently failed after exhausting the retry budget.
     pub failed: u64,
+    /// Requests turned away by the policy engine (quota / isolation)
+    /// before consuming any PSP work. Zero without a policy layer.
+    pub rejected: u64,
     /// Retry launches dispatched (beyond each request's first attempt).
     pub retries: u64,
     /// Retry histogram: `retries_by_attempt[k]` counts retries scheduled
@@ -135,9 +138,10 @@ impl FleetMetrics {
     }
 
     /// Requests that left the system without completing: load sheds,
-    /// breaker sheds, deadline timeouts, and permanent failures.
+    /// breaker sheds, deadline timeouts, permanent failures, and policy
+    /// rejections.
     pub fn lost(&self) -> u64 {
-        self.shed + self.breaker_sheds + self.timeouts + self.failed
+        self.shed + self.breaker_sheds + self.timeouts + self.failed + self.rejected
     }
 
     /// Completed requests per second of makespan — the goodput the chaos
@@ -213,6 +217,7 @@ impl FleetMetrics {
         reg.inc("fleet_breaker_sheds_total", self.breaker_sheds);
         reg.inc("fleet_timeouts_total", self.timeouts);
         reg.inc("fleet_failed_total", self.failed);
+        reg.inc("fleet_rejected_total", self.rejected);
         reg.inc("fleet_retries_total", self.retries);
         reg.inc("fleet_faults_total", self.faults.total());
         reg.inc("fleet_degraded_dispatches_total", self.degraded_dispatches);

@@ -40,6 +40,10 @@ use std::collections::BTreeSet;
 use sevf_attplane::{AttPlane, AttPlaneConfig, AttPlaneMetrics, Verdict, STEP_RTT};
 use sevf_net::VerifierLink;
 use sevf_obs::{MarkerKind, Outcome as ReqOutcome, Recorder, TraceLog};
+use sevf_policy::{
+    IsolationTier, Offer, PolicyConfig, PolicyDecision, PolicyEngine, Scheduler, TenantMetrics,
+    TenantRollup, WfqQueue,
+};
 use sevf_psp::TemplateKey;
 use sevf_sim::fault::{AttestFault, FaultKind, FaultPlan};
 use sevf_sim::rng::XorShift64;
@@ -122,6 +126,10 @@ pub struct FleetConfig {
     /// Network link to the remote verifier; `None` = the verifier is
     /// local and always reachable (byte-identical to older runs).
     pub verifier_net: Option<VerifierLink>,
+    /// Multi-tenant policy layer; `None` = the pre-policy control plane,
+    /// byte-identical to older runs (no tenant sampling, no extra RNG
+    /// draws, the plain FIFO bounded queue).
+    pub policy: Option<PolicyConfig>,
 }
 
 impl FleetConfig {
@@ -139,6 +147,7 @@ impl FleetConfig {
             recovery: RecoveryConfig::none(),
             attestation: None,
             verifier_net: None,
+            policy: None,
         }
     }
 
@@ -156,6 +165,18 @@ impl FleetConfig {
             recovery: RecoveryConfig::none(),
             attestation: None,
             verifier_net: None,
+            policy: None,
+        }
+    }
+
+    /// The isolation tier the substrate provides: SEV-SNP once an
+    /// attestation plane (SNP reports, VCEK chains) is in the path, plain
+    /// SEV otherwise. Policy isolation demands are checked against this.
+    pub fn substrate_isolation(&self) -> IsolationTier {
+        if self.attestation.is_some() {
+            IsolationTier::SevSnp
+        } else {
+            IsolationTier::Sev
         }
     }
 
@@ -167,6 +188,13 @@ impl FleetConfig {
         }
         if let Some(link) = &self.verifier_net {
             link.validate().map_err(crate::FleetError::Net)?;
+        }
+        if let Some(policy) = &self.policy {
+            // The catalog is not known here; class-mix bounds are checked
+            // again (strictly) in `FleetService::new`.
+            policy
+                .validate(usize::MAX)
+                .map_err(crate::FleetError::Policy)?;
         }
         Ok(self)
     }
@@ -185,6 +213,10 @@ pub struct FleetReport {
     pub pool_resident_bytes: u64,
     /// Attestation-plane counters, when a verifier was configured.
     pub attestation: Option<AttPlaneMetrics>,
+    /// Per-tenant terminal accounting, when a policy layer was configured.
+    /// The extended conservation invariant holds per row:
+    /// `completed+shed+breaker_sheds+timeouts+failed+rejected == issued`.
+    pub tenants: Option<Vec<TenantRollup>>,
     /// Resource-occupancy trace of the run (for invariant checks).
     pub trace: RunTrace,
 }
@@ -262,10 +294,35 @@ struct State<'a> {
     /// Attestation control plane, when configured: every fault-free
     /// dispatch is verified and carries the verifier's latency.
     plane: Option<AttPlane>,
+    /// Multi-tenant policy layer, when configured.
+    policy: Option<PolicyState>,
     /// Observability handle. Disabled by default; never touches the RNG,
     /// the metrics, or job injection, so enabling it cannot change a run.
     rec: Recorder,
 }
+
+/// Live policy-layer state: the engine (specs + quota buckets), the WFQ
+/// queue when the scheduler is [`Scheduler::Wfq`], tenant tags, and
+/// per-tenant terminal accounting.
+///
+/// Tenant tagging draws from its own RNG stream (`seed ^ TENANT_SALT`), so
+/// the arrival and class streams the no-policy path consumes are
+/// untouched — FIFO and WFQ arms of a sweep serve the *same* request
+/// stream, and disabling policy replays older runs byte-identically.
+struct PolicyState {
+    engine: PolicyEngine,
+    wfq: Option<WfqQueue<Pending>>,
+    tenant_rng: XorShift64,
+    /// Per-tenant class mixes (`None` = the catalog-wide mix).
+    mixes: Vec<Option<RequestMix>>,
+    /// Tenant tag per request id.
+    req_tenant: Vec<usize>,
+    /// Per-tenant terminal accounting.
+    tenants: Vec<TenantMetrics>,
+}
+
+/// Salt for the dedicated tenant-tagging RNG stream.
+const TENANT_SALT: u64 = 0x7E4A_917E_5EF0_11AD;
 
 impl FleetService {
     /// Builds a service over a measured catalog.
@@ -298,6 +355,11 @@ impl FleetService {
         if let Some(link) = &config.verifier_net {
             if let Err(e) = link.validate() {
                 panic!("invalid verifier link: {e}");
+            }
+        }
+        if let Some(policy) = &config.policy {
+            if let Err(e) = policy.validate(catalog.len()) {
+                panic!("invalid policy config: {e}");
             }
         }
         FleetService { catalog, config }
@@ -368,6 +430,40 @@ impl FleetService {
                 .config
                 .attestation
                 .map(|cfg| AttPlane::new(cfg, 1).expect("attestation config validated in new()")),
+            policy: self.config.policy.as_ref().map(|pcfg| {
+                let engine =
+                    PolicyEngine::new(pcfg, self.config.substrate_isolation(), self.catalog.len())
+                        .expect("policy config validated in new()");
+                let wfq = match pcfg.scheduler {
+                    Scheduler::Wfq => Some(
+                        WfqQueue::new(
+                            self.config.admission.queue_bound,
+                            &engine.lane_specs(),
+                            self.config.seed,
+                        )
+                        .expect("policy config validated in new()"),
+                    ),
+                    Scheduler::Fifo => None,
+                };
+                PolicyState {
+                    wfq,
+                    tenant_rng: XorShift64::new(self.config.seed ^ TENANT_SALT),
+                    mixes: pcfg
+                        .tenants
+                        .iter()
+                        .map(|t| {
+                            if t.class_mix.is_empty() {
+                                None
+                            } else {
+                                Some(RequestMix::weighted(t.class_mix.clone()))
+                            }
+                        })
+                        .collect(),
+                    req_tenant: Vec::new(),
+                    tenants: vec![TenantMetrics::default(); pcfg.tenants.len()],
+                    engine,
+                }
+            }),
             rec,
         };
 
@@ -440,6 +536,10 @@ impl FleetService {
         let mut metrics = state.metrics;
         metrics.shed = state.queue.shed();
         metrics.max_queue_depth = state.queue.max_depth();
+        if let Some(wfq) = state.policy.as_ref().and_then(|p| p.wfq.as_ref()) {
+            metrics.shed += wfq.shed();
+            metrics.max_queue_depth = metrics.max_queue_depth.max(wfq.max_depth());
+        }
         metrics.cache_hits = state.cache.hits();
         metrics.cache_misses = state.cache.misses();
         metrics.warm_hits = state.pool.hits();
@@ -466,6 +566,17 @@ impl FleetService {
                 metrics,
                 pool_resident_bytes: state.pool.resident_bytes(),
                 attestation: state.plane.as_ref().map(|p| *p.metrics()),
+                tenants: state.policy.map(|ps| {
+                    let pcfg = self.config.policy.as_ref().expect("state implies config");
+                    pcfg.tenants
+                        .iter()
+                        .zip(ps.tenants)
+                        .map(|(t, metrics)| TenantRollup {
+                            name: t.name,
+                            metrics,
+                        })
+                        .collect()
+                }),
                 trace,
             },
             log,
@@ -474,14 +585,45 @@ impl FleetService {
 }
 
 impl<'a> State<'a> {
-    /// Allocates a request id, sampling its class.
+    /// Allocates a request id, sampling its class (and, with a policy
+    /// layer, its tenant — from a dedicated RNG stream so tagging never
+    /// perturbs the arrival/class streams).
     fn new_request(&mut self, arrival_hint: Nanos) -> usize {
         let request = self.req_class.len();
-        self.req_class.push(self.mix.sample(&mut self.rng));
+        let class = if let Some(ps) = self.policy.as_mut() {
+            let pcfg = self.config.policy.as_ref().expect("state implies config");
+            let tenant = pcfg.sample_tenant(&mut ps.tenant_rng);
+            ps.req_tenant.push(tenant);
+            ps.tenants[tenant].issued += 1;
+            match &ps.mixes[tenant] {
+                Some(mix) => mix.sample(&mut self.rng),
+                None => self.mix.sample(&mut self.rng),
+            }
+        } else {
+            self.mix.sample(&mut self.rng)
+        };
+        self.req_class.push(class);
         self.arrived.push(arrival_hint);
         self.attempts.push(0);
         self.issued += 1;
         request
+    }
+
+    /// Attributes a terminal to `request`'s tenant (no-op without policy).
+    /// Mirrors the global counters so the extended conservation invariant
+    /// (`…+rejected == issued`) holds per tenant.
+    fn tenant_terminal(&mut self, request: usize, outcome: ReqOutcome, now: Nanos) {
+        if let Some(ps) = self.policy.as_mut() {
+            let m = &mut ps.tenants[ps.req_tenant[request]];
+            match outcome {
+                ReqOutcome::Completed => m.complete(now - self.arrived[request]),
+                ReqOutcome::Shed => m.shed += 1,
+                ReqOutcome::BreakerShed => m.breaker_sheds += 1,
+                ReqOutcome::Timeout => m.timeouts += 1,
+                ReqOutcome::Failed => m.failed += 1,
+                ReqOutcome::Rejected => m.rejected += 1,
+            }
+        }
     }
 
     /// The fault plan, if any (`&'a` so probing never borrows `self`).
@@ -557,6 +699,7 @@ impl<'a> State<'a> {
                             .record_latency(outcome.finish - self.arrived[request]);
                         self.rec
                             .terminal(request, ReqOutcome::Completed, outcome.finish);
+                        self.tenant_terminal(request, ReqOutcome::Completed, outcome.finish);
                         if let Some(breakers) = &mut self.breakers {
                             breakers[class].on_success(outcome.finish);
                         }
@@ -675,6 +818,17 @@ impl<'a> State<'a> {
         if self.past_deadline(request, now) {
             self.metrics.timeouts += 1;
             self.rec.terminal(request, ReqOutcome::Timeout, now);
+            self.tenant_terminal(request, ReqOutcome::Timeout, now);
+            self.issue_next_closed(now, inject);
+            return;
+        }
+        // The policy choke point: one decision record per routing pass
+        // (fresh arrival or retry), ahead of warm-pool and admission so
+        // *every* dispatch flows through it. Quota is charged per attempt.
+        if let Some(PolicyDecision::Reject { .. }) = self.policy_evaluate(request, now) {
+            self.metrics.rejected += 1;
+            self.rec.terminal(request, ReqOutcome::Rejected, now);
+            self.tenant_terminal(request, ReqOutcome::Rejected, now);
             self.issue_next_closed(now, inject);
             return;
         }
@@ -682,6 +836,7 @@ impl<'a> State<'a> {
         let Some(tier) = self.config.tier.degraded(level) else {
             self.metrics.breaker_sheds += 1;
             self.rec.terminal(request, ReqOutcome::BreakerShed, now);
+            self.tenant_terminal(request, ReqOutcome::BreakerShed, now);
             self.issue_next_closed(now, inject);
             return;
         };
@@ -694,6 +849,24 @@ impl<'a> State<'a> {
             return;
         }
         self.admit(request, class, now, inject);
+    }
+
+    /// Runs the policy engine for `request`, recording the decision as an
+    /// obs marker and counting degrades. `None` without a policy layer.
+    fn policy_evaluate(&mut self, request: usize, now: Nanos) -> Option<PolicyDecision> {
+        let ps = self.policy.as_mut()?;
+        let tenant = ps.req_tenant[request];
+        let decision = ps.engine.evaluate(tenant, now);
+        let marker = match decision {
+            PolicyDecision::Admit { .. } => MarkerKind::PolicyAdmit,
+            PolicyDecision::Degrade { .. } => {
+                ps.tenants[tenant].degraded += 1;
+                MarkerKind::PolicyDegrade
+            }
+            PolicyDecision::Reject { .. } => MarkerKind::PolicyReject,
+        };
+        self.rec.marker(marker, Some(request), None, now);
+        Some(decision)
     }
 
     /// Expected serialized PSP work of the launch `class` would replay at
@@ -724,19 +897,57 @@ impl<'a> State<'a> {
             return;
         }
         let key = self.catalog.class(class).key;
-        let admitted = self.queue.offer(Pending {
+        let pending = Pending {
             request,
             class,
             expected_psp,
             key,
-        });
+        };
+        if self.policy.as_ref().is_some_and(|p| p.wfq.is_some()) {
+            // WFQ: enqueue on the tenant's lane; overflow sheds by policy
+            // (batch before latency-sensitive, quota-violators first).
+            let offer = {
+                let ps = self.policy.as_mut().expect("checked above");
+                let tenant = ps.req_tenant[request];
+                let over = ps.engine.over_quota(tenant, now);
+                let wfq = ps.wfq.as_mut().expect("checked above");
+                wfq.set_over_quota(tenant, over);
+                wfq.offer(tenant, pending, expected_psp)
+            };
+            self.metrics.sample_queue_depth(now, self.queue_depth());
+            match offer {
+                Offer::Queued => self.rec.queued(request),
+                Offer::Displaced { item, .. } => {
+                    self.rec.queued(request);
+                    self.rec.terminal(item.request, ReqOutcome::Shed, now);
+                    self.tenant_terminal(item.request, ReqOutcome::Shed, now);
+                    self.issue_next_closed(now, inject);
+                }
+                Offer::Refused(item) => {
+                    self.rec.terminal(item.request, ReqOutcome::Shed, now);
+                    self.tenant_terminal(item.request, ReqOutcome::Shed, now);
+                    self.issue_next_closed(now, inject);
+                }
+            }
+            return;
+        }
+        let admitted = self.queue.offer(pending);
         self.metrics.sample_queue_depth(now, self.queue.len());
         if admitted {
             self.rec.queued(request);
         } else {
             // Shed: fail fast. A closed-loop client still comes back.
             self.rec.terminal(request, ReqOutcome::Shed, now);
+            self.tenant_terminal(request, ReqOutcome::Shed, now);
             self.issue_next_closed(now, inject);
+        }
+    }
+
+    /// Current admission backlog (whichever queue is active).
+    fn queue_depth(&self) -> usize {
+        match self.policy.as_ref().and_then(|p| p.wfq.as_ref()) {
+            Some(wfq) => wfq.len(),
+            None => self.queue.len(),
         }
     }
 
@@ -860,6 +1071,7 @@ impl<'a> State<'a> {
             None => {
                 self.metrics.failed += 1;
                 self.rec.terminal(request, ReqOutcome::Failed, now);
+                self.tenant_terminal(request, ReqOutcome::Failed, now);
                 self.issue_next_closed(now, inject);
             }
             Some(delay) => {
@@ -874,6 +1086,7 @@ impl<'a> State<'a> {
                 if self.past_deadline(request, at) {
                     self.metrics.timeouts += 1;
                     self.rec.terminal(request, ReqOutcome::Timeout, now);
+                    self.tenant_terminal(request, ReqOutcome::Timeout, now);
                     self.issue_next_closed(now, inject);
                     return;
                 }
@@ -892,18 +1105,25 @@ impl<'a> State<'a> {
             return;
         }
         while self.inflight < self.config.admission.max_inflight {
-            let cache = &self.cache;
-            let Some(next) = self
-                .queue
-                .pick(self.config.admission.policy, |key| cache.contains(key))
-            else {
+            // WFQ pops the globally smallest virtual finish time; the
+            // plain bounded queue picks per the admission policy.
+            let next = match self.policy.as_mut().and_then(|p| p.wfq.as_mut()) {
+                Some(wfq) => wfq.pop().map(|(_, pending)| pending),
+                None => {
+                    let cache = &self.cache;
+                    self.queue
+                        .pick(self.config.admission.policy, |key| cache.contains(key))
+                }
+            };
+            let Some(next) = next else {
                 break;
             };
-            self.metrics.sample_queue_depth(now, self.queue.len());
+            self.metrics.sample_queue_depth(now, self.queue_depth());
             if self.past_deadline(next.request, now) {
                 // Expired while waiting: a timeout shed, not a dispatch.
                 self.metrics.timeouts += 1;
                 self.rec.terminal(next.request, ReqOutcome::Timeout, now);
+                self.tenant_terminal(next.request, ReqOutcome::Timeout, now);
                 self.issue_next_closed(now, inject);
                 continue;
             }
@@ -912,6 +1132,7 @@ impl<'a> State<'a> {
                 self.metrics.breaker_sheds += 1;
                 self.rec
                     .terminal(next.request, ReqOutcome::BreakerShed, now);
+                self.tenant_terminal(next.request, ReqOutcome::BreakerShed, now);
                 self.issue_next_closed(now, inject);
                 continue;
             };
@@ -1089,6 +1310,70 @@ mod tests {
             format!("{:?}", bare.metrics),
             format!("{:?}", inert.metrics)
         );
+    }
+
+    #[test]
+    fn tagged_policy_replays_byte_identically() {
+        use sevf_policy::{PolicySpec, Tenant};
+        // A tag-only policy (FIFO scheduler, no quotas, no posture) must not
+        // perturb a run relative to `None`: tenant sampling draws from its
+        // own salted rng and the bounded queue is untouched.
+        let arm = |policy: Option<PolicyConfig>| {
+            let mut config = FleetConfig::open_loop(ServingTier::Template, 60.0, 80);
+            config.policy = policy;
+            run(config)
+        };
+        let bare = arm(None);
+        let tagged = arm(Some(PolicyConfig::tagged(vec![Tenant::new(
+            "solo",
+            1,
+            PolicySpec::permissive(),
+        )])));
+        assert_eq!(
+            format!("{:?}", bare.metrics),
+            format!("{:?}", tagged.metrics)
+        );
+        assert!(bare.tenants.is_none());
+        let rollup = tagged.tenants.unwrap();
+        assert_eq!(rollup.len(), 1);
+        assert_eq!(rollup[0].metrics.issued, 80);
+        assert!(rollup[0].metrics.conserved());
+    }
+
+    #[test]
+    fn wfq_policy_conserves_per_tenant_and_rejects_over_quota() {
+        use sevf_policy::{PolicySpec, QuotaSpec, SloClass, Tenant};
+        let mut premium_spec = PolicySpec::permissive();
+        premium_spec.weight = 8;
+        let mut batch_spec = PolicySpec::permissive();
+        batch_spec.slo = SloClass::Batch;
+        batch_spec.weight = 1;
+        batch_spec.quota = Some(QuotaSpec {
+            rate_per_sec: 10.0,
+            burst: 4.0,
+        });
+        let mut config = FleetConfig::open_loop(ServingTier::Cold, 120.0, 120);
+        config.policy = Some(PolicyConfig::enforced(vec![
+            Tenant::new("premium", 1, premium_spec),
+            Tenant::new("batch", 3, batch_spec),
+        ]));
+        let report = run(config);
+        let m = &report.metrics;
+        assert_eq!(m.completed + m.lost() as usize, 120);
+        assert!(m.rejected > 0, "quota flood must produce rejects");
+        let rollup = report.tenants.unwrap();
+        let issued: usize = rollup.iter().map(|t| t.metrics.issued).sum();
+        assert_eq!(issued, 120);
+        for t in &rollup {
+            assert!(
+                t.metrics.conserved(),
+                "{} not conserved: {:?}",
+                t.name,
+                t.metrics
+            );
+        }
+        let batch = rollup.iter().find(|t| t.name == "batch").unwrap();
+        assert!(batch.metrics.rejected > 0);
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub enum Outcome {
     Timeout,
     /// Permanently failed after exhausting retries.
     Failed,
+    /// Turned away by the policy engine (quota / isolation / posture)
+    /// before consuming any PSP work.
+    Rejected,
 }
 
 impl Outcome {
@@ -89,6 +92,7 @@ impl Outcome {
             Outcome::BreakerShed => "breaker-shed",
             Outcome::Timeout => "timeout",
             Outcome::Failed => "failed",
+            Outcome::Rejected => "rejected",
         }
     }
 }
@@ -123,6 +127,12 @@ pub enum MarkerKind {
     SuspicionCleared,
     /// A host's dispatch lease lapsed and it parked itself.
     LeaseExpired,
+    /// The policy engine admitted a request at its asked-for tier.
+    PolicyAdmit,
+    /// The policy engine admitted a request at a degraded isolation tier.
+    PolicyDegrade,
+    /// The policy engine turned a request away.
+    PolicyReject,
 }
 
 impl MarkerKind {
@@ -141,6 +151,9 @@ impl MarkerKind {
             MarkerKind::Suspected => "suspected".to_string(),
             MarkerKind::SuspicionCleared => "suspicion-cleared".to_string(),
             MarkerKind::LeaseExpired => "lease-expired".to_string(),
+            MarkerKind::PolicyAdmit => "policy-admit".to_string(),
+            MarkerKind::PolicyDegrade => "policy-degrade".to_string(),
+            MarkerKind::PolicyReject => "policy-reject".to_string(),
         }
     }
 }

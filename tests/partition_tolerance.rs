@@ -174,6 +174,12 @@ fn every_error_variant_displays_and_chains_to_its_root() {
             FleetError::Net(NetError::from(LeaseError::DurationZero)),
             true,
         ),
+        (
+            FleetError::Policy(sevf_policy::PolicyError::Config(
+                "tenant weight must be > 0",
+            )),
+            true,
+        ),
     ];
     for (err, has_source) in &fleet_cases {
         walk(err);
@@ -205,9 +211,41 @@ fn every_error_variant_displays_and_chains_to_its_root() {
             ClusterError::from(NetError::from(DetectorError::WindowZero)),
             3,
         ),
+        (
+            ClusterError::from(sevf_policy::PolicyError::Config("tenant registry is empty")),
+            2,
+        ),
+        (
+            ClusterError::from(FleetError::Policy(
+                sevf_policy::PolicyError::UnknownTenant {
+                    tenant: 7,
+                    tenants: 2,
+                },
+            )),
+            3,
+        ),
     ];
     for (err, depth) in &cluster_cases {
         let hops = walk(err);
         assert_eq!(hops.len(), *depth, "cluster chain depth for: {err}");
+    }
+
+    // PolicyError: a chain leaf — depth 1 on its own, depth 2 behind the
+    // fleet wrapper (walked above behind the cluster wrapper at depth 3).
+    let policy_cases: Vec<sevf_policy::PolicyError> = vec![
+        sevf_policy::PolicyError::Config("quota needs rate > 0 and burst >= 1"),
+        sevf_policy::PolicyError::UnknownTenant {
+            tenant: 3,
+            tenants: 1,
+        },
+    ];
+    for err in &policy_cases {
+        let hops = walk(err);
+        assert_eq!(hops.len(), 1, "policy errors are leaves: {err}");
+        assert_eq!(
+            walk(&FleetError::Policy(err.clone())).len(),
+            2,
+            "fleet wrapper adds exactly one hop"
+        );
     }
 }
