@@ -75,15 +75,16 @@ echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 for ex in fleet_chaos cluster_scaling trace_explorer attestation_storm \
-          partition_drill perf_sweep tenant_qos; do
+          partition_drill perf_sweep tenant_qos autoscale_drill; do
   replay_gate "$ex"
 done
 
-# Policy-off byte-identity gate: with `policy: None` the fleet and cluster
-# services must replay the committed pre-policy outputs byte for byte
-# (data/golden/ holds the `--quick --json` outputs captured before the
-# policy layer landed). Any diff means the disabled policy path perturbed
-# the RNG streams or the dispatch order.
+# Policy-off byte-identity gate: with `policy: None` (and, since the
+# autoscaler landed, `autoscaler: None` and `workload: None`) the fleet
+# and cluster services must replay the committed pre-policy outputs byte
+# for byte (data/golden/ holds the `--quick --json` outputs captured
+# before the policy layer landed). Any diff means a disabled layer
+# perturbed the RNG streams or the dispatch order.
 echo "==> policy-off golden replay: fleet_chaos + cluster_scaling vs data/golden/"
 cargo run --release --quiet --example fleet_chaos -- --quick --json > /tmp/ci_golden_fleet.json
 diff /tmp/ci_golden_fleet.json data/golden/fleet_chaos_quick.json
@@ -96,6 +97,7 @@ bench_snapshot attestation_storm BENCH_attplane.json --quick
 bench_snapshot fleet_chaos       BENCH_chaos.json    --quick
 bench_snapshot cluster_scaling   BENCH_cluster.json  --quick
 bench_snapshot tenant_qos        BENCH_policy.json   --quick
+bench_snapshot autoscale_drill   BENCH_autoscale.json --quick
 # Full scale on purpose: the perf gate needs the 12M-job workload where
 # the calendar/heap gap is meaningful; quick scale fits in cache and
 # under-reports it.

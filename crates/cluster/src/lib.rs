@@ -46,6 +46,7 @@ pub mod netsweep;
 pub mod placement;
 pub mod policysweep;
 pub mod ring;
+pub mod scalesweep;
 pub mod service;
 pub mod tracedemo;
 
@@ -56,9 +57,10 @@ pub use netsweep::{net_sweep, NetRow, NetSweepConfig, NetSweepReport};
 pub use placement::{PlacementPolicy, Router};
 pub use policysweep::{policy_sweep, ArmRow, PolicySweepConfig, PolicySweepReport, TenantRow};
 pub use ring::HashRing;
+pub use scalesweep::{scale_sweep, ScaleRow, ScaleSweepConfig, ScaleSweepReport};
 pub use service::{
-    ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind, HostOutage,
-    RevocationDrill, TcbRollout,
+    AutoscaleRollup, ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind,
+    HostOutage, RevocationDrill, ScaleEvent, TcbRollout,
 };
 pub use tracedemo::{TraceExemplar, TraceScenarios, TracedRun};
 
@@ -81,6 +83,8 @@ pub enum ClusterError {
     Net(sevf_net::NetError),
     /// The multi-tenant policy engine rejected its configuration.
     Policy(sevf_policy::PolicyError),
+    /// The autoscaler or a workload curve rejected its configuration.
+    Scale(sevf_scale::ScaleError),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -93,6 +97,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::AttPlane(e) => write!(f, "attestation plane failed: {e}"),
             ClusterError::Net(e) => write!(f, "network model failed: {e}"),
             ClusterError::Policy(e) => write!(f, "policy engine failed: {e}"),
+            ClusterError::Scale(e) => write!(f, "autoscaler failed: {e}"),
         }
     }
 }
@@ -104,6 +109,7 @@ impl std::error::Error for ClusterError {
             ClusterError::AttPlane(e) => Some(e),
             ClusterError::Net(e) => Some(e),
             ClusterError::Policy(e) => Some(e),
+            ClusterError::Scale(e) => Some(e),
             ClusterError::Config(_) | ClusterError::FaultPlan(_) | ClusterError::Recovery(_) => {
                 None
             }
@@ -135,6 +141,12 @@ impl From<sevf_policy::PolicyError> for ClusterError {
     }
 }
 
+impl From<sevf_scale::ScaleError> for ClusterError {
+    fn from(e: sevf_scale::ScaleError) -> Self {
+        ClusterError::Scale(e)
+    }
+}
+
 /// The common imports for working with the cluster control plane.
 pub mod prelude {
     pub use crate::attsweep::{att_sweep, AttSweepConfig, AttSweepReport};
@@ -143,13 +155,15 @@ pub mod prelude {
     pub use crate::netsweep::{net_sweep, NetSweepConfig, NetSweepReport};
     pub use crate::placement::PlacementPolicy;
     pub use crate::policysweep::{policy_sweep, PolicySweepConfig, PolicySweepReport};
+    pub use crate::scalesweep::{scale_sweep, ScaleSweepConfig, ScaleSweepReport};
     pub use crate::service::{
-        ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind, HostOutage,
-        RevocationDrill, TcbRollout,
+        AutoscaleRollup, ClusterConfig, ClusterReport, ClusterService, HostEvent, HostEventKind,
+        HostOutage, RevocationDrill, ScaleEvent, TcbRollout,
     };
     pub use crate::ClusterError;
     pub use sevf_fleet::service::ServingTier;
     pub use sevf_policy::prelude::*;
+    pub use sevf_scale::{AutoscalerConfig, ScalePolicy, Workload};
 }
 
 #[cfg(test)]

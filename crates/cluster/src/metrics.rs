@@ -102,6 +102,10 @@ pub struct ClusterMetrics {
     pub posture_violations: u64,
     /// Merged request latencies (ms), in completion order per host.
     pub latencies_ms: Vec<f64>,
+    /// Host-seconds of availability summed over the fleet — the
+    /// provisioning-cost axis of the autoscale frontier. A host accrues
+    /// while it is routable (available), whether or not it serves.
+    pub host_seconds: f64,
     /// End of the last completion on the shared clock.
     pub makespan: Nanos,
     /// Per-host slices.
@@ -182,6 +186,7 @@ impl ClusterMetrics {
         reg.inc("cluster_posture_checks_total", self.posture_checks);
         reg.inc("cluster_posture_redirects_total", self.posture_redirects);
         reg.inc("cluster_posture_violations_total", self.posture_violations);
+        reg.set_gauge("cluster_host_seconds", self.host_seconds);
         reg.set_gauge("cluster_psp_skew", self.psp_skew());
         reg.set_gauge("cluster_cache_hit_rate", self.cache_hit_rate());
         reg.set_gauge("cluster_makespan_ms", self.makespan.as_millis_f64());

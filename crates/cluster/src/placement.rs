@@ -16,6 +16,13 @@
 //!   one owner host, so its §6.2 template is measured once cluster-wide
 //!   instead of once per host, and a membership change re-measures only the
 //!   classes whose arc moved.
+//! * [`PlacementPolicy::WarmReady`] — pool-aware two-choice JSQ for
+//!   elastic fleets. SEV warm slots are pinned to their PSP, so a host
+//!   with a ready slot for the class serves in microseconds while a host
+//!   without one makes the request wait out a template launch; plain JSQ
+//!   is blind to that and dogpiles freshly joined hosts whose pools are
+//!   still shallow. Hosts holding a ready slot for the class win outright;
+//!   ties fall back to the two-choice PSP-backlog probe.
 
 use sevf_psp::TemplateKey;
 use sevf_sim::rng::XorShift64;
@@ -33,6 +40,10 @@ pub enum PlacementPolicy {
     JsqPsp,
     /// Consistent-hash the template key to its owner host.
     TemplateAffinity,
+    /// Prefer hosts with a ready warm slot for the class; two-choice
+    /// PSP-backlog JSQ among the preferred (or among everyone when no pool
+    /// holds the class).
+    WarmReady,
 }
 
 impl PlacementPolicy {
@@ -42,6 +53,7 @@ impl PlacementPolicy {
             PlacementPolicy::RoundRobin => "round-robin",
             PlacementPolicy::JsqPsp => "jsq-psp",
             PlacementPolicy::TemplateAffinity => "affinity",
+            PlacementPolicy::WarmReady => "warm-ready",
         }
     }
 }
@@ -90,17 +102,20 @@ impl Router {
 
     /// Picks a host for a request of template `key` among the live `hosts`
     /// (sorted, deduplicated). `psp_backlog` reports a host's outstanding
-    /// expected PSP work. Returns `None` when no host is live.
+    /// expected PSP work; `warm_ready` reports whether a host holds a
+    /// ready warm slot for the request's class. Returns `None` when no
+    /// host is live.
     ///
-    /// Only [`PlacementPolicy::JsqPsp`] consumes randomness, and only when
-    /// it has at least two hosts to sample — the other policies leave the
-    /// router's seeded stream untouched, so runs stay replayable across
-    /// policies.
+    /// Only [`PlacementPolicy::JsqPsp`] and [`PlacementPolicy::WarmReady`]
+    /// consume randomness, and only when they have at least two candidates
+    /// to sample — the other policies leave the router's seeded stream
+    /// untouched, so runs stay replayable across policies.
     pub fn place(
         &mut self,
         key: &TemplateKey,
         hosts: &[usize],
         psp_backlog: impl Fn(usize) -> Nanos,
+        warm_ready: impl Fn(usize) -> bool,
     ) -> Option<usize> {
         if hosts.is_empty() {
             return None;
@@ -125,6 +140,20 @@ impl Router {
                 })
             }
             PlacementPolicy::TemplateAffinity => self.ring.owner(key),
+            PlacementPolicy::WarmReady => {
+                let warm: Vec<usize> = hosts.iter().copied().filter(|&h| warm_ready(h)).collect();
+                let pool: &[usize] = if warm.is_empty() { hosts } else { &warm };
+                if pool.len() == 1 {
+                    return Some(pool[0]);
+                }
+                let a = pool[self.rng.next_below(pool.len() as u64) as usize];
+                let b = pool[self.rng.next_below(pool.len() as u64) as usize];
+                Some(if (psp_backlog(b), b) < (psp_backlog(a), a) {
+                    b
+                } else {
+                    a
+                })
+            }
         }
     }
 }
@@ -144,7 +173,10 @@ mod tests {
         let mut r = Router::new(PlacementPolicy::RoundRobin, 1, 3, 8);
         let hosts = [0, 1, 2];
         let picks: Vec<usize> = (0..6)
-            .map(|_| r.place(&key(0), &hosts, |_| Nanos::ZERO).unwrap())
+            .map(|_| {
+                r.place(&key(0), &hosts, |_| Nanos::ZERO, |_| false)
+                    .unwrap()
+            })
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
@@ -159,9 +191,12 @@ mod tests {
         let mut ones = 0;
         for _ in 0..200 {
             let h = r
-                .place(&key(0), &hosts, |h| {
-                    Nanos::from_millis(if h == 0 { 50 } else { 1 })
-                })
+                .place(
+                    &key(0),
+                    &hosts,
+                    |h| Nanos::from_millis(if h == 0 { 50 } else { 1 }),
+                    |_| false,
+                )
                 .unwrap();
             if h == 1 {
                 ones += 1;
@@ -174,19 +209,64 @@ mod tests {
     fn affinity_is_sticky_and_survives_unrelated_leave() {
         let mut r = Router::new(PlacementPolicy::TemplateAffinity, 7, 4, 64);
         let hosts = [0, 1, 2, 3];
-        let owner = r.place(&key(9), &hosts, |_| Nanos::ZERO).unwrap();
+        let owner = r
+            .place(&key(9), &hosts, |_| Nanos::ZERO, |_| false)
+            .unwrap();
         for _ in 0..5 {
-            assert_eq!(r.place(&key(9), &hosts, |_| Nanos::ZERO), Some(owner));
+            assert_eq!(
+                r.place(&key(9), &hosts, |_| Nanos::ZERO, |_| false),
+                Some(owner)
+            );
         }
         let other = (owner + 1) % 4;
         r.host_left(other);
         let live: Vec<usize> = hosts.iter().copied().filter(|&h| h != other).collect();
-        assert_eq!(r.place(&key(9), &live, |_| Nanos::ZERO), Some(owner));
+        assert_eq!(
+            r.place(&key(9), &live, |_| Nanos::ZERO, |_| false),
+            Some(owner)
+        );
+    }
+
+    #[test]
+    fn warm_ready_prefers_pooled_hosts_and_falls_back_to_jsq() {
+        let mut r = Router::new(PlacementPolicy::WarmReady, 1, 3, 8);
+        let hosts = [0, 1, 2];
+        // Only host 2 holds a ready slot: it must win every probe even
+        // with the worst PSP backlog.
+        for _ in 0..20 {
+            let h = r
+                .place(
+                    &key(0),
+                    &hosts,
+                    |h| Nanos::from_millis(h as u64 * 50),
+                    |h| h == 2,
+                )
+                .unwrap();
+            assert_eq!(h, 2);
+        }
+        // Nobody warm: degrades to the two-choice backlog probe, so the
+        // short-backlog host must win every probe that sees both hosts.
+        let pair = [0, 1];
+        let mut zeros = 0;
+        for _ in 0..200 {
+            let h = r
+                .place(
+                    &key(0),
+                    &pair,
+                    |h| Nanos::from_millis(1 + h as u64 * 50),
+                    |_| false,
+                )
+                .unwrap();
+            if h == 0 {
+                zeros += 1;
+            }
+        }
+        assert!(zeros > 100, "short backlog won only {zeros}/200");
     }
 
     #[test]
     fn no_live_hosts_places_nowhere() {
         let mut r = Router::new(PlacementPolicy::RoundRobin, 1, 2, 8);
-        assert_eq!(r.place(&key(0), &[], |_| Nanos::ZERO), None);
+        assert_eq!(r.place(&key(0), &[], |_| Nanos::ZERO, |_| false), None);
     }
 }

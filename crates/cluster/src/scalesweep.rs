@@ -1,0 +1,406 @@
+//! The autoscaling experiment: one flash crowd, three provisioning arms.
+//!
+//! The workload is the ramp the paper's fast-start machinery exists to
+//! absorb: a quiet base rate, then a flash crowd — a fast ramp to many
+//! times base decaying exponentially back down. Every arm serves the
+//! *same*
+//! arrival instants (the curve draws from the shared seed stream before
+//! anything else); only who pays for capacity changes:
+//!
+//! * **static** — `max_hosts` provisioned for the whole run, the
+//!   overprovisioned ceiling. The tail holds trivially, and the
+//!   host-seconds bill is the worst possible.
+//! * **reactive** — starts at `min_hosts`, scales out when PSP backlog
+//!   crosses the threshold. By the time the queue hurts, the ramp has
+//!   already arrived: the crowd eats the scale-out latency as tail.
+//! * **predictive** — starts at `min_hosts`, forecasts the windowed rate
+//!   trend and pre-provisions hosts (and re-spreads warm-pool targets)
+//!   ahead of the ramp. Warm boots are ~free while cold SEV launches pin
+//!   at the per-host ceiling, so arriving *before* the crowd is the whole
+//!   game.
+//!
+//! The sweep emits the cost-vs-p99-vs-shed frontier (`figures --table
+//! autoscale`): the headline claim is the predictive arm holding p99 under
+//! the flash-crowd SLO at a lower host-seconds cost than static-max
+//! provisioning. Conservation (`completed + shed + breaker_sheds +
+//! timeouts + failed + rejected == issued`) must hold in every cell, and
+//! identical configs replay byte-identically (the CI replay gate diffs two
+//! `--quick --json` runs of `examples/autoscale_drill.rs`).
+
+use sevf_fleet::admission::AdmissionConfig;
+use sevf_fleet::blueprint::{Catalog, ClassSpec};
+use sevf_fleet::recovery::RecoveryConfig;
+use sevf_fleet::service::ServingTier;
+use sevf_scale::{AutoscalerConfig, FlashCrowd, ScalePolicy, Workload, WorkloadCurve};
+use sevf_sim::Nanos;
+
+use crate::placement::PlacementPolicy;
+use crate::service::{ClusterConfig, ClusterReport, ClusterService};
+use crate::ClusterError;
+
+const MB: u64 = 1024 * 1024;
+
+/// Knobs of one autoscale sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleSweepConfig {
+    /// Seed for catalog machines, arrivals, and placement.
+    pub seed: u64,
+    /// Request classes to serve (shared catalog for all arms).
+    pub classes: Vec<ClassSpec>,
+    /// Floor of the elastic arms (their starting host count).
+    pub min_hosts: usize,
+    /// Ceiling of the elastic arms, and the static arm's fixed size.
+    pub max_hosts: usize,
+    /// Requests per arm.
+    pub requests: usize,
+    /// The flash-crowd shape every arm serves.
+    pub crowd: FlashCrowd,
+    /// Per-host admission knobs.
+    pub admission: AdmissionConfig,
+    /// Recovery policy shared by all arms.
+    pub recovery: RecoveryConfig,
+    /// Cluster-wide warm slots per class, spread over whoever is live.
+    pub warm_budget: usize,
+    /// Autoscaler control-loop period.
+    pub tick: Nanos,
+    /// Minimum spacing between membership changes.
+    pub cooldown: Nanos,
+    /// Per-host sustainable rate the scaler provisions against (req/s).
+    pub host_rps: f64,
+    /// Reactive scale-out threshold (per-host backlog).
+    pub backlog_out: f64,
+    /// Reactive scale-in threshold (per-host backlog).
+    pub backlog_in: f64,
+    /// Predictive forecast window (ticks).
+    pub window: usize,
+    /// Predictive forecast lead.
+    pub lead: Nanos,
+    /// The p99 target (ms) the frontier scores arms against.
+    pub slo_ms: f64,
+}
+
+impl ScaleSweepConfig {
+    /// The headline sweep over the paper mix.
+    pub fn paper_scale() -> Self {
+        ScaleSweepConfig {
+            seed: 0x5CA1E,
+            classes: ClassSpec::paper_classes(16, 256 * MB),
+            min_hosts: 2,
+            max_hosts: 8,
+            requests: 2000,
+            crowd: FlashCrowd {
+                base: 60.0,
+                peak: 800.0,
+                at: Nanos::from_millis(2500),
+                ramp: Nanos::from_millis(1500),
+                decay: Nanos::from_millis(2000),
+            },
+            admission: AdmissionConfig {
+                queue_bound: 256,
+                max_inflight: 2,
+                ..AdmissionConfig::default()
+            },
+            recovery: RecoveryConfig::resilient(0x5CA1E),
+            warm_budget: 48,
+            tick: Nanos::from_millis(150),
+            cooldown: Nanos::from_millis(300),
+            host_rps: 90.0,
+            backlog_out: 3.0,
+            backlog_in: 0.5,
+            window: 5,
+            lead: Nanos::from_millis(1200),
+            slo_ms: 500.0,
+        }
+    }
+
+    /// A fast sweep over the tiny test classes (tests, `--quick`).
+    pub fn quick() -> Self {
+        ScaleSweepConfig {
+            seed: 0x5CA1E,
+            classes: ClassSpec::quick_test_classes(),
+            min_hosts: 2,
+            max_hosts: 6,
+            requests: 700,
+            crowd: FlashCrowd {
+                base: 50.0,
+                peak: 420.0,
+                at: Nanos::from_secs(1),
+                ramp: Nanos::from_millis(700),
+                decay: Nanos::from_millis(1500),
+            },
+            admission: AdmissionConfig {
+                queue_bound: 192,
+                max_inflight: 2,
+                ..AdmissionConfig::default()
+            },
+            recovery: RecoveryConfig::resilient(0x5CA1E),
+            warm_budget: 36,
+            tick: Nanos::from_millis(100),
+            cooldown: Nanos::from_millis(200),
+            host_rps: 70.0,
+            backlog_out: 3.0,
+            backlog_in: 0.5,
+            window: 4,
+            lead: Nanos::from_millis(600),
+            slo_ms: 600.0,
+        }
+    }
+
+    /// The autoscaler the elastic arms run, differing only in policy.
+    pub fn scaler(&self, policy: ScalePolicy) -> AutoscalerConfig {
+        AutoscalerConfig {
+            min_hosts: self.min_hosts,
+            max_hosts: self.max_hosts,
+            policy,
+            tick: self.tick,
+            cooldown: self.cooldown,
+            host_rps: self.host_rps,
+            backlog_out: self.backlog_out,
+            backlog_in: self.backlog_in,
+            warm_budget: self.warm_budget,
+        }
+    }
+}
+
+/// One arm of the cost-vs-p99-vs-shed frontier.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Arm name ("static", "reactive", "predictive").
+    pub arm: &'static str,
+    /// Hosts the arm started with.
+    pub hosts_start: usize,
+    /// Requests offered.
+    pub issued: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests that left without completing (shed + breaker + timeout +
+    /// failed).
+    pub lost: u64,
+    /// Cluster-wide median latency (ms).
+    pub p50_ms: f64,
+    /// Cluster-wide 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Completed requests per second of makespan.
+    pub goodput_rps: f64,
+    /// Host-seconds of availability — the provisioning cost.
+    pub host_seconds: f64,
+    /// Control ticks the scaler processed (0 for static).
+    pub ticks: u64,
+    /// Scale-out decisions emitted.
+    pub scale_outs: u64,
+    /// Scale-in decisions emitted.
+    pub scale_ins: u64,
+    /// Pre-warm prescriptions emitted.
+    pub prewarms: u64,
+    /// Smallest live-host count observed at a control tick.
+    pub min_live: usize,
+    /// Largest live-host count observed at a control tick.
+    pub max_live: usize,
+    /// The p99 target (ms) scored against.
+    pub slo_ms: f64,
+    /// Whether p99 held the target (meaningful with completions).
+    pub slo_met: bool,
+    /// Whether the conservation invariant held.
+    pub conserved: bool,
+}
+
+/// The sweep's result: one [`ScaleRow`] per arm, plus the raw reports for
+/// callers that want the audit logs.
+#[derive(Debug, Clone)]
+pub struct ScaleSweepReport {
+    /// Arm rows, in static/reactive/predictive order.
+    pub rows: Vec<ScaleRow>,
+    /// The full cluster reports backing the rows, in the same order (the
+    /// invariant battery replays the autoscale audit logs from these).
+    pub reports: Vec<ClusterReport>,
+}
+
+impl ScaleSweepReport {
+    /// The row for `arm`, if present.
+    pub fn arm(&self, arm: &str) -> Option<&ScaleRow> {
+        self.rows.iter().find(|r| r.arm == arm)
+    }
+}
+
+fn row(arm: &'static str, hosts_start: usize, slo_ms: f64, report: &ClusterReport) -> ScaleRow {
+    let m = &report.metrics;
+    let auto = report.autoscale.as_ref();
+    ScaleRow {
+        arm,
+        hosts_start,
+        issued: m.issued,
+        completed: m.completed,
+        lost: m.lost(),
+        p50_ms: m.p50_ms(),
+        p99_ms: m.p99_ms(),
+        goodput_rps: m.goodput_rps(),
+        host_seconds: m.host_seconds,
+        ticks: auto.map_or(0, |a| a.ticks),
+        scale_outs: auto.map_or(0, |a| a.scale_outs),
+        scale_ins: auto.map_or(0, |a| a.scale_ins),
+        prewarms: auto.map_or(0, |a| a.prewarms),
+        min_live: auto.map_or(hosts_start, |a| a.min_live),
+        max_live: auto.map_or(hosts_start, |a| a.max_live),
+        slo_ms,
+        slo_met: m.completed > 0 && m.p99_ms() <= slo_ms,
+        conserved: m.conserved(),
+    }
+}
+
+/// Runs the three-arm autoscale sweep over one catalog.
+///
+/// # Errors
+///
+/// Propagates catalog-construction failures ([`ClusterError::Fleet`]) and
+/// invalid curve/scaler knobs ([`ClusterError::Scale`]).
+pub fn scale_sweep(cfg: &ScaleSweepConfig) -> Result<ScaleSweepReport, ClusterError> {
+    let catalog = Catalog::build(cfg.seed, &cfg.classes)?;
+    let workload = Workload::FlashCrowd(cfg.crowd);
+    workload.validate()?;
+
+    let arms: [(&'static str, usize, Option<AutoscalerConfig>); 3] = [
+        ("static", cfg.max_hosts, None),
+        (
+            "reactive",
+            cfg.min_hosts,
+            Some(cfg.scaler(ScalePolicy::Reactive)),
+        ),
+        (
+            "predictive",
+            cfg.min_hosts,
+            Some(cfg.scaler(ScalePolicy::Predictive {
+                window: cfg.window,
+                lead: cfg.lead,
+            })),
+        ),
+    ];
+
+    let mut report = ScaleSweepReport {
+        rows: Vec::new(),
+        reports: Vec::new(),
+    };
+    for (arm, hosts, autoscaler) in arms {
+        // Every arm spreads the same cluster-wide warm budget over its
+        // starting hosts, so no arm begins with an unfair slot advantage.
+        let config = ClusterConfig {
+            seed: cfg.seed,
+            admission: cfg.admission,
+            recovery: cfg.recovery,
+            warm_target: cfg.warm_budget.div_ceil(hosts),
+            placement: PlacementPolicy::WarmReady,
+            workload: Some(workload),
+            autoscaler,
+            ..ClusterConfig::open_loop(
+                hosts,
+                ServingTier::WarmPool,
+                workload.peak_rate(),
+                cfg.requests,
+            )
+        };
+        let run = ClusterService::new(catalog.clone(), config)?.run();
+        report.rows.push(row(arm, hosts, cfg.slo_ms, &run));
+        report.reports.push(run);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(report: &ScaleSweepReport) -> Vec<(usize, u64, u64, u64, String)> {
+        report
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.completed,
+                    r.lost,
+                    r.scale_outs,
+                    r.scale_ins,
+                    format!("{:.3}/{:.3}/{:.3}", r.p50_ms, r.p99_ms, r.host_seconds),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_conserves_every_arm_and_replays() {
+        let cfg = ScaleSweepConfig::quick();
+        let a = scale_sweep(&cfg).unwrap();
+        let b = scale_sweep(&cfg).unwrap();
+        assert_eq!(a.rows.len(), 3);
+        assert!(a.rows.iter().all(|r| r.conserved), "{:#?}", a.rows);
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn predictive_holds_the_slo_cheaper_than_static_max() {
+        let report = scale_sweep(&ScaleSweepConfig::quick()).unwrap();
+        let fixed = report.arm("static").unwrap();
+        let predictive = report.arm("predictive").unwrap();
+        assert!(
+            fixed.slo_met,
+            "the overprovisioned ceiling must hold the SLO: p99 {:.1} ms",
+            fixed.p99_ms
+        );
+        assert!(
+            predictive.slo_met,
+            "predictive must hold p99 under {} ms through the ramp, got {:.1} ms",
+            predictive.slo_ms, predictive.p99_ms
+        );
+        assert!(
+            predictive.host_seconds < fixed.host_seconds,
+            "predictive host-seconds {:.2} must undercut static {:.2}",
+            predictive.host_seconds,
+            fixed.host_seconds
+        );
+    }
+
+    #[test]
+    fn elastic_arms_actually_scale_and_stay_in_bounds() {
+        let cfg = ScaleSweepConfig::quick();
+        let report = scale_sweep(&cfg).unwrap();
+        for arm in ["reactive", "predictive"] {
+            let r = report.arm(arm).unwrap();
+            assert!(r.scale_outs > 0, "{arm}: the crowd must force a scale-out");
+            assert!(r.ticks > 0);
+            assert!(
+                r.min_live >= cfg.min_hosts && r.max_live <= cfg.max_hosts,
+                "{arm}: live hosts [{}, {}] escaped [{}, {}]",
+                r.min_live,
+                r.max_live,
+                cfg.min_hosts,
+                cfg.max_hosts
+            );
+        }
+        let fixed = report.arm("static").unwrap();
+        assert_eq!(fixed.scale_outs + fixed.scale_ins + fixed.ticks, 0);
+    }
+
+    #[test]
+    fn predictive_scales_out_no_later_than_reactive() {
+        // The predictive arm's whole advantage is lead time: its first
+        // scale-out must land on or before the reactive arm's.
+        let report = scale_sweep(&ScaleSweepConfig::quick()).unwrap();
+        let first_out = |arm: &str| {
+            let idx = report.rows.iter().position(|r| r.arm == arm).unwrap();
+            report.reports[idx]
+                .autoscale
+                .as_ref()
+                .unwrap()
+                .events
+                .iter()
+                .find_map(|e| match e {
+                    crate::service::ScaleEvent::Out { at, added, .. } if *added > 0 => Some(*at),
+                    _ => None,
+                })
+        };
+        let reactive = first_out("reactive").expect("reactive must scale out");
+        let predictive = first_out("predictive").expect("predictive must scale out");
+        assert!(
+            predictive <= reactive,
+            "predictive first scale-out at {predictive} must not trail reactive at {reactive}"
+        );
+    }
+}

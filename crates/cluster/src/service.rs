@@ -52,6 +52,9 @@ use sevf_policy::{
     TenantMetrics, TenantRollup, WfqQueue,
 };
 use sevf_psp::TemplateKey;
+use sevf_scale::{
+    curve_arrivals, Autoscaler, AutoscalerConfig, Observation, ScaleAction, Workload,
+};
 use sevf_sim::fault::{FaultConfig, FaultKind, FaultPlan};
 use sevf_sim::rng::XorShift64;
 use sevf_sim::{DesEngine, Job, JobOutcome, Nanos, RunTrace};
@@ -148,6 +151,15 @@ pub struct ClusterConfig {
     /// attestation-posture placement. `None` consumes zero randomness and
     /// replays pre-policy output byte for byte.
     pub policy: Option<PolicyConfig>,
+    /// Trace-driven workload curve shaping open-loop arrivals (diurnal,
+    /// flash crowd, regional failover). `None` uses the fixed-rate
+    /// generator, replaying pre-curve output byte for byte.
+    pub workload: Option<Workload>,
+    /// The autoscaler: drives membership and warm-pool targets from load
+    /// between `[min_hosts, max_hosts]`, with `hosts` as the starting
+    /// point. `None` keeps membership static and consumes zero randomness,
+    /// replaying pre-autoscaler output byte for byte.
+    pub autoscaler: Option<AutoscalerConfig>,
 }
 
 /// A staggered TCB/firmware rollout: host `h` re-measures at
@@ -200,6 +212,8 @@ impl ClusterConfig {
             revocation: None,
             net: None,
             policy: None,
+            workload: None,
+            autoscaler: None,
         }
     }
 
@@ -300,6 +314,35 @@ impl ClusterConfig {
                 ));
             }
         }
+        if let Some(curve) = &self.workload {
+            curve.validate()?;
+            if !matches!(self.arrival, Arrival::Open { .. }) {
+                return Err(ClusterError::Config(
+                    "workload curves shape open-loop arrivals only",
+                ));
+            }
+        }
+        if let Some(auto) = &self.autoscaler {
+            auto.validate()?;
+            if !matches!(self.arrival, Arrival::Open { .. }) {
+                return Err(ClusterError::Config(
+                    "the autoscaler drives open-loop clusters only",
+                ));
+            }
+            if self.hosts < auto.min_hosts || self.hosts > auto.max_hosts {
+                return Err(ClusterError::Config(
+                    "starting host count must sit within [min_hosts, max_hosts]",
+                ));
+            }
+            // The network and attestation layers size their link plans and
+            // per-host ledgers to a fixed fleet; elastic membership would
+            // silently leave spare hosts outside those structures.
+            if self.net.is_some() || self.attestation.is_some() {
+                return Err(ClusterError::Config(
+                    "the autoscaler cannot combine with net or attestation layers",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -321,8 +364,77 @@ pub struct ClusterReport {
     pub attestation: Option<AttPlaneMetrics>,
     /// Per-tenant terminal accounting, when a policy was configured.
     pub tenants: Option<Vec<TenantRollup>>,
+    /// Autoscaler decision counters and audit log, when one was configured.
+    pub autoscale: Option<AutoscaleRollup>,
     /// Resource-occupancy trace (per-host PSP/CPU ids interleaved).
     pub trace: RunTrace,
+}
+
+/// What the autoscaler did over one run: monotone decision counters (the
+/// obs markers must match them exactly) plus the full audit log of applied
+/// membership and warm-pool changes, which the invariant battery replays.
+#[derive(Debug, Clone)]
+pub struct AutoscaleRollup {
+    /// The policy that ran ("reactive" or "predictive").
+    pub policy: &'static str,
+    /// Control ticks processed.
+    pub ticks: u64,
+    /// Scale-out decisions emitted.
+    pub scale_outs: u64,
+    /// Scale-in decisions emitted.
+    pub scale_ins: u64,
+    /// Pre-warm prescriptions emitted.
+    pub prewarms: u64,
+    /// Smallest live-host count observed at a control tick.
+    pub min_live: usize,
+    /// Largest live-host count observed at a control tick.
+    pub max_live: usize,
+    /// Applied changes, in virtual-time order.
+    pub events: Vec<ScaleEvent>,
+}
+
+/// One applied autoscaling change, as the cluster recorded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleEvent {
+    /// Spare hosts joined via the graceful-join path.
+    Out {
+        /// When the decision was applied.
+        at: Nanos,
+        /// Hosts actually joined (bounded by the spare supply).
+        added: usize,
+        /// Live hosts after the join.
+        live: usize,
+        /// Sum of per-host warm targets after the join.
+        warm_sum: usize,
+    },
+    /// Hosts drained via the graceful-leave path.
+    In {
+        /// When the decision was applied.
+        at: Nanos,
+        /// Hosts actually drained (only idle, empty-queue victims qualify).
+        removed: usize,
+        /// Live hosts after the drain.
+        live: usize,
+        /// In-flight launches across the chosen victims (must be 0).
+        victims_inflight: usize,
+        /// Queued requests across the chosen victims (must be 0).
+        victims_queued: usize,
+        /// Sum of per-host warm targets after the drain.
+        warm_sum: usize,
+    },
+    /// Per-host warm-pool targets re-prescribed ahead of a ramp.
+    PreWarm {
+        /// When the prescription was applied.
+        at: Nanos,
+        /// The per-host target applied to every live host.
+        per_host: usize,
+        /// The cluster-wide warm budget being spread.
+        budget: usize,
+        /// Live hosts the prescription covered.
+        live: usize,
+        /// Sum of per-host warm targets after the prescription.
+        warm_sum: usize,
+    },
 }
 
 /// Verdict decided for a launch at dispatch; poisoning (PSP reset or host
@@ -422,6 +534,8 @@ enum JobKind {
     VerifierDown,
     /// The router↔verifier link heals.
     VerifierUp,
+    /// The autoscaler's control-loop tick.
+    AutoscaleTick,
 }
 
 /// The cluster control plane.
@@ -463,6 +577,19 @@ const HB_TOKEN_BASE: u64 = 0x4845_0000_0000;
 /// Salt for the dedicated tenant-tagging RNG stream (same constant the
 /// fleet uses, so a 1-host cluster and the fleet tag identically).
 const TENANT_SALT: u64 = 0x7E4A_917E_5EF0_11AD;
+
+/// Live autoscaler state: the pure decision engine plus the cluster-side
+/// bookkeeping its Observations and the audit log are built from.
+struct ScalerState {
+    auto: Autoscaler,
+    /// Requests that arrived since the previous control tick.
+    arrivals_since: usize,
+    /// Applied changes, in virtual-time order.
+    events: Vec<ScaleEvent>,
+    /// Live-host extrema observed at control ticks.
+    min_live: usize,
+    max_live: usize,
+}
 
 /// Live policy-layer state: the engine (specs + quota buckets), tenant
 /// tags, per-tenant terminal accounting, and the posture counters.
@@ -532,6 +659,18 @@ struct State<'a> {
     /// Policy layer, when configured: the admission choke point every
     /// routed dispatch flows through.
     policy: Option<PolicyState>,
+    /// Autoscaler runtime, when configured. Its decision engine is pure
+    /// and RNG-free; `None` consumes zero randomness.
+    scaler: Option<ScalerState>,
+    /// Virtual instant each host last became available; `None` while the
+    /// host is out, departed, or a cold spare. Pure accounting (no RNG).
+    live_since: Vec<Option<Nanos>>,
+    /// Host-seconds of availability accrued per host.
+    host_secs: Vec<f64>,
+    /// Autoscale-joined spares warming their pools before taking traffic:
+    /// up (and billing host-seconds) but not yet routable. The scaler's
+    /// warm-before-serve join — cold SEV dogpiles are the alternative.
+    warming: Vec<bool>,
     /// Observability recorder. Never touches the RNG, the metrics, or the
     /// fault plans, so enabling it cannot change a run's results.
     rec: Recorder,
@@ -582,8 +721,19 @@ impl ClusterService {
             .and_then(|n| n.lease)
             .map(|l| l.duration)
             .unwrap_or(Nanos::from_nanos(u64::MAX));
-        let mut hosts = Vec::with_capacity(self.config.hosts);
-        for id in 0..self.config.hosts {
+        // With an autoscaler the fleet is built out to max_hosts; hosts
+        // beyond the configured starting count begin as cold departed
+        // spares (no warm slots, no measured templates) that only the
+        // scaler's graceful-join path can bring into service. Without one,
+        // fleet == config.hosts and nothing below changes.
+        let fleet = self
+            .config
+            .autoscaler
+            .as_ref()
+            .map_or(self.config.hosts, |a| a.max_hosts);
+        let mut hosts = Vec::with_capacity(fleet);
+        for id in 0..fleet {
+            let spare = id >= self.config.hosts;
             let psp = engine.add_resource(format!("psp{id}"), 1);
             let cpu = engine.add_resource(format!("cpus{id}"), HOST_CORES);
             let plan = self.config.fault.as_ref().map(|f| {
@@ -595,13 +745,13 @@ impl ClusterService {
                 )
                 .expect("fault config validated in new()")
             });
-            let warm = if self.config.tier == ServingTier::WarmPool {
+            let warm = if self.config.tier == ServingTier::WarmPool && !spare {
                 self.config.warm_target
             } else {
                 0
             };
             let mut cache = LaunchCache::new();
-            if self.config.tier == ServingTier::WarmPool {
+            if self.config.tier == ServingTier::WarmPool && !spare {
                 // The pool's resident guests were launched from the
                 // templates, so each host starts with them live.
                 for (idx, class) in self.catalog.classes().iter().enumerate() {
@@ -613,7 +763,7 @@ impl ClusterService {
                 psp,
                 cpu,
                 out: false,
-                departed: false,
+                departed: spare,
                 queue: BoundedQueue::new(self.config.admission.queue_bound),
                 wfq: lane_specs.as_ref().map(|specs| {
                     WfqQueue::new(
@@ -650,9 +800,22 @@ impl ClusterService {
             });
         }
 
+        let initial_hosts = self.config.hosts;
         let mut state = State {
             catalog: &self.catalog,
             config: &self.config,
+            live_since: (0..fleet)
+                .map(|id| (id < initial_hosts).then_some(Nanos::ZERO))
+                .collect(),
+            host_secs: vec![0.0; fleet],
+            warming: vec![false; fleet],
+            scaler: self.config.autoscaler.as_ref().map(|cfg| ScalerState {
+                auto: Autoscaler::new(*cfg).expect("autoscaler config validated in new()"),
+                arrivals_since: 0,
+                events: Vec::new(),
+                min_live: initial_hosts,
+                max_live: initial_hosts,
+            }),
             hosts,
             router: Router::new(
                 self.config.placement,
@@ -745,11 +908,30 @@ impl ClusterService {
         let mut seed_jobs = Vec::new();
         match self.config.arrival {
             Arrival::Open { rate_per_sec } => {
-                let times = open_arrivals(rate_per_sec, self.config.requests, &mut state.rng);
+                // A workload curve shapes the arrival instants; `None`
+                // takes the fixed-rate generator's exact path (same draws,
+                // same rounding) and replays pre-curve output byte for
+                // byte.
+                let times = match &self.config.workload {
+                    Some(curve) => curve_arrivals(curve, self.config.requests, &mut state.rng),
+                    None => open_arrivals(rate_per_sec, self.config.requests, &mut state.rng),
+                };
+                let last_arrival = times.last().copied().unwrap_or(Nanos::ZERO);
                 for at in times {
                     let request = state.new_request(at);
                     seed_jobs.push(Job::released_at(at, vec![]));
                     state.meta.push(JobKind::Arrival { request });
+                }
+                // The autoscaler's control loop: one tick per period up to
+                // the last arrival (serving continues past it; extending
+                // ticks further would stretch every arm's makespan).
+                if let Some(auto) = &self.config.autoscaler {
+                    let mut at = auto.tick;
+                    while at <= last_arrival {
+                        seed_jobs.push(Job::released_at(at, vec![]));
+                        state.meta.push(JobKind::AutoscaleTick);
+                        at += auto.tick;
+                    }
                 }
             }
             Arrival::Closed { users, .. } => {
@@ -893,9 +1075,18 @@ impl ClusterService {
         }
         let log = state.rec.build();
 
+        // Close every still-open availability interval against the end of
+        // the run, then sum: the provisioning-cost axis of the frontier.
+        let makespan = trace.makespan();
+        for host in 0..state.hosts.len() {
+            if let Some(since) = state.live_since[host].take() {
+                state.host_secs[host] += makespan.saturating_sub(since).as_secs_f64();
+            }
+        }
         let mut metrics = ClusterMetrics {
             issued: state.issued,
-            makespan: trace.makespan(),
+            makespan,
+            host_seconds: state.host_secs.iter().sum(),
             ..ClusterMetrics::default()
         };
         for host in &mut state.hosts {
@@ -968,6 +1159,19 @@ impl ClusterService {
                         })
                         .collect()
                 }),
+                autoscale: state.scaler.as_ref().map(|sc| {
+                    let counters = sc.auto.counters();
+                    AutoscaleRollup {
+                        policy: sc.auto.config().policy.name(),
+                        ticks: counters.ticks,
+                        scale_outs: counters.scale_outs,
+                        scale_ins: counters.scale_ins,
+                        prewarms: counters.prewarms,
+                        min_live: sc.min_live,
+                        max_live: sc.max_live,
+                        events: sc.events.clone(),
+                    }
+                }),
                 trace,
             },
             log,
@@ -1021,6 +1225,9 @@ impl<'a> State<'a> {
         match self.meta[outcome.job] {
             JobKind::Arrival { request } => {
                 self.arrived[request] = outcome.finish;
+                if let Some(sc) = self.scaler.as_mut() {
+                    sc.arrivals_since += 1;
+                }
                 if self.rec.on() {
                     let class = self.req_class[request];
                     self.rec
@@ -1076,6 +1283,14 @@ impl<'a> State<'a> {
                         .fault(FaultKind::NetPartition, None, Some(host), outcome.finish);
                 } else {
                     h.pool.refill_done(class);
+                }
+                if self.warming[host] {
+                    // Chain the next refill (kicks start one per class, so
+                    // a warming spare converges one completion at a time;
+                    // this also retries refills a fault poisoned), then
+                    // promote once every class is at target.
+                    self.start_refill(host, class, outcome.finish, inject);
+                    self.maybe_promote(host, outcome.finish, inject);
                 }
             }
             JobKind::PspResetStart { host } => {
@@ -1180,6 +1395,7 @@ impl<'a> State<'a> {
                     plane.set_reachable(true);
                 }
             }
+            JobKind::AutoscaleTick => self.on_autoscale_tick(outcome.finish, inject),
         }
     }
 
@@ -1318,7 +1534,234 @@ impl<'a> State<'a> {
     /// its warm pool and template cache; a graceful departure lets in-flight
     /// work finish. Either way its queued requests fail over through the
     /// router, and the warm budget re-spreads over the survivors.
+    /// One autoscaler control tick: build the Observation, run the pure
+    /// decision engine, apply the result through the existing graceful
+    /// membership paths. One obs marker per emitted decision — never per
+    /// host — so marker counts equal the engine's counters exactly.
+    fn on_autoscale_tick(&mut self, now: Nanos, inject: &mut Vec<Job>) {
+        let live: Vec<usize> = self
+            .hosts
+            .iter()
+            .filter(|h| h.available())
+            .map(|h| h.id)
+            .collect();
+        // Launch dispatches only: background warm-pool refills also sit in
+        // host_inflight, and counting them would read a freshly re-warmed
+        // cluster as overloaded.
+        let backlog: usize = live.iter().map(|&h| self.hosts[h].inflight).sum();
+        let queued: usize = live.iter().map(|&h| self.queue_len(h)).sum();
+        let Some(sc) = self.scaler.as_mut() else {
+            return;
+        };
+        // Provisioned = routable + warming: spares mid-warm-up are capacity
+        // already paid for, so the scaler must not order them again.
+        let warming_count = self.warming.iter().filter(|w| **w).count();
+        let obs = Observation {
+            now,
+            live_hosts: live.len() + warming_count,
+            arrivals: std::mem::take(&mut sc.arrivals_since),
+            backlog,
+            queued,
+        };
+        let decision = sc.auto.tick(&obs);
+        let min_hosts = sc.auto.config().min_hosts;
+        let warm_budget = sc.auto.config().warm_budget;
+
+        // Pre-warm first: targets move before membership does, so a ramp's
+        // refills are already in flight when the new hosts take traffic.
+        if let Some(per_host) = decision.prewarm {
+            self.rec.marker(MarkerKind::PreWarm, None, None, now);
+            if self.config.tier == ServingTier::WarmPool {
+                // Raise-only: a prescription sized for the post-change
+                // fleet must not evict a serving host's slots while the
+                // ramp is still on it — shrinking waits for the rebalance
+                // that runs when membership actually changes.
+                for &h in &live {
+                    let target = self.hosts[h].pool.target_per_class().max(per_host);
+                    self.hosts[h].pool.set_target(target);
+                }
+                for &h in &live {
+                    self.kick_refills(h, now, inject);
+                }
+            }
+            let event = ScaleEvent::PreWarm {
+                at: now,
+                per_host,
+                budget: warm_budget,
+                live: live.len(),
+                warm_sum: self.warm_target_sum(),
+            };
+            self.scaler
+                .as_mut()
+                .expect("checked above")
+                .events
+                .push(event);
+        }
+
+        match decision.action {
+            ScaleAction::ScaleOut { add } => {
+                self.rec.marker(MarkerKind::ScaleOut, None, None, now);
+                // Lowest-id cold spares join first: deterministic order,
+                // and a spare felled by a scheduled outage stays out.
+                let spares: Vec<usize> = self
+                    .hosts
+                    .iter()
+                    .filter(|h| h.departed && !h.out)
+                    .map(|h| h.id)
+                    .filter(|&h| !self.warming[h])
+                    .take(add)
+                    .collect();
+                // Warm-before-serve: on the warm-pool tier a spare bills
+                // host-seconds and fills its pool first, joining the
+                // routable set only once warm (promotion happens in the
+                // Replenish handler). JSQ would otherwise dogpile its
+                // empty PSP with cold SEV launches — the exact tail the
+                // scale-out is trying to avoid. Other tiers have nothing
+                // to pre-warm and join directly.
+                let target = decision
+                    .prewarm
+                    .unwrap_or_else(|| warm_budget.div_ceil((live.len() + spares.len()).max(1)));
+                for &h in &spares {
+                    if self.config.tier == ServingTier::WarmPool {
+                        self.begin_warming(h, target, now, inject);
+                    } else {
+                        self.on_host_up(h, true, now, inject);
+                    }
+                }
+                let event = ScaleEvent::Out {
+                    at: now,
+                    added: spares.len(),
+                    live: self.live_count(),
+                    warm_sum: self.warm_target_sum(),
+                };
+                self.record_scale(event, now);
+            }
+            ScaleAction::ScaleIn { remove } => {
+                self.rec.marker(MarkerKind::ScaleIn, None, None, now);
+                // Highest-id idle victims drain first; a host with
+                // in-flight launches or an undrained queue never drains
+                // (the invariant battery replays this from the audit log).
+                let allowed = (live.len() + warming_count).saturating_sub(min_hosts);
+                // In-flight *launches* block a drain; background refills do
+                // not (a graceful leave lets them finish harmlessly).
+                let victims: Vec<usize> = self
+                    .hosts
+                    .iter()
+                    .rev()
+                    .filter(|h| h.available() && h.inflight == 0)
+                    .map(|h| h.id)
+                    .filter(|&h| self.queue_len(h) == 0)
+                    .take(remove.min(allowed))
+                    .collect();
+                let victims_inflight: usize = victims.iter().map(|&h| self.hosts[h].inflight).sum();
+                let victims_queued: usize = victims.iter().map(|&h| self.queue_len(h)).sum();
+                for &h in &victims {
+                    self.on_host_down(h, true, now, inject);
+                }
+                let event = ScaleEvent::In {
+                    at: now,
+                    removed: victims.len(),
+                    live: self.live_count(),
+                    victims_inflight,
+                    victims_queued,
+                    warm_sum: self.warm_target_sum(),
+                };
+                self.record_scale(event, now);
+            }
+            ScaleAction::Hold => {
+                let live_now = self.live_count();
+                let sc = self.scaler.as_mut().expect("checked above");
+                sc.min_live = sc.min_live.min(live_now);
+                sc.max_live = sc.max_live.max(live_now);
+            }
+        }
+    }
+
+    /// Appends an audit-log event and folds the post-change live count
+    /// into the observed extrema.
+    fn record_scale(&mut self, event: ScaleEvent, _now: Nanos) {
+        let live_now = self.live_count();
+        let sc = self.scaler.as_mut().expect("scale events imply a scaler");
+        sc.events.push(event);
+        sc.min_live = sc.min_live.min(live_now);
+        sc.max_live = sc.max_live.max(live_now);
+    }
+
+    /// Provisioned hosts: routable plus warming spares. This is the count
+    /// the autoscaler's bounds, audit events, and host-seconds bill all
+    /// speak in — a warming spare is capacity being paid for.
+    fn live_count(&self) -> usize {
+        self.hosts.iter().filter(|h| h.available()).count()
+            + self.warming.iter().filter(|w| **w).count()
+    }
+
+    /// Starts warming a cold spare the scaler ordered up: its host-seconds
+    /// clock starts and its pool fills toward `target`, but it stays out of
+    /// the routable set until [`State::maybe_promote`] sees it warm.
+    fn begin_warming(&mut self, host: usize, target: usize, now: Nanos, inject: &mut Vec<Job>) {
+        self.warming[host] = true;
+        if self.live_since[host].is_none() {
+            self.live_since[host] = Some(now);
+        }
+        self.hosts[host].pool.set_target(target);
+        self.kick_refills(host, now, inject);
+    }
+
+    /// Promotes a warming spare into the routable set once every class has
+    /// a couple of ready slots — enough to serve its first burst warm while
+    /// the remaining refills converge in the background. Waiting for the
+    /// full target would idle a nearly-warm host through the very ramp it
+    /// was ordered up for.
+    fn maybe_promote(&mut self, host: usize, now: Nanos, inject: &mut Vec<Job>) {
+        let pool = &self.hosts[host].pool;
+        let floor = pool.target_per_class().min(2);
+        let warm = (0..self.catalog.len()).all(|c| pool.ready(c) >= floor);
+        if !warm {
+            return;
+        }
+        self.warming[host] = false;
+        self.on_host_up(host, true, now, inject);
+    }
+
+    /// Requests waiting in `host`'s dispatch queue (whichever queue runs).
+    fn queue_len(&self, host: usize) -> usize {
+        match &self.hosts[host].wfq {
+            Some(wfq) => wfq.len(),
+            None => self.hosts[host].queue.len(),
+        }
+    }
+
+    /// Sum of per-host warm targets across available hosts — the quantity
+    /// the warm-budget conservation invariant bounds.
+    fn warm_target_sum(&self) -> usize {
+        self.hosts
+            .iter()
+            .filter(|h| h.available() || self.warming[h.id])
+            .map(|h| h.pool.target_per_class())
+            .sum()
+    }
+
+    /// Settles availability accounting after `host`'s flags changed:
+    /// opens or closes its host-seconds interval. Pure bookkeeping — no
+    /// RNG, no metrics the serving path reads.
+    fn note_liveness(&mut self, host: usize, was_available: bool, now: Nanos) {
+        let is = self.hosts[host].available();
+        if was_available == is {
+            return;
+        }
+        if is {
+            // A warming spare already opened its interval (it bills from
+            // warm-up start, not from promotion) — keep the earlier start.
+            if self.live_since[host].is_none() {
+                self.live_since[host] = Some(now);
+            }
+        } else if let Some(since) = self.live_since[host].take() {
+            self.host_secs[host] += now.saturating_sub(since).as_secs_f64();
+        }
+    }
+
     fn on_host_down(&mut self, host: usize, departure: bool, now: Nanos, inject: &mut Vec<Job>) {
+        let was_available = self.hosts[host].available();
         if departure {
             self.hosts[host].departed = true;
         } else {
@@ -1326,6 +1769,7 @@ impl<'a> State<'a> {
             self.rec
                 .marker(MarkerKind::OutageStart, None, Some(host), now);
         }
+        self.note_liveness(host, was_available, now);
         self.router.host_left(host);
         if !departure {
             let doomed: Vec<usize> = self.hosts[host].host_inflight.iter().copied().collect();
@@ -1351,7 +1795,7 @@ impl<'a> State<'a> {
             self.route(next.request, now, inject);
         }
         if self.config.rebalance {
-            self.rebalance_pools(now, inject);
+            self.rebalance_pools(true, now, inject);
         }
     }
 
@@ -1359,6 +1803,7 @@ impl<'a> State<'a> {
     /// outage survivor returns with a cold cache and an empty pool — its
     /// classes re-measure on next use.
     fn on_host_up(&mut self, host: usize, departure: bool, now: Nanos, inject: &mut Vec<Job>) {
+        let was_available = self.hosts[host].available();
         if departure {
             self.hosts[host].departed = false;
         } else {
@@ -1366,12 +1811,18 @@ impl<'a> State<'a> {
             self.rec
                 .marker(MarkerKind::OutageEnd, None, Some(host), now);
         }
+        self.note_liveness(host, was_available, now);
         if !self.hosts[host].available() {
+            // A warming spare recovering from an outage resumes its
+            // refills; it still only joins through promotion.
+            if self.warming[host] {
+                self.kick_refills(host, now, inject);
+            }
             return;
         }
         self.router.host_joined(host);
         if self.config.rebalance {
-            self.rebalance_pools(now, inject);
+            self.rebalance_pools(false, now, inject);
         } else {
             self.kick_refills(host, now, inject);
         }
@@ -1382,26 +1833,51 @@ impl<'a> State<'a> {
     /// class) over the live hosts. SEV guests cannot migrate off their PSP,
     /// so shrunk targets evict and grown targets re-provision via template
     /// launches on the new owners.
-    fn rebalance_pools(&mut self, now: Nanos, inject: &mut Vec<Job>) {
+    ///
+    /// Under an autoscaler a join-triggered re-spread (`shrink == false`)
+    /// is raise-only: evicting a serving host's deep pool the moment a
+    /// spare promotes would throw away exactly the warm capacity the ramp
+    /// is about to need. The transient overshoot (bounded by one extra
+    /// budget) is recovered at the next shrinking change — scale-in, leave,
+    /// or failure — which re-spreads exactly.
+    fn rebalance_pools(&mut self, shrink: bool, now: Nanos, inject: &mut Vec<Job>) {
         if self.config.tier != ServingTier::WarmPool {
             return;
         }
-        let budget = self.config.warm_target * self.config.hosts;
-        let live = self.hosts.iter().filter(|h| h.available()).count();
+        // With an autoscaler the budget is its own knob (the fleet can
+        // grow past `hosts`, so `warm_target * hosts` no longer covers it).
+        let budget = match &self.scaler {
+            Some(sc) => sc.auto.config().warm_budget,
+            None => self.config.warm_target * self.config.hosts,
+        };
+        // Warming spares hold a budget slice too — zeroing their targets
+        // mid-warm-up would strand them un-promotable.
+        let keeps = |s: &Self, host: usize| s.hosts[host].available() || s.warming[host];
+        let live = (0..self.hosts.len()).filter(|&h| keeps(self, h)).count();
         let per_host = if live == 0 { 0 } else { budget.div_ceil(live) };
+        let raise_only = !shrink && self.scaler.is_some();
         for host in 0..self.hosts.len() {
-            let target = if self.hosts[host].available() {
-                per_host
-            } else {
+            let target = if !keeps(self, host) {
                 0
+            } else if raise_only {
+                self.hosts[host].pool.target_per_class().max(per_host)
+            } else {
+                per_host
             };
             self.hosts[host].pool.set_target(target);
         }
         self.rebalances += 1;
         self.rec.marker(MarkerKind::Rebalance, None, None, now);
         for host in 0..self.hosts.len() {
-            if self.hosts[host].available() {
+            if keeps(self, host) {
                 self.kick_refills(host, now, inject);
+            }
+        }
+        // A shrunk target can leave a warming spare already at target with
+        // no refill left to complete — promote it here, not never.
+        for host in 0..self.hosts.len() {
+            if self.warming[host] {
+                self.maybe_promote(host, now, inject);
             }
         }
     }
@@ -1462,7 +1938,12 @@ impl<'a> State<'a> {
         }
         let key = self.catalog.class(class).key;
         let hosts = &self.hosts;
-        let placed = self.router.place(&key, &live, |h| hosts[h].committed_psp);
+        let placed = self.router.place(
+            &key,
+            &live,
+            |h| hosts[h].committed_psp,
+            |h| hosts[h].pool.ready(class) > 0,
+        );
         let Some(host) = placed else {
             // Nowhere to run: shed fast (clients of a fully-dark cluster
             // get an immediate error, not an unbounded queue).
@@ -2273,7 +2754,7 @@ impl<'a> State<'a> {
     /// target and the host can currently launch (live, PSP accepting).
     fn start_refill(&mut self, host: usize, class: usize, now: Nanos, inject: &mut Vec<Job>) {
         if self.config.tier != ServingTier::WarmPool
-            || !self.hosts[host].available()
+            || !(self.hosts[host].available() || self.warming[host])
             || self.lease_blocked(host, now)
             || !self.hosts[host].pool.wants_refill(class)
         {

@@ -133,6 +133,12 @@ pub enum MarkerKind {
     PolicyDegrade,
     /// The policy engine turned a request away.
     PolicyReject,
+    /// The autoscaler joined spare hosts via the graceful-join path.
+    ScaleOut,
+    /// The autoscaler drained hosts via the graceful-leave path.
+    ScaleIn,
+    /// The autoscaler re-prescribed per-host warm-pool targets.
+    PreWarm,
 }
 
 impl MarkerKind {
@@ -154,6 +160,9 @@ impl MarkerKind {
             MarkerKind::PolicyAdmit => "policy-admit".to_string(),
             MarkerKind::PolicyDegrade => "policy-degrade".to_string(),
             MarkerKind::PolicyReject => "policy-reject".to_string(),
+            MarkerKind::ScaleOut => "scale-out".to_string(),
+            MarkerKind::ScaleIn => "scale-in".to_string(),
+            MarkerKind::PreWarm => "pre-warm".to_string(),
         }
     }
 }

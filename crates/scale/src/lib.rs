@@ -1,0 +1,125 @@
+//! sevf-scale: trace-driven workload curves and the cluster autoscaler.
+//!
+//! ROADMAP item 1 ("millions of users"): the cluster's membership and
+//! warm-pool targets were static inputs, so no amount of per-request
+//! fast-start machinery could absorb a flash crowd — pre-provisioning,
+//! not per-request speed, is what holds tail latency through a ramp.
+//! This crate supplies both halves:
+//!
+//! * [`workload`] — deterministic arrival-rate curves (diurnal sinusoid,
+//!   flash crowd, regional-failover surge, Zipf tenant skew) as pure
+//!   functions of `(config, t)` behind the [`WorkloadCurve`] trait, with
+//!   non-homogeneous Poisson arrival sampling that consumes exactly one
+//!   RNG draw per arrival for every shape. [`Workload::none`] reproduces
+//!   the old fixed-rate generator byte for byte.
+//! * [`autoscaler`] — a pure, RNG-free decision engine with a reactive
+//!   (backlog thresholds + cooldown hysteresis) and a predictive
+//!   (windowed rate forecast + pool pre-warming) policy. The cluster
+//!   layer applies its [`Decision`]s through the existing graceful
+//!   join/leave paths.
+//!
+//! Deliberately dependency-light: sevf-sim only, for time and RNG —
+//! obs markers (ScaleOut/ScaleIn/PreWarm) are emitted by the cluster
+//! layer when it applies decisions, so this crate sits under
+//! `sevf-cluster` without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+pub mod autoscaler;
+pub mod workload;
+
+pub use autoscaler::{
+    Autoscaler, AutoscalerConfig, Decision, Observation, ScaleAction, ScaleCounters, ScalePolicy,
+};
+pub use workload::{
+    curve_arrivals, Diurnal, FixedRate, FlashCrowd, RegionalFailover, Workload, WorkloadCurve,
+    ZipfTenants,
+};
+
+/// Why a workload curve's shape knobs are unusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveError {
+    /// A rate knob is zero, negative, or non-finite.
+    RateNotPositive,
+    /// A diurnal amplitude exceeds its base (the rate would go negative).
+    AmplitudeExceedsBase,
+    /// A period, decay, or ramp duration is zero.
+    PeriodZero,
+    /// A flash-crowd peak sits below its base rate.
+    PeakBelowBase,
+    /// A Zipf sampler over zero tenants.
+    NoTenants,
+    /// A Zipf exponent that is negative or non-finite.
+    BadExponent,
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            CurveError::RateNotPositive => "rate must be positive and finite",
+            CurveError::AmplitudeExceedsBase => "amplitude must be within [0, base]",
+            CurveError::PeriodZero => "period, decay, and ramp durations must be positive",
+            CurveError::PeakBelowBase => "peak rate must be at least the base rate",
+            CurveError::NoTenants => "at least one tenant is required",
+            CurveError::BadExponent => "zipf exponent must be finite and non-negative",
+        };
+        write!(f, "{what}")
+    }
+}
+
+impl Error for CurveError {}
+
+/// Everything that can go wrong configuring the scaling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleError {
+    /// An autoscaler knob violated a constraint.
+    Config(&'static str),
+    /// A workload curve's shape knobs are unusable.
+    Workload(CurveError),
+}
+
+impl fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleError::Config(what) => write!(f, "invalid autoscaler config: {what}"),
+            ScaleError::Workload(e) => write!(f, "invalid workload curve: {e}"),
+        }
+    }
+}
+
+impl Error for ScaleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScaleError::Config(_) => None,
+            ScaleError::Workload(e) => Some(e),
+        }
+    }
+}
+
+impl From<CurveError> for ScaleError {
+    fn from(e: CurveError) -> Self {
+        ScaleError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let leaf = CurveError::PeakBelowBase;
+        let wrapped = ScaleError::from(leaf);
+        assert!(wrapped.to_string().contains("invalid workload curve"));
+        assert_eq!(
+            wrapped.source().unwrap().to_string(),
+            leaf.to_string(),
+            "the wrapper must expose the leaf as its source"
+        );
+        assert!(ScaleError::Config("x").source().is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! The autoscaling invariant battery: replay the sweep's audit log and
+//! hold every scaling invariant against it.
+//!
+//! The sweep ([`sevf_cluster::scalesweep`]) records every applied
+//! membership and warm-pool change as a [`ScaleEvent`]; these tests replay
+//! that log instead of peeking at live state, so the invariants constrain
+//! what the control plane *actually did*:
+//!
+//! * scale-in only ever drains idle victims (no in-flight launches, no
+//!   queued requests on the host being removed);
+//! * the warm-budget overshoot of raise-only prescriptions stays bounded
+//!   by one extra budget;
+//! * live-host counts never leave `[min_hosts, max_hosts]`;
+//! * membership changes respect the cooldown;
+//! * every arm conserves every request;
+//! * and the curve machinery is invisible when unused — a cluster given
+//!   `Workload::none(rate)` reproduces the `workload: None` run byte for
+//!   byte, arrival instants included.
+
+use sevf_cluster::scalesweep::{scale_sweep, ScaleSweepConfig};
+use sevf_cluster::service::{ClusterConfig, ClusterReport, ClusterService, ScaleEvent};
+use sevf_fleet::blueprint::{Catalog, ClassSpec};
+use sevf_fleet::service::ServingTier;
+use sevf_fleet::workload::open_arrivals;
+use sevf_scale::{curve_arrivals, Workload};
+use sevf_sim::rng::XorShift64;
+use sevf_sim::Nanos;
+
+fn quick_sweep() -> (ScaleSweepConfig, sevf_cluster::scalesweep::ScaleSweepReport) {
+    let cfg = ScaleSweepConfig::quick();
+    let report = scale_sweep(&cfg).expect("quick sweep");
+    (cfg, report)
+}
+
+#[test]
+fn scale_in_never_drains_a_busy_victim() {
+    let (_, report) = quick_sweep();
+    for arm in &report.reports {
+        let Some(auto) = arm.autoscale.as_ref() else {
+            continue;
+        };
+        for e in &auto.events {
+            if let ScaleEvent::In {
+                at,
+                removed,
+                victims_inflight,
+                victims_queued,
+                ..
+            } = *e
+            {
+                assert_eq!(
+                    victims_inflight, 0,
+                    "{}: drained {removed} hosts at {at:?} with launches in flight",
+                    auto.policy
+                );
+                assert_eq!(
+                    victims_queued, 0,
+                    "{}: drained {removed} hosts at {at:?} with queued requests",
+                    auto.policy
+                );
+            }
+        }
+    }
+}
+
+/// Prescriptions are raise-only while a ramp is in progress (shrinking a
+/// serving host's pool mid-crowd would evict exactly the warm capacity
+/// the ramp needs), so the per-class warm-target sum may transiently
+/// exceed the budget — but never by more than one extra budget, and the
+/// `div_ceil` spread adds at most one slot per live host on top.
+#[test]
+fn warm_budget_overshoot_stays_bounded() {
+    let (cfg, report) = quick_sweep();
+    for arm in &report.reports {
+        let Some(auto) = arm.autoscale.as_ref() else {
+            continue;
+        };
+        let bound = 2 * cfg.warm_budget + cfg.max_hosts;
+        for e in &auto.events {
+            let (at, warm_sum) = match *e {
+                ScaleEvent::Out { at, warm_sum, .. } => (at, warm_sum),
+                ScaleEvent::In { at, warm_sum, .. } => (at, warm_sum),
+                ScaleEvent::PreWarm { at, warm_sum, .. } => (at, warm_sum),
+            };
+            assert!(
+                warm_sum <= bound,
+                "{}: warm-target sum {warm_sum} exceeded {bound} at {at:?}",
+                auto.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn live_host_count_stays_in_bounds() {
+    let (cfg, report) = quick_sweep();
+    for (row, arm) in report.rows.iter().zip(&report.reports) {
+        let Some(auto) = arm.autoscale.as_ref() else {
+            // The static arm holds its fixed fleet by construction.
+            assert_eq!(row.min_live, cfg.max_hosts);
+            assert_eq!(row.max_live, cfg.max_hosts);
+            continue;
+        };
+        assert!(
+            auto.min_live >= cfg.min_hosts,
+            "{}: dipped to {} hosts below the floor {}",
+            auto.policy,
+            auto.min_live,
+            cfg.min_hosts
+        );
+        assert!(
+            auto.max_live <= cfg.max_hosts,
+            "{}: grew to {} hosts past the ceiling {}",
+            auto.policy,
+            auto.max_live,
+            cfg.max_hosts
+        );
+        for e in &auto.events {
+            let live = match *e {
+                ScaleEvent::Out { live, .. } => live,
+                ScaleEvent::In { live, .. } => live,
+                ScaleEvent::PreWarm { live, .. } => live,
+            };
+            assert!(
+                live <= cfg.max_hosts,
+                "{}: an applied change left {live} hosts live",
+                auto.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn membership_changes_respect_the_cooldown() {
+    let (cfg, report) = quick_sweep();
+    for arm in &report.reports {
+        let Some(auto) = arm.autoscale.as_ref() else {
+            continue;
+        };
+        // Only membership changes (join/drain) are cooldown-gated;
+        // prewarm prescriptions ride along freely.
+        let changes: Vec<Nanos> = auto
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                ScaleEvent::Out { at, added, .. } if added > 0 => Some(at),
+                ScaleEvent::In { at, removed, .. } if removed > 0 => Some(at),
+                _ => None,
+            })
+            .collect();
+        for pair in changes.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= cfg.cooldown,
+                "{}: membership changed at {:?} then {:?}, inside the {:?} cooldown",
+                auto.policy,
+                pair[0],
+                pair[1],
+                cfg.cooldown
+            );
+        }
+    }
+}
+
+#[test]
+fn every_arm_conserves_and_the_frontier_holds() {
+    let (_, report) = quick_sweep();
+    for row in &report.rows {
+        assert!(row.conserved, "{} broke conservation", row.arm);
+        assert_eq!(
+            row.completed as u64 + row.lost,
+            row.issued as u64,
+            "{}: terminal states do not sum to issued",
+            row.arm
+        );
+    }
+    let stat = report.arm("static").unwrap();
+    let pred = report.arm("predictive").unwrap();
+    assert!(stat.slo_met, "static-max must hold the SLO trivially");
+    assert!(
+        pred.slo_met,
+        "predictive must hold the SLO through the ramp"
+    );
+    assert!(
+        pred.host_seconds < stat.host_seconds,
+        "predictive ({:.1} host-s) must undercut static ({:.1} host-s)",
+        pred.host_seconds,
+        stat.host_seconds
+    );
+}
+
+/// `Workload::none(rate)` must be indistinguishable from no workload at
+/// all — first at the generator (the exact arrival instants), then end to
+/// end (an identical cluster run, latencies included).
+#[test]
+fn none_reproduces_the_fleet_generator_byte_for_byte() {
+    for seed in [3u64, 0x5CA1E, 97] {
+        for rate in [25.0, 160.0, 900.0] {
+            let old = open_arrivals(rate, 512, &mut XorShift64::new(seed));
+            let new = curve_arrivals(&Workload::none(rate), 512, &mut XorShift64::new(seed));
+            assert_eq!(old, new, "arrivals diverged at seed {seed} rate {rate}");
+        }
+    }
+}
+
+fn digest(report: &ClusterReport) -> (usize, usize, u64, Vec<u64>, Nanos) {
+    let m = &report.metrics;
+    (
+        m.issued,
+        m.completed,
+        m.lost(),
+        m.latencies_ms.iter().map(|l| l.to_bits()).collect(),
+        m.makespan,
+    )
+}
+
+#[test]
+fn fixed_workload_run_matches_no_workload_run_exactly() {
+    let catalog = Catalog::build(0x51, &ClassSpec::quick_test_classes()).unwrap();
+    let rate = 140.0;
+    let run = |workload: Option<Workload>| {
+        let config = ClusterConfig {
+            seed: 0x51,
+            workload,
+            ..ClusterConfig::open_loop(3, ServingTier::WarmPool, rate, 300)
+        };
+        ClusterService::new(catalog.clone(), config).unwrap().run()
+    };
+    let plain = run(None);
+    let fixed = run(Some(Workload::none(rate)));
+    assert_eq!(
+        digest(&plain),
+        digest(&fixed),
+        "a flat curve perturbed the run it must be invisible in"
+    );
+}

@@ -209,6 +209,95 @@ fn tracing_never_changes_the_report() {
     assert_eq!(plain.metrics.shed, traced.metrics.shed);
 }
 
+#[test]
+fn autoscale_markers_match_the_decision_counters_exactly() {
+    use sevf_cluster::scalesweep::ScaleSweepConfig;
+    use sevf_cluster::{ClusterConfig, ClusterService, PlacementPolicy};
+    use sevf_fleet::blueprint::Catalog;
+    use sevf_scale::{ScalePolicy, Workload};
+
+    let sweep = ScaleSweepConfig::quick();
+    let catalog = Catalog::build(sweep.seed, &sweep.classes).unwrap();
+    let workload = Workload::FlashCrowd(sweep.crowd);
+    let config = ClusterConfig {
+        seed: sweep.seed,
+        admission: sweep.admission,
+        recovery: sweep.recovery,
+        warm_target: sweep.warm_budget.div_ceil(sweep.min_hosts),
+        placement: PlacementPolicy::WarmReady,
+        workload: Some(workload),
+        autoscaler: Some(sweep.scaler(ScalePolicy::Predictive {
+            window: sweep.window,
+            lead: sweep.lead,
+        })),
+        ..ClusterConfig::open_loop(
+            sweep.min_hosts,
+            ServingTier::WarmPool,
+            sweep.crowd.peak,
+            sweep.requests,
+        )
+    };
+    let (report, log) = ClusterService::new(catalog, config).unwrap().run_traced();
+    let auto = report
+        .autoscale
+        .expect("autoscaled run must carry a rollup");
+
+    // One marker per emitted decision, never per affected host: the span
+    // log and the control plane must agree to the exact count.
+    assert!(
+        auto.scale_outs > 0,
+        "the crowd must force at least one join"
+    );
+    assert_eq!(
+        log.count_marker(MarkerKind::ScaleOut) as u64,
+        auto.scale_outs
+    );
+    assert_eq!(log.count_marker(MarkerKind::ScaleIn) as u64, auto.scale_ins);
+    assert_eq!(log.count_marker(MarkerKind::PreWarm) as u64, auto.prewarms);
+    assert!(report.metrics.conserved());
+}
+
+#[test]
+fn autoscaled_tracing_never_changes_the_report() {
+    use sevf_cluster::scalesweep::ScaleSweepConfig;
+    use sevf_cluster::{ClusterConfig, ClusterService, PlacementPolicy};
+    use sevf_fleet::blueprint::Catalog;
+    use sevf_scale::{ScalePolicy, Workload};
+
+    let sweep = ScaleSweepConfig::quick();
+    let catalog = Catalog::build(sweep.seed, &sweep.classes).unwrap();
+    let make = || {
+        let config = ClusterConfig {
+            seed: sweep.seed,
+            admission: sweep.admission,
+            recovery: sweep.recovery,
+            warm_target: sweep.warm_budget.div_ceil(sweep.min_hosts),
+            placement: PlacementPolicy::WarmReady,
+            workload: Some(Workload::FlashCrowd(sweep.crowd)),
+            autoscaler: Some(sweep.scaler(ScalePolicy::Reactive)),
+            ..ClusterConfig::open_loop(
+                sweep.min_hosts,
+                ServingTier::WarmPool,
+                sweep.crowd.peak,
+                sweep.requests,
+            )
+        };
+        ClusterService::new(catalog.clone(), config).unwrap()
+    };
+    let plain = make().run();
+    let (traced, _) = make().run_traced();
+    assert_eq!(plain.metrics.issued, traced.metrics.issued);
+    assert_eq!(plain.metrics.completed, traced.metrics.completed);
+    assert_eq!(plain.metrics.latencies_ms, traced.metrics.latencies_ms);
+    assert_eq!(plain.metrics.host_seconds, traced.metrics.host_seconds);
+    let (pa, ta) = (plain.autoscale.unwrap(), traced.autoscale.unwrap());
+    assert_eq!(pa.events, ta.events);
+    assert_eq!(
+        (pa.ticks, pa.scale_outs, pa.scale_ins, pa.prewarms),
+        (ta.ticks, ta.scale_outs, ta.scale_ins, ta.prewarms)
+    );
+}
+
 // ---- histogram properties on seeded samples --------------------------------
 
 fn seeded_samples(seed: u64, n: usize, scale: f64) -> Vec<f64> {

@@ -224,6 +224,21 @@ fn every_error_variant_displays_and_chains_to_its_root() {
             )),
             3,
         ),
+        // The autoscaler chains one deep for config knobs and two deep
+        // when a workload curve is the root cause
+        // (ClusterError -> ScaleError -> CurveError).
+        (
+            ClusterError::from(sevf_scale::ScaleError::Config(
+                "max_hosts must be >= min_hosts",
+            )),
+            2,
+        ),
+        (
+            ClusterError::from(sevf_scale::ScaleError::Workload(
+                sevf_scale::CurveError::PeakBelowBase,
+            )),
+            3,
+        ),
     ];
     for (err, depth) in &cluster_cases {
         let hops = walk(err);
